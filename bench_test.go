@@ -1,0 +1,611 @@
+// Package repro benchmarks every figure and table of the DiEvent paper
+// plus the ablations DESIGN.md calls out. Each Benchmark maps to a row
+// of the experiment index (DESIGN.md §3); cmd/repro prints the
+// corresponding measured values.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/camera"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/emotion"
+	"repro/internal/face"
+	"repro/internal/gaze"
+	"repro/internal/hmm"
+	"repro/internal/layers"
+	"repro/internal/lbp"
+	"repro/internal/metadata"
+	"repro/internal/nn"
+	"repro/internal/parsing"
+	"repro/internal/scene"
+	"repro/internal/video"
+)
+
+// --- shared fixtures (built once; benchmarks must not pay setup) ---
+
+func mustSim(b *testing.B) *scene.Simulator {
+	b.Helper()
+	sim, err := scene.NewSimulator(scene.PrototypeScenario())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim
+}
+
+func mustRig(b *testing.B) *camera.Rig {
+	b.Helper()
+	rig, err := camera.PrototypeRig(6, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rig
+}
+
+// BenchmarkFig2Projection measures the acquisition-platform geometry
+// path: projecting world points through a calibrated camera (Fig. 2
+// substrate).
+func BenchmarkFig2Projection(b *testing.B) {
+	rig := mustRig(b)
+	cam := rig.Cameras[0]
+	sim := mustSim(b)
+	fs := sim.FrameState(250)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range fs.Persons {
+			if _, err := cam.Project(p.Head.Position); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig3VideoParsing measures shot-boundary detection and
+// hierarchy construction over a pre-rendered multi-shot composition
+// (Fig. 3).
+func BenchmarkFig3VideoParsing(b *testing.B) {
+	sim := mustSim(b)
+	rig := mustRig(b)
+	opt := video.RenderOptions{NoiseSigma: 1.5}
+	mk := func(cam, from, to int) video.Source {
+		s, err := video.NewSourceRange(video.NewRenderer(sim, rig.Cameras[cam], opt), from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	comp, err := video.Compose(
+		[]video.Source{mk(0, 0, 150), mk(2, 0, 150)},
+		[]video.Shot{
+			{Source: 0, Len: 60},
+			{Source: 1, Len: 50, TransitionIn: video.Cut},
+			{Source: 0, Len: 60, TransitionIn: video.Dissolve},
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := comp.Frames()
+	an := parsing.NewAnalyzer(parsing.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.AnalyzeFrames(frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4LookAtMatrix measures one frame's look-at matrix: the
+// n(n−1) transform-chain + ray-sphere procedure of §II-D.1 (Fig. 4).
+func BenchmarkFig4LookAtMatrix(b *testing.B) {
+	sim := mustSim(b)
+	rig := mustRig(b)
+	est := gaze.NewEstimator(gaze.EstimatorOptions{Seed: 1})
+	det := gaze.NewDetector()
+	ids := []int{0, 1, 2, 3}
+	obs := est.Observe(sim.FrameState(250), rig)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.LookAt(obs, rig, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5OverallEmotion measures the Fig. 5 fusion: 100 frames of
+// per-person emotion observations pushed through the multilayer
+// analyzer and fused into overall-happiness estimates.
+func BenchmarkFig5OverallEmotion(b *testing.B) {
+	sim := mustSim(b)
+	ids := []int{0, 1, 2, 3}
+	p, err := core.New(core.Config{Scenario: scene.PrototypeScenario()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := p.Context()
+	// Pre-compute 100 frames of inputs (empty gaze; emotion fusion is
+	// the measured path).
+	var inputs []layers.FrameInput
+	for f := 0; f < 100; f++ {
+		fs := sim.FrameState(f)
+		emo := make(map[int]layers.EmotionObs, 4)
+		for _, ps := range fs.Persons {
+			emo[ps.ID] = layers.EmotionObs{Label: ps.Emotion, Confidence: 0.9}
+		}
+		inputs = append(inputs, layers.FrameInput{
+			Index: f, Time: fs.Time, LookAt: gaze.NewMatrix(ids), Emotions: emo,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an, err := layers.NewAnalyzer(ctx, layers.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, in := range inputs {
+			if err := an.Push(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res := an.Finalize()
+		if len(res.Overall) != 100 {
+			b.Fatal("fusion lost frames")
+		}
+	}
+}
+
+// BenchmarkFig7LookAtMap measures the full Fig. 7 path for one frame:
+// observe all four participants through the rig, then build the matrix.
+func BenchmarkFig7LookAtMap(b *testing.B) {
+	sim := mustSim(b)
+	rig := mustRig(b)
+	est := gaze.NewEstimator(gaze.EstimatorOptions{Seed: 1})
+	det := gaze.NewDetector()
+	ids := []int{0, 1, 2, 3}
+	fs := sim.FrameState(250)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs := est.Observe(fs, rig)
+		if _, err := det.LookAt(obs, rig, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Summary measures the complete 610-frame summary-matrix
+// construction (observe + matrix + accumulate), i.e. regenerating
+// Fig. 9 from scratch.
+func BenchmarkFig9Summary(b *testing.B) {
+	sim := mustSim(b)
+	rig := mustRig(b)
+	est := gaze.NewEstimator(gaze.EstimatorOptions{Seed: 1})
+	det := gaze.NewDetector()
+	ids := []int{0, 1, 2, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := gaze.NewSummary(ids)
+		for f := 0; f < 610; f++ {
+			obs := est.Observe(sim.FrameState(f), rig)
+			m, err := det.LookAt(obs, rig, ids)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sum.Add(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if sum.Dominant() != 0 {
+			b.Fatal("dominance changed — benchmark invalid")
+		}
+	}
+}
+
+// --- T-A: emotion recognition ---
+
+// BenchmarkEmotionClassify measures one LBP+NN classification of a
+// 64×64 face crop (experiment T-A).
+func BenchmarkEmotionClassify(b *testing.B) {
+	clf, err := emotion.NewClassifier(48, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := emotion.GenerateDataset(10, 1)
+	if _, err := clf.Train(ds, emotion.TrainOptions{Epochs: 5, Seed: 2, LearningRate: 0.01}); err != nil {
+		b.Fatal(err)
+	}
+	face := emotion.GenerateFace(emotion.Happy, 3, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := clf.Classify(face); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLBPDescriptor measures the raw LBP grid-descriptor
+// extraction.
+func BenchmarkLBPDescriptor(b *testing.B) {
+	f := emotion.GenerateFace(emotion.Surprise, 5, 180)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lbp.GridDescriptor(f, 4, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNForward measures one forward pass of the emotion network
+// shape (944-48-7).
+func BenchmarkNNForward(b *testing.B) {
+	net, err := nn.New(nn.Config{Sizes: []int{944, 48, 7}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 944)
+	for i := range x {
+		x[i] = float64(i%59) / 59
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Predict(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T-B: eye-contact ablation ---
+
+// BenchmarkECDetection measures the ray-sphere eye-contact test across
+// a noise sweep configuration (experiment T-B's inner loop).
+func BenchmarkECDetection(b *testing.B) {
+	sim := mustSim(b)
+	rig := mustRig(b)
+	ids := []int{0, 1, 2, 3}
+	for _, noise := range []float64{2, 6} {
+		b.Run(fmt.Sprintf("noise%.0fdeg", noise), func(b *testing.B) {
+			est := gaze.NewEstimator(gaze.EstimatorOptions{Seed: 1, GazeNoiseDeg: noise})
+			det := gaze.NewDetector()
+			obs := est.Observe(sim.FrameState(150), rig)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.LookAt(obs, rig, ids); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T-C: pipeline throughput ---
+
+// BenchmarkPipelineEndToEnd measures the full geometric pipeline over
+// the 610-frame prototype (experiment T-C).
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(core.Config{
+			Scenario: scene.PrototypeScenario(),
+			Mode:     core.GeometricVision,
+			Gaze:     gaze.EstimatorOptions{Seed: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := p.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Repo.Close()
+	}
+}
+
+// BenchmarkRenderFrame measures synthetic 640×480 frame rendering (the
+// acquisition substrate's unit cost).
+func BenchmarkRenderFrame(b *testing.B) {
+	sim := mustSim(b)
+	rig := mustRig(b)
+	r := video.NewRenderer(sim, rig.Cameras[0], video.RenderOptions{NoiseSigma: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Render(i % 610)
+	}
+}
+
+// BenchmarkFaceDetect measures one full-frame multi-scale face
+// detection pass (PixelVision's dominant cost).
+func BenchmarkFaceDetect(b *testing.B) {
+	sim := mustSim(b)
+	rig := mustRig(b)
+	r := video.NewRenderer(sim, rig.Cameras[0], video.RenderOptions{})
+	frame := r.Render(250).Pixels
+	det, err := face.NewDetector(face.DetectorOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = det.Detect(frame)
+	}
+}
+
+// --- T-D: metadata repository ---
+
+// BenchmarkMetadataIngest measures durable record appends.
+func BenchmarkMetadataIngest(b *testing.B) {
+	dir, err := os.MkdirTemp("", "dievent-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	repo, err := metadata.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := repo.Append(metadata.Record{
+			Kind: metadata.KindObservation, Frame: i, FrameEnd: i + 1,
+			Time:   time.Duration(i) * 40 * time.Millisecond,
+			Person: i % 4, Other: -1, Label: "happy", Value: 0.9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetadataQuery measures an indexed semantic query over a
+// 50k-record repository (experiment T-D).
+func BenchmarkMetadataQuery(b *testing.B) {
+	repo := metadata.NewMem()
+	labels := []string{"happy", "sad", "neutral", "eye-contact"}
+	for i := 0; i < 50000; i++ {
+		if _, err := repo.Append(metadata.Record{
+			Kind: metadata.KindObservation, Frame: i, FrameEnd: i + 1,
+			Person: i % 4, Other: -1, Label: labels[i%4], Value: float64(i%100) / 100,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := repo.Query("label = 'eye-contact' AND person = 4 AND frame >= 25000")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) == 0 {
+			b.Fatal("query became empty — benchmark invalid")
+		}
+	}
+}
+
+// BenchmarkMetadataParse measures query compilation alone.
+func BenchmarkMetadataParse(b *testing.B) {
+	const q = "(label = 'sad' OR label = 'shot') AND frame < 10000 AND tag.camera != 'C2'"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metadata.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T-E: HMM baseline ---
+
+// BenchmarkHMMBaseline measures Viterbi decoding of a 1500-frame dinner
+// with the supervised Gao-et-al. baseline (experiment T-E).
+func BenchmarkHMMBaseline(b *testing.B) {
+	var train [][]int
+	var labels [][]scene.Phase
+	for seed := int64(0); seed < 2; seed++ {
+		sc, err := scene.DinnerScenario(scene.DinnerOptions{Persons: 4, Frames: 1500, Seed: 10 + seed, Enjoyment: 0.6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := scene.NewSimulator(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		syms, ph := hmm.FeaturizeScenario(sim, 0.1, seed)
+		train = append(train, syms)
+		labels = append(labels, ph)
+	}
+	model, err := hmm.FitSupervised(train, labels, hmm.DiningSymbols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := scene.DinnerScenario(scene.DinnerOptions{Persons: 4, Frames: 1500, Seed: 99, Enjoyment: 0.6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := scene.NewSimulator(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syms, _ := hmm.FeaturizeScenario(sim, 0.1, 99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Viterbi(syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHMMBaumWelch measures one training run of the unsupervised
+// baseline variant.
+func BenchmarkHMMBaumWelch(b *testing.B) {
+	sc, err := scene.DinnerScenario(scene.DinnerOptions{Persons: 4, Frames: 1000, Seed: 3, Enjoyment: 0.6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := scene.NewSimulator(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syms, _ := hmm.FeaturizeScenario(sim, 0.05, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := hmm.NewLeftRight(scene.NumPhases, hmm.DiningSymbols, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.BaumWelch([][]int{syms}, 5, 1e-4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations (DESIGN.md design choices) ---
+
+// BenchmarkAblationSmoothingWindow measures the multilayer analyzer at
+// different temporal smoothing windows — the design knob that absorbs
+// per-frame gaze flicker.
+func BenchmarkAblationSmoothingWindow(b *testing.B) {
+	sim := mustSim(b)
+	rig := mustRig(b)
+	est := gaze.NewEstimator(gaze.EstimatorOptions{Seed: 1})
+	det := gaze.NewDetector()
+	ids := []int{0, 1, 2, 3}
+	// Pre-compute 200 frames of matrices.
+	var mats []gaze.Matrix
+	for f := 0; f < 200; f++ {
+		obs := est.Observe(sim.FrameState(f), rig)
+		m, err := det.LookAt(obs, rig, ids)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mats = append(mats, m)
+	}
+	p, err := core.New(core.Config{Scenario: scene.PrototypeScenario()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := p.Context()
+	for _, window := range []int{3, 9, 25} {
+		b.Run(fmt.Sprintf("window%d", window), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				an, err := layers.NewAnalyzer(ctx, layers.Options{SmoothWindow: window})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for f, m := range mats {
+					in := layers.FrameInput{
+						Index: f, LookAt: m,
+						Emotions: map[int]layers.EmotionObs{},
+					}
+					if err := an.Push(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+				an.Finalize()
+			}
+		})
+	}
+}
+
+// BenchmarkLookAtPartySize sweeps the party size: the eye-contact
+// procedure is O(n²) per frame (the paper notes n(n−1) repetitions).
+func BenchmarkLookAtPartySize(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			sc, err := scene.DinnerScenario(scene.DinnerOptions{
+				Persons: n, Frames: 500, Seed: 1, Enjoyment: 0.5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := scene.NewSimulator(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rig, err := camera.PrototypeRig(6, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			est := gaze.NewEstimator(gaze.EstimatorOptions{Seed: 1})
+			det := gaze.NewDetector()
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = i
+			}
+			obs := est.Observe(sim.FrameState(250), rig)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.LookAt(obs, rig, ids); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMetadataAggregate measures a grouped aggregation over 50k
+// records (the analytical query path).
+func BenchmarkMetadataAggregate(b *testing.B) {
+	repo := metadata.NewMem()
+	labels := []string{"happy", "sad", "neutral", "eye-contact"}
+	for i := 0; i < 50000; i++ {
+		if _, err := repo.Append(metadata.Record{
+			Kind: metadata.KindObservation, Frame: i, FrameEnd: i + 1,
+			Person: i % 4, Other: -1, Label: labels[i%4], Value: float64(i%100) / 100,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := repo.Aggregate("kind = observation", metadata.AggAvg, metadata.GroupByPerson)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("aggregation shape changed")
+		}
+	}
+}
+
+// BenchmarkDatasetExport measures exporting a 20-frame annotated
+// dataset (footage rendering dominates).
+func BenchmarkDatasetExport(b *testing.B) {
+	rig, err := camera.PrototypeRig(6, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "dievent-ds-bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dataset.Export(dir, scene.PrototypeScenario(), rig, dataset.ExportOptions{
+			MaxFrames: 20,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		os.RemoveAll(dir)
+	}
+}

@@ -1,0 +1,102 @@
+// Command dievent runs the full DiEvent pipeline on a named scenario and
+// prints the multilayer analysis digest: the look-at summary, dominance,
+// overall-emotion statistics, eye-contact events and alerts.
+//
+// Usage:
+//
+//	dievent [flags]
+//
+//	-scenario prototype|dinner   event to analyse (default prototype)
+//	-persons N                   dinner party size (default 4)
+//	-frames N                    dinner length in frames (default 1500)
+//	-enjoyment F                 dinner enjoyment bias in [0,1] (default 0.7)
+//	-mode geometric|pixel        vision path (default geometric)
+//	-max N                       analyse only the first N frames
+//	-repo DIR                    persist the metadata repository to DIR
+//	-seed N                      estimator noise seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/dievent"
+)
+
+func main() {
+	var (
+		scenario  = flag.String("scenario", "prototype", "prototype or dinner")
+		persons   = flag.Int("persons", 4, "dinner party size")
+		frames    = flag.Int("frames", 1500, "dinner length in frames")
+		enjoyment = flag.Float64("enjoyment", 0.7, "dinner enjoyment in [0,1]")
+		mode      = flag.String("mode", "geometric", "geometric or pixel")
+		maxFrames = flag.Int("max", 0, "truncate the event to N frames (0 = all)")
+		repoDir   = flag.String("repo", "", "persist metadata repository to this directory")
+		seed      = flag.Int64("seed", 1, "noise seed")
+	)
+	flag.Parse()
+
+	cfg := dievent.Config{
+		MaxFrames: *maxFrames,
+		RepoDir:   *repoDir,
+		Gaze:      dievent.GazeOptions{Seed: *seed},
+	}
+	switch *scenario {
+	case "prototype":
+		cfg.Scenario = dievent.PrototypeScenario()
+	case "dinner":
+		sc, err := dievent.DinnerScenario(dievent.DinnerOptions{
+			Persons: *persons, Frames: *frames, Seed: *seed, Enjoyment: *enjoyment,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Scenario = sc
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+	switch *mode {
+	case "geometric":
+		cfg.Mode = dievent.GeometricVision
+	case "pixel":
+		cfg.Mode = dievent.PixelVision
+		if cfg.MaxFrames == 0 {
+			cfg.MaxFrames = 100 // pixel vision is priced per frame
+			fmt.Fprintln(os.Stderr, "note: pixel mode capped at 100 frames; raise with -max")
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	pipe, err := dievent.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	res, err := pipe.Run()
+	if err != nil {
+		fatal(err)
+	}
+	defer res.Repo.Close()
+
+	fmt.Println(res.Summary.Digest)
+	fmt.Printf("alerts:\n")
+	for _, a := range res.Layers.Alerts {
+		fmt.Printf("  [%7v] %-16s %s\n", a.Time.Round(40*time.Millisecond), a.Kind, a.Detail)
+	}
+	fmt.Printf("\npipeline: %d frames in %v (%s vision)\n",
+		res.FramesAnalyzed, time.Since(start).Round(time.Millisecond), *mode)
+	for _, st := range res.Timings {
+		fmt.Printf("  %-20s %v\n", st.Name, st.Duration.Round(time.Microsecond))
+	}
+	if *repoDir != "" {
+		fmt.Printf("metadata repository: %d records in %s\n", res.Repo.Len(), *repoDir)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dievent:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command dieventql runs queries against a persisted DiEvent metadata
+// repository — the paper's §II-E "rich query vocabulary" from the shell.
+//
+// Usage:
+//
+//	dieventql -repo DIR "label = 'eye-contact' AND person = 1"
+//	dieventql -repo DIR -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/metadata"
+)
+
+func main() {
+	var (
+		dir   = flag.String("repo", "", "repository directory (required)")
+		stats = flag.Bool("stats", false, "print repository statistics instead of querying")
+		limit = flag.Int("limit", 50, "maximum rows to print (0 = all)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "dieventql: -repo is required")
+		os.Exit(2)
+	}
+	repo, err := metadata.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	defer repo.Close()
+
+	if *stats {
+		printStats(repo)
+		return
+	}
+	q := strings.Join(flag.Args(), " ")
+	if q == "" {
+		fmt.Fprintln(os.Stderr, "dieventql: no query given (try: \"label = 'eye-contact'\")")
+		os.Exit(2)
+	}
+	recs, err := repo.Query(q)
+	if err != nil {
+		fatal(err)
+	}
+	for i, r := range recs {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("… %d more rows (raise -limit)\n", len(recs)-i)
+			break
+		}
+		fmt.Println(r)
+	}
+	fmt.Printf("%d rows\n", len(recs))
+}
+
+func printStats(repo *metadata.Repository) {
+	total := repo.Len()
+	byKind := map[string]int{}
+	byLabel := map[string]int{}
+	repo.Scan(func(r metadata.Record) bool {
+		byKind[r.Kind.String()]++
+		byLabel[r.Label]++
+		return true
+	})
+	fmt.Printf("records: %d\n", total)
+	fmt.Println("by kind:")
+	for k, n := range byKind {
+		fmt.Printf("  %-14s %d\n", k, n)
+	}
+	fmt.Println("top labels:")
+	printed := 0
+	for l, n := range byLabel {
+		if printed >= 10 {
+			break
+		}
+		fmt.Printf("  %-22q %d\n", l, n)
+		printed++
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dieventql:", err)
+	os.Exit(1)
+}

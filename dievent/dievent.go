@@ -1,0 +1,180 @@
+// Package dievent is the public API of the DiEvent framework — an
+// automated analysis system for dining social events reproducing
+// Qodseya, Washha & Sèdes, "DiEvent: Towards an Automated Framework for
+// Analyzing Dining Events" (ICDEW 2018).
+//
+// The pipeline runs five sequenced stages (paper Fig. 1): video
+// acquisition over a calibrated multi-camera rig, video composition
+// analysis, feature extraction (face detection/tracking/recognition,
+// LBP+NN emotion recognition, head pose and gaze), multilayer analysis
+// (eye-contact detection via frame transforms and ray–sphere
+// intersection, overall-emotion estimation, alerting), and a queryable
+// metadata repository.
+//
+// Quick start:
+//
+//	pipe, err := dievent.New(dievent.Config{
+//	    Scenario: dievent.PrototypeScenario(),
+//	})
+//	if err != nil { ... }
+//	res, err := pipe.Run()
+//	if err != nil { ... }
+//	defer res.Repo.Close()
+//	fmt.Println(res.Summary.Digest)
+//	recs, err := res.Repo.Query("label = 'eye-contact' AND person = 1")
+//
+// The types below are aliases into the implementation packages, so the
+// whole framework is drivable from this single import; advanced users
+// can reach the subsystem packages directly.
+package dievent
+
+import (
+	"repro/internal/camera"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/emotion"
+	"repro/internal/gaze"
+	"repro/internal/layers"
+	"repro/internal/metadata"
+	"repro/internal/scene"
+	"repro/internal/summarize"
+	"repro/internal/video"
+)
+
+// Config assembles a pipeline run. See core.Config for field docs.
+type Config = core.Config
+
+// Pipeline is a configured DiEvent pipeline.
+type Pipeline = core.Pipeline
+
+// Result carries everything a run produces: the multilayer analysis,
+// the digest, per-stage timings, and the populated metadata repository.
+type Result = core.Result
+
+// Vision modes.
+const (
+	// GeometricVision uses calibrated noisy estimators in place of the
+	// pixel pipeline (fast; the documented OpenFace substitution).
+	GeometricVision = core.GeometricVision
+	// PixelVision runs the full pixel path: render, detect, track,
+	// recognize, classify.
+	PixelVision = core.PixelVision
+)
+
+// New validates a configuration and prepares a pipeline.
+func New(cfg Config) (*Pipeline, error) { return core.New(cfg) }
+
+// Scenario scripting.
+type (
+	// Scenario is a scripted dining event.
+	Scenario = scene.Scenario
+	// PersonSpec describes one participant.
+	PersonSpec = scene.PersonSpec
+	// Segment scripts behaviour from a start frame.
+	Segment = scene.Segment
+	// GazeTarget is a scripted gaze destination.
+	GazeTarget = scene.GazeTarget
+	// DinnerOptions parameterises generated restaurant dinners.
+	DinnerOptions = scene.DinnerOptions
+)
+
+// PrototypeScenario returns the paper's §III prototype: four
+// participants, four corner cameras, 610 frames at 25 fps, scripted so
+// Figs. 7, 8 and 9 reproduce exactly.
+func PrototypeScenario() Scenario { return scene.PrototypeScenario() }
+
+// DinnerScenario generates a synthetic restaurant dinner with the five
+// dining phases and emotion dynamics biased by opt.Enjoyment.
+func DinnerScenario(opt DinnerOptions) (Scenario, error) { return scene.DinnerScenario(opt) }
+
+// Gaze targets for custom scripts.
+var (
+	// AtPerson aims a participant's gaze at another participant.
+	AtPerson = scene.AtPerson
+	// AtTable aims the gaze at the participant's plate.
+	AtTable = scene.AtTable
+	// Away aims the gaze off-table (distraction).
+	Away = scene.Away
+)
+
+// Camera rigs.
+type Rig = camera.Rig
+
+// PaperRig builds the two-camera acquisition platform of paper Fig. 2
+// (2.5 m mounts, −15° pitch, 25 fps, 640×480).
+func PaperRig(separation float64) (*Rig, error) { return camera.PaperRig(separation) }
+
+// PrototypeRig builds the four-corner prototype rig of §III.
+func PrototypeRig(roomW, roomD float64) (*Rig, error) { return camera.PrototypeRig(roomW, roomD) }
+
+// Analysis outputs.
+type (
+	// AnalysisResult is the multilayer analysis output.
+	AnalysisResult = layers.Result
+	// ECEvent is a detected eye-contact episode.
+	ECEvent = layers.ECEvent
+	// Alert is an analysis alert (emotion change, EC start, negative
+	// spike).
+	Alert = layers.Alert
+	// OverallEmotion is the per-frame Fig. 5 estimate.
+	OverallEmotion = layers.OverallEmotion
+	// Summary is the event digest.
+	Summary = summarize.Summary
+	// LookAtSummary is the accumulated Fig. 9 matrix.
+	LookAtSummary = gaze.Summary
+)
+
+// Metadata repository.
+type (
+	// Repository is the embedded metadata store.
+	Repository = metadata.Repository
+	// Record is one unit of stored metadata.
+	Record = metadata.Record
+)
+
+// OpenRepository opens (or creates) a persistent metadata repository.
+func OpenRepository(dir string) (*Repository, error) { return metadata.Open(dir) }
+
+// Emotion recognition.
+type (
+	// EmotionLabel is one of the six basic emotions plus neutral.
+	EmotionLabel = emotion.Label
+	// EmotionClassifier is the LBP+NN recogniser.
+	EmotionClassifier = emotion.Classifier
+	// EmotionTrainOptions configure classifier training.
+	EmotionTrainOptions = emotion.TrainOptions
+)
+
+// NewEmotionClassifier builds an untrained LBP+NN classifier.
+func NewEmotionClassifier(hidden int, seed int64) (*EmotionClassifier, error) {
+	return emotion.NewClassifier(hidden, seed)
+}
+
+// GenerateEmotionDataset renders a labelled synthetic face corpus.
+var GenerateEmotionDataset = emotion.GenerateDataset
+
+// RenderOptions tune the synthetic sensor.
+type RenderOptions = video.RenderOptions
+
+// GazeOptions tune the gaze estimator's noise model.
+type GazeOptions = gaze.EstimatorOptions
+
+// Dataset export/import — the paper's planned annotated-dataset
+// artefact (see internal/dataset).
+type (
+	// Dataset is a loaded annotated dataset.
+	Dataset = dataset.Dataset
+	// DatasetManifest describes an exported dataset.
+	DatasetManifest = dataset.Manifest
+	// DatasetOptions tune exports.
+	DatasetOptions = dataset.ExportOptions
+)
+
+// ExportDataset renders a scenario through a rig into dir with
+// ground-truth annotations.
+func ExportDataset(dir string, sc Scenario, rig *Rig, opt DatasetOptions) (*DatasetManifest, error) {
+	return dataset.Export(dir, sc, rig, opt)
+}
+
+// LoadDataset opens a previously exported dataset.
+func LoadDataset(dir string) (*Dataset, error) { return dataset.Load(dir) }

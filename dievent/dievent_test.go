@@ -1,0 +1,100 @@
+package dievent_test
+
+import (
+	"testing"
+
+	"repro/dievent"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start path
+// end-to-end through the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	pipe, err := dievent.New(dievent.Config{
+		Scenario: dievent.PrototypeScenario(),
+		Mode:     dievent.GeometricVision,
+		Gaze:     dievent.GazeOptions{Seed: 42},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipe.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Repo.Close()
+
+	if res.Summary == nil || res.Summary.Digest == "" {
+		t.Error("digest missing")
+	}
+	if res.Layers.Summary.Dominant() != 0 {
+		t.Errorf("dominant = %d, want 0 (P1)", res.Layers.Summary.Dominant())
+	}
+	recs, err := res.Repo.Query("label = 'eye-contact' AND person = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Error("no eye-contact records via public API")
+	}
+}
+
+func TestPublicAPIDinnerScenario(t *testing.T) {
+	sc, err := dievent.DinnerScenario(dievent.DinnerOptions{
+		Persons: 3, Frames: 600, Seed: 2, Enjoyment: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Persons) != 3 {
+		t.Errorf("persons = %d", len(sc.Persons))
+	}
+	pipe, err := dievent.New(dievent.Config{Scenario: sc, MaxFrames: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipe.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Repo.Close()
+	if res.FramesAnalyzed != 200 {
+		t.Errorf("frames = %d", res.FramesAnalyzed)
+	}
+}
+
+func TestPublicAPIRigs(t *testing.T) {
+	paper, err := dievent.PaperRig(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paper.Cameras) != 2 {
+		t.Errorf("paper rig cameras = %d", len(paper.Cameras))
+	}
+	proto, err := dievent.PrototypeRig(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proto.Cameras) != 4 {
+		t.Errorf("prototype rig cameras = %d", len(proto.Cameras))
+	}
+}
+
+func TestPublicAPIEmotionClassifier(t *testing.T) {
+	clf, err := dievent.NewEmotionClassifier(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dievent.GenerateEmotionDataset(8, 1)
+	train, test := ds.Split(0.25)
+	opts := dievent.EmotionTrainOptions{Epochs: 30, Seed: 2, LearningRate: 0.01}
+	if _, err := clf.Train(train, opts); err != nil {
+		t.Fatal(err)
+	}
+	m, err := clf.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy() < 0.3 {
+		t.Errorf("tiny classifier accuracy = %v, want above chance", m.Accuracy())
+	}
+}

@@ -1,0 +1,649 @@
+// Package core orchestrates the DiEvent pipeline of paper Fig. 1: video
+// acquisition → video composition analysis → feature extraction →
+// multilayer analysis → metadata repository, producing the summary
+// digest on top.
+//
+// Two vision modes are supported. PixelVision runs the complete
+// computer-vision path on rendered frames (face detection, tracking,
+// recognition, LBP+NN emotion classification); it is the full
+// reproduction of the paper's feature-extraction stage and is priced
+// accordingly. GeometricVision replaces the pixel stages with the
+// calibrated noisy estimators (the documented OpenFace substitution,
+// DESIGN.md §1) and is fast enough for full-length multi-camera events
+// and parameter sweeps. Both modes share the gaze math, multilayer
+// analysis, metadata store and summariser.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/camera"
+	"repro/internal/emotion"
+	"repro/internal/face"
+	"repro/internal/gaze"
+	"repro/internal/img"
+	"repro/internal/layers"
+	"repro/internal/metadata"
+	"repro/internal/parsing"
+	"repro/internal/scene"
+	"repro/internal/summarize"
+	"repro/internal/video"
+)
+
+// VisionMode selects the feature-extraction implementation.
+type VisionMode uint8
+
+// Vision modes.
+const (
+	// GeometricVision uses the noisy geometric estimators.
+	GeometricVision VisionMode = iota
+	// PixelVision runs the full pixel pipeline on rendered frames.
+	PixelVision
+)
+
+// String names the mode.
+func (m VisionMode) String() string {
+	switch m {
+	case GeometricVision:
+		return "geometric"
+	case PixelVision:
+		return "pixel"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Config assembles a pipeline run.
+type Config struct {
+	// Scenario is the scripted event to analyse (required).
+	Scenario scene.Scenario
+	// Rig is the camera platform; nil selects the prototype four-corner
+	// rig of §III.
+	Rig *camera.Rig
+	// Mode selects the vision path.
+	Mode VisionMode
+	// Render tunes the synthetic sensor (PixelVision and ParseVideo).
+	Render video.RenderOptions
+	// Gaze tunes the gaze estimator.
+	Gaze gaze.EstimatorOptions
+	// Layers tunes the multilayer analysis.
+	Layers layers.Options
+	// Summarize tunes the digest.
+	Summarize summarize.Options
+	// Classifier recognises emotions in PixelVision; nil trains a small
+	// classifier on synthetic faces at startup.
+	Classifier *emotion.Classifier
+	// EmotionNoise is the probability a GeometricVision emotion
+	// observation is misread (default 0.05), modelling classifier error.
+	EmotionNoise float64
+	// RepoDir persists the metadata repository; empty keeps it in
+	// memory.
+	RepoDir string
+	// ParseVideo additionally runs video-composition analysis over the
+	// primary camera's rendered footage.
+	ParseVideo bool
+	// DetectEvery is the PixelVision detector cadence in frames;
+	// tracking bridges the gaps (default 3).
+	DetectEvery int
+	// PixelCameras is how many rig cameras the pixel path analyses
+	// (default 1, capped at the rig size). More cameras cost linearly
+	// but cover faces the primary camera sees poorly.
+	PixelCameras int
+	// MaxFrames truncates the event (0 = all frames) — lets callers
+	// bound PixelVision costs.
+	MaxFrames int
+}
+
+// StageTiming reports wall time spent in one pipeline stage.
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Result is everything a pipeline run produces.
+type Result struct {
+	// Context is the time-invariant layer derived from the scenario.
+	Context layers.Context
+	// Layers is the multilayer analysis output.
+	Layers *layers.Result
+	// Parse is the composition hierarchy (nil unless ParseVideo).
+	Parse *parsing.Parse
+	// Summary is the event digest.
+	Summary *summarize.Summary
+	// Repo is the populated metadata repository. The caller owns Close.
+	Repo *metadata.Repository
+	// Timings lists per-stage wall time.
+	Timings []StageTiming
+	// FramesAnalyzed is the number of frames pushed through analysis.
+	FramesAnalyzed int
+}
+
+// ErrBadConfig reports an unusable configuration.
+var ErrBadConfig = errors.New("core: bad config")
+
+// Pipeline is a configured, reusable DiEvent pipeline.
+type Pipeline struct {
+	cfg Config
+	sim *scene.Simulator
+	rig *camera.Rig
+}
+
+// New validates the configuration and prepares a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	sim, err := scene.NewSimulator(cfg.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rig := cfg.Rig
+	if rig == nil {
+		rig, err = camera.PrototypeRig(cfg.Scenario.RoomW, cfg.Scenario.RoomD)
+		if err != nil {
+			return nil, fmt.Errorf("core: default rig: %w", err)
+		}
+	}
+	if cfg.EmotionNoise < 0 || cfg.EmotionNoise >= 1 {
+		return nil, fmt.Errorf("core: emotion noise %v outside [0,1): %w", cfg.EmotionNoise, ErrBadConfig)
+	}
+	if cfg.DetectEvery == 0 {
+		cfg.DetectEvery = 3
+	}
+	if cfg.DetectEvery < 0 {
+		return nil, fmt.Errorf("core: detect cadence %d: %w", cfg.DetectEvery, ErrBadConfig)
+	}
+	return &Pipeline{cfg: cfg, sim: sim, rig: rig}, nil
+}
+
+// Context builds the time-invariant layer from the scenario.
+func (p *Pipeline) Context() layers.Context {
+	sc := p.cfg.Scenario
+	ctx := layers.Context{
+		Location: "meeting room",
+		Occasion: sc.Name,
+	}
+	for _, ps := range p.sim.Persons() {
+		ctx.Participants = append(ctx.Participants, layers.Participant{
+			ID: ps.ID, Name: ps.Name, Color: ps.Color,
+		})
+	}
+	return ctx
+}
+
+// Run executes the pipeline.
+func (p *Pipeline) Run() (*Result, error) {
+	cfg := p.cfg
+	ctx := p.Context()
+
+	numFrames := p.sim.NumFrames()
+	if cfg.MaxFrames > 0 && cfg.MaxFrames < numFrames {
+		numFrames = cfg.MaxFrames
+	}
+
+	// Metadata repository.
+	var repo *metadata.Repository
+	var err error
+	if cfg.RepoDir != "" {
+		repo, err = metadata.Open(cfg.RepoDir)
+		if err != nil {
+			return nil, fmt.Errorf("core: opening repository: %w", err)
+		}
+	} else {
+		repo = metadata.NewMem()
+	}
+
+	res := &Result{Context: ctx, Repo: repo}
+	timer := newStageTimer()
+
+	// Context records first.
+	if err := p.writeContext(repo, ctx); err != nil {
+		return nil, err
+	}
+
+	analyzer, err := layers.NewAnalyzer(ctx, cfg.Layers)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	var vision frameVision
+	switch cfg.Mode {
+	case GeometricVision:
+		vision = newGeometricVision(cfg, p.sim, p.rig)
+	case PixelVision:
+		vision, err = newPixelVision(cfg, p.sim, p.rig)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown vision mode %d: %w", cfg.Mode, ErrBadConfig)
+	}
+
+	ids := make([]int, 0, len(ctx.Participants))
+	for _, pp := range ctx.Participants {
+		ids = append(ids, pp.ID)
+	}
+	det := gaze.NewDetector()
+
+	for i := 0; i < numFrames; i++ {
+		fs := p.sim.FrameState(i)
+
+		timer.start("feature-extraction")
+		obs, emotions, err := vision.extract(fs)
+		timer.stop("feature-extraction")
+		if err != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", i, err)
+		}
+
+		timer.start("gaze-analysis")
+		lookAt, err := det.LookAt(obs, p.rig, ids)
+		timer.stop("gaze-analysis")
+		if err != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", i, err)
+		}
+
+		timer.start("multilayer")
+		err = analyzer.Push(layers.FrameInput{
+			Index: i, Time: fs.Time, LookAt: lookAt, Emotions: emotions,
+		})
+		timer.stop("multilayer")
+		if err != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", i, err)
+		}
+
+		// Per-frame observations into the repository (emotions only;
+		// gaze edges are stored as events at the end — per-edge
+		// per-frame rows would dwarf everything else).
+		timer.start("metadata")
+		for id, e := range emotions {
+			if _, err := repo.Append(metadata.Record{
+				Kind: metadata.KindObservation, Frame: i, FrameEnd: i + 1,
+				Time: fs.Time, Person: id, Other: -1,
+				Label: e.Label.String(), Value: e.Confidence,
+			}); err != nil {
+				return nil, fmt.Errorf("core: frame %d: %w", i, err)
+			}
+		}
+		timer.stop("metadata")
+	}
+
+	timer.start("multilayer")
+	res.Layers = analyzer.Finalize()
+	timer.stop("multilayer")
+	res.FramesAnalyzed = numFrames
+
+	// Optional video-composition analysis over the primary camera.
+	if cfg.ParseVideo {
+		timer.start("video-parsing")
+		renderer := video.NewRenderer(p.sim, p.rig.Cameras[0], cfg.Render)
+		src, err := video.NewSourceRange(renderer, 0, numFrames)
+		if err == nil {
+			res.Parse, err = parsing.NewAnalyzer(parsing.Options{}).Analyze(src)
+		}
+		timer.stop("video-parsing")
+		if err != nil {
+			return nil, fmt.Errorf("core: parsing video: %w", err)
+		}
+	}
+
+	timer.start("metadata")
+	if err := p.writeDerived(repo, res); err != nil {
+		return nil, err
+	}
+	if err := repo.Flush(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	timer.stop("metadata")
+
+	timer.start("summarize")
+	res.Summary, err = summarize.Summarize(res.Layers, res.Parse, cfg.Summarize)
+	timer.stop("summarize")
+	if err != nil {
+		return nil, fmt.Errorf("core: summarizing: %w", err)
+	}
+
+	res.Timings = timer.report()
+	return res, nil
+}
+
+// writeContext stores the time-invariant layer.
+func (p *Pipeline) writeContext(repo *metadata.Repository, ctx layers.Context) error {
+	recs := []metadata.Record{
+		{Kind: metadata.KindContext, Frame: -1, FrameEnd: -1, Person: -1, Other: -1,
+			Label: "occasion", Tags: map[string]string{"value": ctx.Occasion}},
+		{Kind: metadata.KindContext, Frame: -1, FrameEnd: -1, Person: -1, Other: -1,
+			Label: "location", Tags: map[string]string{"value": ctx.Location}},
+	}
+	for _, pp := range ctx.Participants {
+		recs = append(recs, metadata.Record{
+			Kind: metadata.KindContext, Frame: -1, FrameEnd: -1,
+			Person: pp.ID, Other: -1, Label: "participant",
+			Tags: map[string]string{"name": pp.Name, "color": pp.Color},
+		})
+	}
+	if err := repo.AppendBatch(recs); err != nil {
+		return fmt.Errorf("core: writing context: %w", err)
+	}
+	return nil
+}
+
+// writeDerived stores events, alerts, summary counts, shots and scenes.
+func (p *Pipeline) writeDerived(repo *metadata.Repository, res *Result) error {
+	var recs []metadata.Record
+	for _, e := range res.Layers.Events {
+		recs = append(recs, metadata.Record{
+			Kind: metadata.KindEvent, Frame: e.Start, FrameEnd: e.End,
+			Time: e.StartTime, Person: e.A, Other: e.B,
+			Label: "eye-contact", Value: float64(e.Frames()),
+		})
+	}
+	for _, a := range res.Layers.Alerts {
+		recs = append(recs, metadata.Record{
+			Kind: metadata.KindEvent, Frame: a.Frame, FrameEnd: a.Frame + 1,
+			Time: a.Time, Person: a.Person, Other: a.Other,
+			Label: "alert-" + a.Kind.String(),
+			Tags:  map[string]string{"detail": a.Detail},
+		})
+	}
+	sum := res.Layers.Summary
+	for i, from := range sum.IDs {
+		for j, to := range sum.IDs {
+			if sum.Counts[i][j] == 0 {
+				continue
+			}
+			recs = append(recs, metadata.Record{
+				Kind: metadata.KindEvent, Frame: 0, FrameEnd: res.FramesAnalyzed,
+				Person: from, Other: to, Label: "lookat-count",
+				Value: float64(sum.Counts[i][j]),
+			})
+		}
+	}
+	if res.Parse != nil {
+		for _, b := range res.Parse.Boundaries {
+			recs = append(recs, metadata.Record{
+				Kind: metadata.KindEvent, Frame: b.Frame, FrameEnd: b.Frame + 1,
+				Person: -1, Other: -1, Label: "shot-boundary", Value: b.Score,
+			})
+		}
+		for si, s := range res.Parse.Shots {
+			recs = append(recs, metadata.Record{
+				Kind: metadata.KindEvent, Frame: s.Start, FrameEnd: s.End,
+				Person: -1, Other: -1, Label: "shot", Value: float64(si),
+				Tags: map[string]string{"keyframe": fmt.Sprint(s.KeyFrame)},
+			})
+		}
+	}
+	if err := repo.AppendBatch(recs); err != nil {
+		return fmt.Errorf("core: writing derived records: %w", err)
+	}
+	return nil
+}
+
+// frameVision extracts per-frame evidence.
+type frameVision interface {
+	extract(fs scene.FrameState) ([]gaze.Observation, map[int]layers.EmotionObs, error)
+}
+
+// --- geometric vision ---
+
+type geometricVision struct {
+	est   *gaze.Estimator
+	rig   *camera.Rig
+	noise float64
+	seed  int64
+}
+
+func newGeometricVision(cfg Config, _ *scene.Simulator, rig *camera.Rig) *geometricVision {
+	noise := cfg.EmotionNoise
+	if noise == 0 {
+		noise = 0.05
+	}
+	return &geometricVision{
+		est:   gaze.NewEstimator(cfg.Gaze),
+		rig:   rig,
+		noise: noise,
+		seed:  cfg.Gaze.Seed,
+	}
+}
+
+func (g *geometricVision) extract(fs scene.FrameState) ([]gaze.Observation, map[int]layers.EmotionObs, error) {
+	obs := g.est.Observe(fs, g.rig)
+	emotions := make(map[int]layers.EmotionObs, len(fs.Persons))
+	for _, p := range fs.Persons {
+		r := emoRand(g.seed, fs.Index, p.ID)
+		label := p.Emotion
+		conf := 0.75 + 0.2*r.f()
+		if r.f() < g.noise {
+			// Misclassification: a plausible confusable label.
+			label = confuse(label, r)
+			conf *= 0.7
+		}
+		emotions[p.ID] = layers.EmotionObs{Label: label, Confidence: conf}
+	}
+	return obs, emotions, nil
+}
+
+// confuse returns a plausible misclassification of l.
+func confuse(l emotion.Label, r *tinyRand) emotion.Label {
+	confusables := map[emotion.Label][]emotion.Label{
+		emotion.Neutral:  {emotion.Sad, emotion.Happy},
+		emotion.Happy:    {emotion.Neutral, emotion.Surprise},
+		emotion.Sad:      {emotion.Neutral, emotion.Angry},
+		emotion.Angry:    {emotion.Disgust, emotion.Sad},
+		emotion.Disgust:  {emotion.Angry, emotion.Sad},
+		emotion.Fear:     {emotion.Surprise, emotion.Sad},
+		emotion.Surprise: {emotion.Fear, emotion.Happy},
+	}
+	opts := confusables[l]
+	if len(opts) == 0 {
+		return l
+	}
+	return opts[int(r.u()%uint64(len(opts)))]
+}
+
+// tinyRand is the deterministic emotion-noise stream.
+type tinyRand struct{ s uint64 }
+
+func emoRand(seed int64, frame, person int) *tinyRand {
+	return &tinyRand{s: uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(frame)*0xBF58476D1CE4E5B9 ^ uint64(person)*0x94D049BB133111EB}
+}
+
+func (t *tinyRand) u() uint64 {
+	t.s += 0x9E3779B97F4A7C15
+	z := t.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (t *tinyRand) f() float64 { return float64(t.u()>>11) / (1 << 53) }
+
+// --- pixel vision ---
+
+// pixelCam is the per-camera pixel-path state: each camera gets its own
+// renderer and tracker (tracks don't transfer between viewpoints) while
+// the detector, recognizer and classifier are shared.
+type pixelCam struct {
+	renderer *video.Renderer
+	tracker  *face.Tracker
+}
+
+type pixelVision struct {
+	cfg        Config
+	rig        *camera.Rig
+	cams       []pixelCam
+	detector   *face.Detector
+	recognizer *face.Recognizer
+	classifier *emotion.Classifier
+	est        *gaze.Estimator
+	nameToID   map[string]int
+}
+
+func newPixelVision(cfg Config, sim *scene.Simulator, rig *camera.Rig) (frameVision, error) {
+	det, err := face.NewDetector(face.DetectorOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	clf := cfg.Classifier
+	if clf == nil {
+		clf, err = trainDefaultClassifier()
+		if err != nil {
+			return nil, err
+		}
+	}
+	nCams := cfg.PixelCameras
+	if nCams <= 0 {
+		nCams = 1
+	}
+	if nCams > len(rig.Cameras) {
+		nCams = len(rig.Cameras)
+	}
+	pv := &pixelVision{
+		cfg:        cfg,
+		rig:        rig,
+		detector:   det,
+		recognizer: face.NewRecognizer(),
+		classifier: clf,
+		est:        gaze.NewEstimator(cfg.Gaze),
+		nameToID:   make(map[string]int),
+	}
+	for c := 0; c < nCams; c++ {
+		pv.cams = append(pv.cams, pixelCam{
+			renderer: video.NewRenderer(sim, rig.Cameras[c], cfg.Render),
+			tracker:  face.NewTracker(face.TrackerOptions{}),
+		})
+	}
+	// Enroll every participant from the same canonical faces the
+	// renderer draws (variant key matches video.drawPerson).
+	for _, p := range sim.Persons() {
+		variant := uint64(p.ID)*7919 + 1
+		for _, l := range []emotion.Label{emotion.Neutral, emotion.Happy, emotion.Sad} {
+			crop := emotion.GenerateFace(l, variant, p.FaceTone)
+			if err := pv.recognizer.Enroll(p.Name, crop); err != nil {
+				return nil, fmt.Errorf("core: enrolling %s: %w", p.Name, err)
+			}
+		}
+		pv.nameToID[p.Name] = p.ID
+	}
+	return pv, nil
+}
+
+// trainDefaultClassifier fits a small LBP+NN model on synthetic faces.
+func trainDefaultClassifier() (*emotion.Classifier, error) {
+	clf, err := emotion.NewClassifier(48, 1)
+	if err != nil {
+		return nil, fmt.Errorf("core: building classifier: %w", err)
+	}
+	ds := emotion.GenerateDataset(30, 7)
+	if _, err := clf.Train(ds, emotion.TrainOptions{
+		Epochs: 50, Seed: 8, LearningRate: 0.01,
+	}); err != nil {
+		return nil, fmt.Errorf("core: training classifier: %w", err)
+	}
+	return clf, nil
+}
+
+func (pv *pixelVision) extract(fs scene.FrameState) ([]gaze.Observation, map[int]layers.EmotionObs, error) {
+	emotions := make(map[int]layers.EmotionObs)
+	for ci := range pv.cams {
+		pc := &pv.cams[ci]
+		frame := pc.renderer.RenderState(fs)
+
+		// Detect on cadence; track continuously. Cameras stagger their
+		// detection frames so the per-frame cost stays flat.
+		var dets []face.Detection
+		if (fs.Index+ci)%pv.cfg.DetectEvery == 0 {
+			dets = pv.detector.Detect(frame)
+		}
+		pc.tracker.Step(dets)
+
+		for _, tr := range pc.tracker.Tracks() {
+			if tr.State != face.Confirmed && fs.Index > 5 {
+				continue
+			}
+			crop := frame.CropClamped(clampBox(tr.Box, frame))
+			id, _, err := pv.recognizer.Identify(crop)
+			if err != nil {
+				continue // unknown face this frame
+			}
+			pid, ok := pv.nameToID[id]
+			if !ok {
+				continue
+			}
+			label, conf, err := pv.classifier.Classify(crop)
+			if err != nil {
+				continue
+			}
+			// Cross-camera fusion: keep the most confident reading.
+			if cur, exists := emotions[pid]; !exists || conf > cur.Confidence {
+				emotions[pid] = layers.EmotionObs{Label: label, Confidence: conf}
+			}
+		}
+	}
+
+	// Gaze observations come from the calibrated estimator (OpenFace
+	// substitution — see package doc).
+	obs := pv.est.Observe(fs, pv.rig)
+	return obs, emotions, nil
+}
+
+// clampBox keeps a tracker box inside the frame.
+func clampBox(b img.Rect, g *img.Gray) img.Rect {
+	if b.X < 0 {
+		b.W += b.X
+		b.X = 0
+	}
+	if b.Y < 0 {
+		b.H += b.Y
+		b.Y = 0
+	}
+	if b.X+b.W > g.W {
+		b.W = g.W - b.X
+	}
+	if b.Y+b.H > g.H {
+		b.H = g.H - b.Y
+	}
+	if b.W < 1 {
+		b.W = 1
+	}
+	if b.H < 1 {
+		b.H = 1
+	}
+	return b
+}
+
+// --- stage timer ---
+
+type stageTimer struct {
+	order   []string
+	total   map[string]time.Duration
+	started map[string]time.Time
+}
+
+func newStageTimer() *stageTimer {
+	return &stageTimer{
+		total:   make(map[string]time.Duration),
+		started: make(map[string]time.Time),
+	}
+}
+
+func (t *stageTimer) start(name string) {
+	if _, ok := t.total[name]; !ok {
+		t.order = append(t.order, name)
+		t.total[name] = 0
+	}
+	t.started[name] = time.Now()
+}
+
+func (t *stageTimer) stop(name string) {
+	if s, ok := t.started[name]; ok {
+		t.total[name] += time.Since(s)
+		delete(t.started, name)
+	}
+}
+
+func (t *stageTimer) report() []StageTiming {
+	out := make([]StageTiming, 0, len(t.order))
+	for _, n := range t.order {
+		out = append(out, StageTiming{Name: n, Duration: t.total[n]})
+	}
+	return out
+}

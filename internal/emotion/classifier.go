@@ -1,0 +1,226 @@
+package emotion
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/img"
+	"repro/internal/lbp"
+	"repro/internal/nn"
+)
+
+// Classifier is the paper's emotion recogniser: uniform LBP grid
+// histograms fed to a feed-forward neural network (§II-C).
+type Classifier struct {
+	net *nn.Network
+	// gridX, gridY are the LBP descriptor grid, fixed at construction.
+	gridX, gridY int
+}
+
+// DefaultGrid is the LBP grid used by the default classifier: 4×4 cells
+// of 59 uniform bins = 944 features per face crop.
+const DefaultGrid = 4
+
+// ErrNotTrained is returned when classifying before training/loading.
+var ErrNotTrained = errors.New("emotion: classifier not trained")
+
+// NewClassifier builds an untrained classifier with the given hidden
+// width (default 48 when 0).
+func NewClassifier(hidden int, seed int64) (*Classifier, error) {
+	if hidden == 0 {
+		hidden = 48
+	}
+	if hidden < 0 {
+		return nil, fmt.Errorf("emotion: hidden width %d: %w", hidden, nn.ErrBadConfig)
+	}
+	in := DefaultGrid * DefaultGrid * lbp.NumUniformBins
+	net, err := nn.New(nn.Config{
+		Sizes:  []int{in, hidden, NumLabels},
+		Hidden: nn.ReLU,
+		Seed:   seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("emotion: building network: %w", err)
+	}
+	return &Classifier{net: net, gridX: DefaultGrid, gridY: DefaultGrid}, nil
+}
+
+// Features extracts the LBP descriptor of a face crop (resized to
+// FaceSize first so any detector output size works).
+func (c *Classifier) Features(face *img.Gray) ([]float64, error) {
+	if face.W != FaceSize || face.H != FaceSize {
+		face = face.Resize(FaceSize, FaceSize)
+	}
+	d, err := lbp.GridDescriptor(face, c.gridX, c.gridY)
+	if err != nil {
+		return nil, fmt.Errorf("emotion: extracting features: %w", err)
+	}
+	return d, nil
+}
+
+// Classify returns the predicted emotion and its confidence for a face
+// crop.
+func (c *Classifier) Classify(face *img.Gray) (Label, float64, error) {
+	if c.net == nil {
+		return Neutral, 0, ErrNotTrained
+	}
+	f, err := c.Features(face)
+	if err != nil {
+		return Neutral, 0, err
+	}
+	cls, p, err := c.net.Classify(f)
+	if err != nil {
+		return Neutral, 0, fmt.Errorf("emotion: classifying: %w", err)
+	}
+	return Label(cls), p, nil
+}
+
+// Dataset is a labelled set of face crops.
+type Dataset struct {
+	Faces  []*img.Gray
+	Labels []Label
+}
+
+// GenerateDataset renders perVariant synthetic subjects for every
+// emotion label across the given skin tones, with deterministic variant
+// jitter — the stand-in for the paper's training corpus.
+func GenerateDataset(perLabel int, seed uint64) *Dataset {
+	tones := []uint8{230, 200, 170, 140, 110}
+	ds := &Dataset{}
+	for _, l := range AllLabels() {
+		for v := 0; v < perLabel; v++ {
+			variant := seed*1_000_003 + uint64(l)*10_007 + uint64(v)*101 + 1
+			tone := tones[v%len(tones)]
+			ds.Faces = append(ds.Faces, GenerateFace(l, variant, tone))
+			ds.Labels = append(ds.Labels, l)
+		}
+	}
+	return ds
+}
+
+// Split partitions the dataset into train/test by taking every k-th
+// sample into the test set (k = 1/testFrac rounded); deterministic and
+// stratified because GenerateDataset interleaves labels consistently.
+func (d *Dataset) Split(testFrac float64) (train, test *Dataset) {
+	if testFrac <= 0 || testFrac >= 1 {
+		testFrac = 0.25
+	}
+	k := int(1 / testFrac)
+	if k < 2 {
+		k = 2
+	}
+	train, test = &Dataset{}, &Dataset{}
+	for i := range d.Faces {
+		if i%k == 0 {
+			test.Faces = append(test.Faces, d.Faces[i])
+			test.Labels = append(test.Labels, d.Labels[i])
+		} else {
+			train.Faces = append(train.Faces, d.Faces[i])
+			train.Labels = append(train.Labels, d.Labels[i])
+		}
+	}
+	return train, test
+}
+
+// TrainOptions re-exports the network training knobs.
+type TrainOptions = nn.TrainOptions
+
+// Train fits the classifier on a dataset and returns per-epoch losses.
+func (c *Classifier) Train(ds *Dataset, opt TrainOptions) ([]float64, error) {
+	if len(ds.Faces) == 0 || len(ds.Faces) != len(ds.Labels) {
+		return nil, fmt.Errorf("emotion: dataset %d faces vs %d labels: %w",
+			len(ds.Faces), len(ds.Labels), nn.ErrBadData)
+	}
+	samples := make([][]float64, len(ds.Faces))
+	labels := make([]int, len(ds.Faces))
+	for i, f := range ds.Faces {
+		feat, err := c.Features(f)
+		if err != nil {
+			return nil, fmt.Errorf("emotion: sample %d: %w", i, err)
+		}
+		samples[i] = feat
+		labels[i] = int(ds.Labels[i])
+	}
+	hist, err := c.net.Train(samples, labels, opt)
+	if err != nil {
+		return nil, fmt.Errorf("emotion: training: %w", err)
+	}
+	return hist, nil
+}
+
+// ConfusionMatrix is indexed [true][predicted].
+type ConfusionMatrix [NumLabels][NumLabels]int
+
+// Accuracy returns the trace ratio.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	correct, total := 0, 0
+	for i := range m {
+		for j := range m[i] {
+			total += m[i][j]
+			if i == j {
+				correct += m[i][j]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// String renders the matrix with row/column labels.
+func (m *ConfusionMatrix) String() string {
+	s := "true\\pred"
+	for _, l := range AllLabels() {
+		s += fmt.Sprintf("%9s", l)
+	}
+	s += "\n"
+	for i, l := range AllLabels() {
+		s += fmt.Sprintf("%-9s", l)
+		for j := range m[i] {
+			s += fmt.Sprintf("%9d", m[i][j])
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Evaluate classifies a dataset and returns the confusion matrix.
+func (c *Classifier) Evaluate(ds *Dataset) (*ConfusionMatrix, error) {
+	var m ConfusionMatrix
+	for i, f := range ds.Faces {
+		got, _, err := c.Classify(f)
+		if err != nil {
+			return nil, fmt.Errorf("emotion: evaluating sample %d: %w", i, err)
+		}
+		m[ds.Labels[i]][got]++
+	}
+	return &m, nil
+}
+
+// Save persists the trained network.
+func (c *Classifier) Save(w io.Writer) error {
+	if c.net == nil {
+		return ErrNotTrained
+	}
+	return c.net.Save(w)
+}
+
+// LoadClassifier reads a classifier saved with Save.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	net, err := nn.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("emotion: loading model: %w", err)
+	}
+	sizes := net.Sizes()
+	want := DefaultGrid * DefaultGrid * lbp.NumUniformBins
+	if sizes[0] != want {
+		return nil, fmt.Errorf("emotion: model input %d, want %d: %w", sizes[0], want, nn.ErrBadModel)
+	}
+	if sizes[len(sizes)-1] != NumLabels {
+		return nil, fmt.Errorf("emotion: model output %d, want %d: %w",
+			sizes[len(sizes)-1], NumLabels, nn.ErrBadModel)
+	}
+	return &Classifier{net: net, gridX: DefaultGrid, gridY: DefaultGrid}, nil
+}

@@ -1,0 +1,232 @@
+package emotion
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/img"
+)
+
+func TestLabelVocabulary(t *testing.T) {
+	if NumLabels != 7 {
+		t.Fatalf("NumLabels = %d, want 7 (6 basic emotions + neutral)", NumLabels)
+	}
+	for _, l := range AllLabels() {
+		if !l.Valid() {
+			t.Errorf("label %d invalid", l)
+		}
+		back, err := ParseLabel(l.String())
+		if err != nil || back != l {
+			t.Errorf("round trip %v failed: %v %v", l, back, err)
+		}
+	}
+	if _, err := ParseLabel("bored"); err == nil {
+		t.Error("unknown label should fail to parse")
+	}
+	if Label(99).Valid() {
+		t.Error("label 99 should be invalid")
+	}
+	if Label(99).String() == "" {
+		t.Error("invalid label should still render")
+	}
+}
+
+func TestLabelAffect(t *testing.T) {
+	if !Happy.Positive() || Sad.Positive() {
+		t.Error("Positive misclassifies")
+	}
+	for _, l := range []Label{Sad, Angry, Disgust, Fear} {
+		if !l.Negative() {
+			t.Errorf("%v should be negative", l)
+		}
+	}
+	for _, l := range []Label{Neutral, Happy, Surprise} {
+		if l.Negative() {
+			t.Errorf("%v should not be negative", l)
+		}
+	}
+}
+
+func TestGenerateFaceDeterministic(t *testing.T) {
+	a := GenerateFace(Happy, 42, 200)
+	b := GenerateFace(Happy, 42, 200)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same variant should render identically")
+		}
+	}
+	c := GenerateFace(Happy, 43, 200)
+	diff := img.MeanAbsDiff(a, c)
+	if diff == 0 {
+		t.Error("different variants should differ")
+	}
+}
+
+func TestGenerateFaceEmotionsDiffer(t *testing.T) {
+	// Canonical faces of different emotions must be visually distinct.
+	faces := map[Label]*img.Gray{}
+	for _, l := range AllLabels() {
+		faces[l] = GenerateFace(l, 0, 200)
+	}
+	distinct := 0
+	for _, a := range []Label{Happy, Sad, Surprise, Angry} {
+		for _, b := range []Label{Happy, Sad, Surprise, Angry} {
+			if a >= b {
+				continue
+			}
+			if img.MeanAbsDiff(faces[a], faces[b]) > 0.5 {
+				distinct++
+			}
+		}
+	}
+	if distinct < 5 {
+		t.Errorf("only %d of 6 emotion pairs visually distinct", distinct)
+	}
+}
+
+func TestRenderFaceIntoTinyRect(t *testing.T) {
+	g := img.New(10, 10)
+	// Must not panic and must draw something.
+	RenderFaceInto(g, img.Rect{X: 3, Y: 3, W: 3, H: 3}, 200, Happy, 1)
+	if g.Mean() == 0 {
+		t.Error("tiny face should still draw a blob")
+	}
+}
+
+var (
+	trainedClf  *Classifier
+	trainedTest *Dataset
+	trainOnce   sync.Once
+	trainErr    error
+)
+
+// sharedClassifier trains one classifier for all accuracy tests — LBP
+// extraction over hundreds of crops dominates test time otherwise.
+func sharedClassifier(t *testing.T) (*Classifier, *Dataset) {
+	t.Helper()
+	trainOnce.Do(func() {
+		ds := GenerateDataset(40, 1)
+		train, test := ds.Split(0.25)
+		clf, err := NewClassifier(48, 2)
+		if err != nil {
+			trainErr = err
+			return
+		}
+		_, err = clf.Train(train, TrainOptions{Epochs: 60, Seed: 3, LearningRate: 0.01})
+		if err != nil {
+			trainErr = err
+			return
+		}
+		trainedClf, trainedTest = clf, test
+	})
+	if trainErr != nil {
+		t.Fatal(trainErr)
+	}
+	return trainedClf, trainedTest
+}
+
+func TestClassifierAccuracy(t *testing.T) {
+	clf, test := sharedClassifier(t)
+	m, err := clf.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(); acc < 0.8 {
+		t.Errorf("held-out accuracy = %v, want ≥ 0.8\n%s", acc, m)
+	}
+}
+
+func TestClassifierSaveLoad(t *testing.T) {
+	clf, test := sharedClassifier(t)
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictions on a few test faces.
+	for i := 0; i < 5 && i < len(test.Faces); i++ {
+		a, _, _ := clf.Classify(test.Faces[i])
+		b, _, _ := loaded.Classify(test.Faces[i])
+		if a != b {
+			t.Errorf("face %d: prediction drift %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestClassifierRejectsGarbageModel(t *testing.T) {
+	if _, err := LoadClassifier(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage model should fail to load")
+	}
+}
+
+func TestClassifyResizesToFaceSize(t *testing.T) {
+	clf, _ := sharedClassifier(t)
+	big := GenerateFace(Happy, 7, 200).Resize(100, 120)
+	if _, _, err := clf.Classify(big); err != nil {
+		t.Errorf("classify should resize internally: %v", err)
+	}
+}
+
+func TestUntrainedClassifier(t *testing.T) {
+	c := &Classifier{}
+	if _, _, err := c.Classify(img.New(64, 64)); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v", err)
+	}
+	if err := c.Save(&bytes.Buffer{}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("save err = %v", err)
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	ds := GenerateDataset(8, 2)
+	train, test := ds.Split(0.25)
+	if len(train.Faces)+len(test.Faces) != len(ds.Faces) {
+		t.Error("split loses samples")
+	}
+	if len(test.Faces) == 0 || len(train.Faces) == 0 {
+		t.Error("split should be non-trivial")
+	}
+	// Degenerate fractions fall back to defaults.
+	tr2, te2 := ds.Split(0)
+	if len(tr2.Faces) == 0 || len(te2.Faces) == 0 {
+		t.Error("fallback split broken")
+	}
+}
+
+func TestConfusionMatrixAccuracy(t *testing.T) {
+	var m ConfusionMatrix
+	if m.Accuracy() != 0 {
+		t.Error("empty matrix accuracy should be 0")
+	}
+	m[0][0] = 3
+	m[1][1] = 1
+	m[1][0] = 1
+	if got := m.Accuracy(); got != 0.8 {
+		t.Errorf("accuracy = %v, want 0.8", got)
+	}
+	if m.String() == "" {
+		t.Error("matrix should render")
+	}
+}
+
+func TestTrainValidatesDataset(t *testing.T) {
+	clf, _ := NewClassifier(8, 1)
+	if _, err := clf.Train(&Dataset{}, TrainOptions{Epochs: 1}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	bad := &Dataset{Faces: []*img.Gray{img.New(64, 64)}}
+	if _, err := clf.Train(bad, TrainOptions{Epochs: 1}); err == nil {
+		t.Error("mismatched dataset should fail")
+	}
+}
+
+func TestNewClassifierValidation(t *testing.T) {
+	if _, err := NewClassifier(-1, 1); err == nil {
+		t.Error("negative hidden should fail")
+	}
+}

@@ -1,0 +1,173 @@
+package emotion
+
+import (
+	"math"
+
+	"repro/internal/img"
+)
+
+// Synthetic expressive faces. The paper's emotion recogniser was trained
+// on real face crops; with no dataset available we draw parametric
+// cartoon faces whose geometry varies by emotion the way facial action
+// units do: mouth curvature and opening, eyebrow angle and height, eye
+// openness. The same drawing code renders faces into video frames, so
+// the classifier trained on generated crops transfers to the pipeline by
+// construction — mirroring how the paper's pre-trained model transfers
+// to its recorded footage.
+
+// faceParams are the expression parameters for one emotion.
+type faceParams struct {
+	mouthCurve float64 // +1 smile … −1 frown
+	mouthOpen  float64 // 0 closed … 1 wide open
+	browAngle  float64 // radians; positive = inner ends raised (sad), negative = lowered (angry)
+	browRaise  float64 // 0 resting … 1 high (surprise/fear)
+	eyeOpen    float64 // 0.4 squint … 1.6 wide
+	mouthSkew  float64 // asymmetry, used by disgust
+}
+
+// params returns the canonical expression parameters for a label.
+func params(l Label) faceParams {
+	switch l {
+	case Happy:
+		return faceParams{mouthCurve: 1, mouthOpen: 0.25, browRaise: 0.2, eyeOpen: 1}
+	case Sad:
+		return faceParams{mouthCurve: -0.9, browAngle: 0.5, eyeOpen: 0.7}
+	case Angry:
+		return faceParams{mouthCurve: -0.6, browAngle: -0.7, eyeOpen: 0.8}
+	case Disgust:
+		return faceParams{mouthCurve: -0.5, mouthSkew: 0.6, browAngle: -0.3, eyeOpen: 0.6}
+	case Fear:
+		return faceParams{mouthCurve: -0.2, mouthOpen: 0.5, browAngle: 0.4, browRaise: 0.8, eyeOpen: 1.4}
+	case Surprise:
+		return faceParams{mouthCurve: 0, mouthOpen: 1, browRaise: 1, eyeOpen: 1.6}
+	default: // Neutral
+		return faceParams{eyeOpen: 1}
+	}
+}
+
+// Jitter perturbs expression parameters deterministically from a variant
+// number, so every generated sample differs (inter-subject variation)
+// while remaining reproducible.
+func (p faceParams) jitter(variant uint64) faceParams {
+	h := variant
+	next := func() float64 {
+		// xorshift-style mix; returns in [-1, 1).
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		return float64(int64(h%2000)-1000) / 1000
+	}
+	p.mouthCurve += 0.15 * next()
+	p.mouthOpen = clamp01(p.mouthOpen + 0.1*next())
+	p.browAngle += 0.1 * next()
+	p.browRaise = clamp01(p.browRaise + 0.1*next())
+	p.eyeOpen = math.Max(0.3, p.eyeOpen+0.15*next())
+	p.mouthSkew += 0.08 * next()
+	return p
+}
+
+func clamp01(x float64) float64 { return math.Max(0, math.Min(1, x)) }
+
+// RenderFaceInto draws an expressive face filling rectangle r of dst.
+// tone is the skin gray level (identity cue); variant adds deterministic
+// inter-subject jitter (0 = canonical face). The drawing is the single
+// source of facial appearance for both classifier training data and the
+// video renderer.
+func RenderFaceInto(dst *img.Gray, r img.Rect, tone uint8, l Label, variant uint64) {
+	if r.W < 4 || r.H < 4 {
+		// Too small to carry any expression; draw a plain blob so the
+		// face detector still sees a head.
+		cx, cy := r.Center()
+		dst.FillCircle(cx, cy, float64(r.W)/2, tone)
+		return
+	}
+	p := params(l)
+	if variant != 0 {
+		p = p.jitter(variant)
+	}
+	cx, cy := r.Center()
+	rw, rh := float64(r.W)/2, float64(r.H)/2
+
+	// Head: filled ellipse of the skin tone.
+	dst.FillEllipse(cx, cy, rw, rh, 0, tone)
+
+	dark := uint8(maxInt(0, int(tone)-100))
+
+	// Eyes: two ellipses whose vertical radius encodes openness.
+	eyeY := cy - 0.25*rh
+	eyeDX := 0.38 * rw
+	eyeR := 0.16 * rw
+	eyeV := eyeR * 0.8 * p.eyeOpen
+	if eyeV < 0.5 {
+		eyeV = 0.5
+	}
+	dst.FillEllipse(cx-eyeDX, eyeY, eyeR, eyeV, 0, dark)
+	dst.FillEllipse(cx+eyeDX, eyeY, eyeR, eyeV, 0, dark)
+
+	// Eyebrows: thick angled bars above the eyes; angle and height carry
+	// the emotion signal (inner ends raised for sad/fear, lowered for
+	// angry).
+	browY := eyeY - (0.22+0.22*p.browRaise)*rh
+	browLen := 0.34 * rw
+	browThick := maxInt(2, int(0.08*rh))
+	for _, side := range []float64{-1, 1} {
+		bx := cx + side*eyeDX
+		dy := p.browAngle * 0.3 * rh
+		x0 := int(bx - browLen/2)
+		x1 := int(bx + browLen/2)
+		var y0, y1 int
+		if side < 0 {
+			y0, y1 = int(browY+dy), int(browY-dy*0.3)
+		} else {
+			y0, y1 = int(browY-dy*0.3), int(browY+dy)
+		}
+		for k := 0; k < browThick; k++ {
+			dst.DrawLine(x0, y0+k, x1, y1+k, dark)
+		}
+	}
+
+	// Mouth. Open mouths are ellipses; closed mouths are thick curved
+	// bands whose vertical bend encodes valence. The band is drawn as a
+	// parabola y = mouthY − curve·(x²-normalised) with several pixels of
+	// thickness, giving LBP a strong oriented-edge signal.
+	mouthY := cy + 0.45*rh
+	mouthW := 0.55 * rw
+	skew := p.mouthSkew * 0.2 * rw
+	if p.mouthOpen > 0.15 {
+		dst.FillEllipse(cx+skew, mouthY, mouthW*0.6, 0.12*rh+0.25*rh*p.mouthOpen, 0, dark)
+	} else {
+		bend := p.mouthCurve * 0.3 * rh
+		thick := maxInt(2, int(0.1*rh))
+		for xi := -int(mouthW); xi <= int(mouthW); xi++ {
+			fx := float64(xi) / mouthW // in [-1,1]
+			// Smile (+bend): corners above centre; frown: below.
+			fy := mouthY + bend*(fx*fx) - bend*0.5
+			x := int(cx + skew + float64(xi))
+			for k := 0; k < thick; k++ {
+				dst.Set(x, int(fy)+k, dark)
+			}
+		}
+	}
+}
+
+// FaceSize is the side length of generated training crops.
+const FaceSize = 64
+
+// GenerateFace renders a FaceSize×FaceSize training crop for a label.
+// variant selects the synthetic "subject"; tone defaults to 200 when 0.
+func GenerateFace(l Label, variant uint64, tone uint8) *img.Gray {
+	if tone == 0 {
+		tone = 200
+	}
+	g := img.New(FaceSize, FaceSize)
+	g.Fill(30) // dark background behind the head
+	RenderFaceInto(g, img.Rect{X: 4, Y: 2, W: FaceSize - 8, H: FaceSize - 4}, tone, l, variant)
+	return g
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+// Package face implements DiEvent's face components (paper §II-C): face
+// detection on video frames, face recognition for identity assignment
+// (the paper's OpenFace-library role), and multi-face tracking across
+// frames (Kalman filtering + Hungarian data association).
+package face
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/emotion"
+	"repro/internal/img"
+)
+
+// Detection is one detected face.
+type Detection struct {
+	// Box is the face bounding box in pixels.
+	Box img.Rect
+	// Score is the detector confidence in [0,1] (template NCC).
+	Score float64
+}
+
+// DetectorOptions tune the sliding-window detector.
+type DetectorOptions struct {
+	// Scales are the window heights (pixels) to scan (default
+	// 24, 34, 48, 68, 96 — a √2 pyramid).
+	Scales []int
+	// StrideFrac is the scan stride as a fraction of window size
+	// (default 0.25).
+	StrideFrac float64
+	// MinScore is the NCC acceptance threshold after refinement
+	// (default 0.55).
+	MinScore float64
+	// CoarseScore is the lower threshold that promotes a coarse-grid
+	// window to sub-stride refinement (default 0.33).
+	CoarseScore float64
+	// MinVariance skips windows flatter than this (default 100) —
+	// cheap integral-image pre-filter.
+	MinVariance float64
+	// NMSIoU is the overlap above which weaker detections are
+	// suppressed (default 0.3).
+	NMSIoU float64
+}
+
+func (o DetectorOptions) withDefaults() DetectorOptions {
+	if len(o.Scales) == 0 {
+		o.Scales = []int{24, 34, 48, 68, 96}
+	}
+	if o.StrideFrac == 0 {
+		o.StrideFrac = 0.25
+	}
+	if o.MinScore == 0 {
+		o.MinScore = 0.55
+	}
+	if o.CoarseScore == 0 {
+		o.CoarseScore = 0.33
+	}
+	if o.MinVariance == 0 {
+		o.MinVariance = 100
+	}
+	if o.NMSIoU == 0 {
+		o.NMSIoU = 0.3
+	}
+	return o
+}
+
+// ErrBadOptions reports invalid detector configuration.
+var ErrBadOptions = errors.New("face: bad options")
+
+// Detector finds faces by multi-scale normalised cross-correlation
+// against a canonical face template — the classical pre-CNN approach,
+// adequate because the synthetic renderer and the template share the
+// same face geometry (see DESIGN.md §1 on substitutions).
+type Detector struct {
+	opt DetectorOptions
+	// templates holds the canonical face resized per scale, wider
+	// aspect matching the renderer's 1:1.2 face boxes.
+	templates map[int]*img.Gray
+}
+
+// NewDetector builds a detector.
+func NewDetector(opt DetectorOptions) (*Detector, error) {
+	opt = opt.withDefaults()
+	for _, s := range opt.Scales {
+		if s < 8 {
+			return nil, fmt.Errorf("face: scale %d too small: %w", s, ErrBadOptions)
+		}
+	}
+	if opt.StrideFrac <= 0 || opt.StrideFrac > 1 {
+		return nil, fmt.Errorf("face: stride %v outside (0,1]: %w", opt.StrideFrac, ErrBadOptions)
+	}
+	// Canonical neutral face, mid tone, no jitter.
+	base := emotion.GenerateFace(emotion.Neutral, 0, 180)
+	d := &Detector{opt: opt, templates: make(map[int]*img.Gray, len(opt.Scales))}
+	for _, h := range opt.Scales {
+		w := h * 5 / 6 // renderer draws faces slightly taller than wide
+		d.templates[h] = base.Resize(w, h)
+	}
+	return d, nil
+}
+
+// Detect scans the frame and returns non-overlapping face detections,
+// strongest first. Scanning is coarse-to-fine: a strided grid pass
+// promotes promising windows (score ≥ CoarseScore) to a local sub-stride
+// refinement, and only refined scores are thresholded at MinScore.
+func (d *Detector) Detect(g *img.Gray) []Detection {
+	integral := img.NewIntegral(g)
+	var raw []Detection
+	for _, h := range d.opt.Scales {
+		tpl := d.templates[h]
+		w := tpl.W
+		if w > g.W || h > g.H {
+			continue
+		}
+		stride := int(float64(h) * d.opt.StrideFrac)
+		if stride < 1 {
+			stride = 1
+		}
+		for y := 0; y+h <= g.H; y += stride {
+			for x := 0; x+w <= g.W; x += stride {
+				win := img.Rect{X: x, Y: y, W: w, H: h}
+				// Cheap integral-image pre-filter: faces have a
+				// bright centre against a darker surround.
+				centre := integral.RegionMean(img.Rect{X: x + w/4, Y: y + h/4, W: w / 2, H: h / 2})
+				border := integral.RegionMean(win)
+				diff := centre - border
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff*diff < d.opt.MinVariance/4 {
+					continue
+				}
+				crop, err := g.Crop(win)
+				if err != nil {
+					continue
+				}
+				if crop.Variance() < d.opt.MinVariance {
+					continue
+				}
+				score := img.NCC(crop, tpl)
+				if score < d.opt.CoarseScore {
+					continue
+				}
+				if best, ok := d.refine(g, tpl, win, stride, score); ok {
+					raw = append(raw, best)
+				}
+			}
+		}
+	}
+	return nms(raw, d.opt.NMSIoU)
+}
+
+// refine hill-climbs the window position at progressively finer steps to
+// undo the coarse grid's localisation loss, returning the best detection
+// if it clears MinScore.
+func (d *Detector) refine(g *img.Gray, tpl *img.Gray, win img.Rect, stride int, score float64) (Detection, bool) {
+	best := Detection{Box: win, Score: score}
+	for step := stride / 2; step >= 1; step /= 2 {
+		improved := true
+		for improved {
+			improved = false
+			for _, off := range [4][2]int{{-step, 0}, {step, 0}, {0, -step}, {0, step}} {
+				cand := img.Rect{X: best.Box.X + off[0], Y: best.Box.Y + off[1], W: win.W, H: win.H}
+				crop, err := g.Crop(cand)
+				if err != nil {
+					continue
+				}
+				if s := img.NCC(crop, tpl); s > best.Score {
+					best = Detection{Box: cand, Score: s}
+					improved = true
+				}
+			}
+		}
+	}
+	if best.Score < d.opt.MinScore {
+		return Detection{}, false
+	}
+	return best, true
+}
+
+// nms performs greedy non-maximum suppression by IoU.
+func nms(dets []Detection, iou float64) []Detection {
+	sort.Slice(dets, func(i, j int) bool { return dets[i].Score > dets[j].Score })
+	var out []Detection
+	for _, d := range dets {
+		keep := true
+		for _, k := range out {
+			if d.Box.IoU(k.Box) > iou {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, d)
+		}
+	}
+	return out
+}

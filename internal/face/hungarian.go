@@ -1,0 +1,116 @@
+package face
+
+import "math"
+
+// hungarian solves the rectangular min-cost assignment problem using the
+// potentials (Kuhn–Munkres) algorithm in O(n²m). cost[i][j] is the cost
+// of assigning row i to column j; the return value maps each row to its
+// column, or −1 when rows exceed columns and the row stays unassigned.
+//
+// Infinite costs mark forbidden pairs; rows whose only options are
+// forbidden end up matched to a forbidden column — callers must check
+// the cost of the returned pairs (the tracker treats such pairs as
+// unmatched).
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	transposed := false
+	if n > m {
+		// The algorithm needs rows ≤ columns; transpose if necessary.
+		t := make([][]float64, m)
+		for j := 0; j < m; j++ {
+			t[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				t[j][i] = cost[i][j]
+			}
+		}
+		cost = t
+		n, m = m, n
+		transposed = true
+	}
+
+	// Potentials-based Hungarian, 1-indexed internally.
+	const inf = math.MaxFloat64 / 4
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row matched to column j
+	way := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				c := cost[i0-1][j-1]
+				if c > inf {
+					c = inf
+				}
+				cur := c - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	// Extract row → column mapping.
+	rowToCol := make([]int, n)
+	for i := range rowToCol {
+		rowToCol[i] = -1
+	}
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+		}
+	}
+	if !transposed {
+		return rowToCol
+	}
+	// Undo the transpose: we solved columns→rows.
+	out := make([]int, m)
+	for i := range out {
+		out[i] = -1
+	}
+	for col, row := range rowToCol {
+		if row >= 0 {
+			out[row] = col
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package face
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/img"
+)
+
+// EmbedSize is the side length of the embedding patch; embeddings are
+// EmbedSize² floats.
+const EmbedSize = 16
+
+// Embedding is a face descriptor filling the role of the paper's
+// OpenFace face-recognition embeddings: a zero-mean, L2-normalised
+// downsampled patch (structure) plus the mean intensity (tone). Patch
+// normalisation alone is deliberately illumination-invariant, which also
+// erases the absolute-brightness identity cue — so tone is carried
+// separately and weighed back in by Similarity.
+type Embedding struct {
+	// Patch is the zero-mean unit-norm 16×16 face patch.
+	Patch [EmbedSize * EmbedSize]float64
+	// Tone is the mean crop intensity in [0,1].
+	Tone float64
+}
+
+// toneWeight converts tone difference into similarity penalty: a 25-level
+// (≈0.1) tone gap costs ≈0.4 similarity.
+const toneWeight = 4.0
+
+// Embed computes the embedding of a face crop.
+func Embed(face *img.Gray) Embedding {
+	p := face.Resize(EmbedSize, EmbedSize)
+	var e Embedding
+	var mean float64
+	for i, v := range p.Pix {
+		e.Patch[i] = float64(v)
+		mean += e.Patch[i]
+	}
+	mean /= float64(len(e.Patch))
+	e.Tone = mean / 255
+	var norm float64
+	for i := range e.Patch {
+		e.Patch[i] -= mean
+		norm += e.Patch[i] * e.Patch[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		e.Patch = [EmbedSize * EmbedSize]float64{} // flat crop
+		return e
+	}
+	for i := range e.Patch {
+		e.Patch[i] /= norm
+	}
+	return e
+}
+
+// Cosine returns the cosine similarity of the two structure patches in
+// [-1, 1] (tone excluded).
+func (e Embedding) Cosine(o Embedding) float64 {
+	var s float64
+	for i := range e.Patch {
+		s += e.Patch[i] * o.Patch[i]
+	}
+	return s
+}
+
+// Similarity combines patch cosine with a tone penalty; 1 means an
+// identical face, lower values increasingly different ones.
+func (e Embedding) Similarity(o Embedding) float64 {
+	d := e.Tone - o.Tone
+	if d < 0 {
+		d = -d
+	}
+	return e.Cosine(o) - toneWeight*d
+}
+
+// Recognizer assigns identities to face crops by nearest enrolled
+// centroid. Safe for concurrent Identify calls; Enroll must not race
+// with Identify.
+type Recognizer struct {
+	mu      sync.RWMutex
+	ids     []string
+	centres map[string]*centroid
+	// MinSim is the acceptance threshold: crops whose best similarity
+	// falls below it are reported unknown (default 0.6).
+	MinSim float64
+}
+
+type centroid struct {
+	sum Embedding
+	n   int
+}
+
+func (c *centroid) mean() Embedding {
+	var m Embedding
+	if c.n == 0 {
+		return m
+	}
+	m.Tone = c.sum.Tone / float64(c.n)
+	var norm float64
+	for i := range c.sum.Patch {
+		m.Patch[i] = c.sum.Patch[i] / float64(c.n)
+		norm += m.Patch[i] * m.Patch[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		m.Patch = [EmbedSize * EmbedSize]float64{}
+		return m
+	}
+	for i := range m.Patch {
+		m.Patch[i] /= norm
+	}
+	return m
+}
+
+// ErrUnknownFace is returned when no enrolled identity matches.
+var ErrUnknownFace = errors.New("face: unknown identity")
+
+// NewRecognizer returns an empty gallery.
+func NewRecognizer() *Recognizer {
+	return &Recognizer{centres: make(map[string]*centroid), MinSim: 0.6}
+}
+
+// Enroll adds a face sample for an identity; identities accumulate into
+// centroids, so several samples per person sharpen the gallery.
+func (r *Recognizer) Enroll(id string, face *img.Gray) error {
+	if id == "" {
+		return fmt.Errorf("face: empty identity: %w", ErrBadOptions)
+	}
+	e := Embed(face)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.centres[id]
+	if !ok {
+		c = &centroid{}
+		r.centres[id] = c
+		r.ids = append(r.ids, id)
+		sort.Strings(r.ids)
+	}
+	for i := range e.Patch {
+		c.sum.Patch[i] += e.Patch[i]
+	}
+	c.sum.Tone += e.Tone
+	c.n++
+	return nil
+}
+
+// Identities returns the enrolled identities, sorted.
+func (r *Recognizer) Identities() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.ids...)
+}
+
+// Identify returns the best-matching identity and similarity for a face
+// crop, or ErrUnknownFace when the gallery is empty or no centroid
+// passes MinSim.
+func (r *Recognizer) Identify(face *img.Gray) (string, float64, error) {
+	e := Embed(face)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	best, bestSim := "", math.Inf(-1)
+	for _, id := range r.ids {
+		sim := e.Similarity(r.centres[id].mean())
+		if sim > bestSim {
+			best, bestSim = id, sim
+		}
+	}
+	if best == "" || bestSim < r.MinSim {
+		return "", bestSim, fmt.Errorf("face: best similarity %.3f below %.3f: %w",
+			bestSim, r.MinSim, ErrUnknownFace)
+	}
+	return best, bestSim, nil
+}

@@ -1,0 +1,139 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FrameGraph tracks a set of named reference frames (cameras, heads, the
+// world) and the rigid transforms between them, and answers queries of the
+// form "give me iTj" by chaining known edges — the bookkeeping behind the
+// paper's Eq. 2, where a gaze vector observed by camera 2 is re-expressed
+// in camera 1's frame via ¹T₂ · ²T₄.
+//
+// The graph is safe for concurrent use.
+type FrameGraph struct {
+	mu    sync.RWMutex
+	edges map[string]map[string]Transform // edges[i][j] = iTj
+}
+
+// NewFrameGraph returns an empty frame graph.
+func NewFrameGraph() *FrameGraph {
+	return &FrameGraph{edges: make(map[string]map[string]Transform)}
+}
+
+// ErrNoPath is returned (wrapped) when two frames are not connected.
+var ErrNoPath = fmt.Errorf("geom: no transform path between frames")
+
+// Set records iTj (and its inverse jTi). Re-setting an edge overwrites it.
+func (g *FrameGraph) Set(i, j string, iTj Transform) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.setLocked(i, j, iTj)
+	g.setLocked(j, i, iTj.Inverse())
+}
+
+func (g *FrameGraph) setLocked(i, j string, t Transform) {
+	m, ok := g.edges[i]
+	if !ok {
+		m = make(map[string]Transform)
+		g.edges[i] = m
+	}
+	m[j] = t
+}
+
+// Frames returns the sorted set of frame names known to the graph.
+func (g *FrameGraph) Frames() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	names := make([]string, 0, len(g.edges))
+	for n := range g.edges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resolve returns iTj, chaining intermediate frames when no direct edge
+// exists (breadth-first over recorded edges, so the composition uses the
+// fewest hops). It returns a wrapped ErrNoPath when the frames are not
+// connected.
+func (g *FrameGraph) Resolve(i, j string) (Transform, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if i == j {
+		if _, ok := g.edges[i]; !ok {
+			return IdentityTransform(), fmt.Errorf("geom: unknown frame %q: %w", i, ErrNoPath)
+		}
+		return IdentityTransform(), nil
+	}
+	if _, ok := g.edges[i]; !ok {
+		return IdentityTransform(), fmt.Errorf("geom: unknown frame %q: %w", i, ErrNoPath)
+	}
+	type node struct {
+		name string
+		t    Transform // iTname accumulated so far
+	}
+	visited := map[string]bool{i: true}
+	queue := []node{{name: i, t: IdentityTransform()}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// Deterministic order for reproducible compositions.
+		next := make([]string, 0, len(g.edges[cur.name]))
+		for n := range g.edges[cur.name] {
+			next = append(next, n)
+		}
+		sort.Strings(next)
+		for _, n := range next {
+			if visited[n] {
+				continue
+			}
+			t := cur.t.Compose(g.edges[cur.name][n]) // iTcur ∘ curTn = iTn
+			if n == j {
+				return t, nil
+			}
+			visited[n] = true
+			queue = append(queue, node{name: n, t: t})
+		}
+	}
+	return IdentityTransform(), fmt.Errorf("geom: frames %q and %q not connected: %w", i, j, ErrNoPath)
+}
+
+// MustResolve is Resolve that panics on error — for statically-known rigs
+// in tests and examples.
+func (g *FrameGraph) MustResolve(i, j string) Transform {
+	t, err := g.Resolve(i, j)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TransformPoint re-expresses a point given in frame j into frame i.
+func (g *FrameGraph) TransformPoint(i, j string, p Vec3) (Vec3, error) {
+	t, err := g.Resolve(i, j)
+	if err != nil {
+		return Vec3{}, err
+	}
+	return t.ApplyPoint(p), nil
+}
+
+// TransformDir re-expresses a direction given in frame j into frame i.
+func (g *FrameGraph) TransformDir(i, j string, d Vec3) (Vec3, error) {
+	t, err := g.Resolve(i, j)
+	if err != nil {
+		return Vec3{}, err
+	}
+	return t.ApplyDir(d), nil
+}
+
+// TransformRay re-expresses a ray given in frame j into frame i.
+func (g *FrameGraph) TransformRay(i, j string, r Ray) (Ray, error) {
+	t, err := g.Resolve(i, j)
+	if err != nil {
+		return Ray{}, err
+	}
+	return r.Transformed(t), nil
+}

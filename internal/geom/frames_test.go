@@ -1,0 +1,165 @@
+package geom
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestFrameGraphDirectEdge(t *testing.T) {
+	g := NewFrameGraph()
+	tr := NewTransform(RotZ(0.5), V3(1, 2, 3))
+	g.Set("F1", "F2", tr)
+	got, err := g.Resolve("F1", "F2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEq(tr, 1e-12) {
+		t.Error("direct edge not returned verbatim")
+	}
+	inv, err := g.Resolve("F2", "F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.ApproxEq(tr.Inverse(), 1e-12) {
+		t.Error("reverse edge should be the inverse")
+	}
+}
+
+func TestFrameGraphChain(t *testing.T) {
+	// Paper Fig. 6 topology: F1 (camera 1) — F2 (camera 2) — F4 (P2 head).
+	rng := rand.New(rand.NewSource(41))
+	t12 := randTransform(rng)
+	t24 := randTransform(rng)
+	g := NewFrameGraph()
+	g.Set("F1", "F2", t12)
+	g.Set("F2", "F4", t24)
+
+	got, err := g.Resolve("F1", "F4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := t12.Compose(t24)
+	if !got.ApproxEq(want, 1e-9) {
+		t.Error("chained resolve != composed transforms (Eq. 2)")
+	}
+}
+
+func TestFrameGraphSelf(t *testing.T) {
+	g := NewFrameGraph()
+	g.Set("A", "B", IdentityTransform())
+	tr, err := g.Resolve("A", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.ApproxEq(IdentityTransform(), Epsilon) {
+		t.Error("self-resolve should be identity")
+	}
+	if _, err := g.Resolve("Z", "Z"); !errors.Is(err, ErrNoPath) {
+		t.Error("unknown self frame should error")
+	}
+}
+
+func TestFrameGraphNoPath(t *testing.T) {
+	g := NewFrameGraph()
+	g.Set("A", "B", IdentityTransform())
+	g.Set("C", "D", IdentityTransform())
+	if _, err := g.Resolve("A", "C"); !errors.Is(err, ErrNoPath) {
+		t.Errorf("expected ErrNoPath, got %v", err)
+	}
+	if _, err := g.Resolve("A", "nope"); !errors.Is(err, ErrNoPath) {
+		t.Errorf("expected ErrNoPath for unknown frame, got %v", err)
+	}
+}
+
+func TestFrameGraphCycleConsistency(t *testing.T) {
+	// A triangle of consistent transforms must resolve identically along
+	// either path.
+	rng := rand.New(rand.NewSource(42))
+	tab := randTransform(rng)
+	tbc := randTransform(rng)
+	tac := tab.Compose(tbc)
+	g := NewFrameGraph()
+	g.Set("A", "B", tab)
+	g.Set("B", "C", tbc)
+	g.Set("A", "C", tac)
+	got, err := g.Resolve("A", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEq(tac, 1e-9) {
+		t.Error("cycle-consistent graph resolved inconsistently")
+	}
+}
+
+func TestFrameGraphTransformHelpers(t *testing.T) {
+	g := NewFrameGraph()
+	// F2 sits 10 along world-X, facing back toward origin (rotated π
+	// about Z).
+	g.Set("world", "F2", NewTransform(RotZ(3.14159265358979), V3(10, 0, 0)))
+	p, err := g.TransformPoint("world", "F2", V3(1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ApproxEq(V3(9, 0, 0), 1e-6) {
+		t.Errorf("point = %v, want (9,0,0)", p)
+	}
+	d, err := g.TransformDir("world", "F2", V3(1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ApproxEq(V3(-1, 0, 0), 1e-6) {
+		t.Errorf("dir = %v, want (-1,0,0)", d)
+	}
+	r, err := g.TransformRay("world", "F2", NewRay(Zero3, V3(1, 0, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Origin.ApproxEq(V3(10, 0, 0), 1e-6) || !r.Dir.ApproxEq(V3(-1, 0, 0), 1e-6) {
+		t.Errorf("ray = %+v", r)
+	}
+}
+
+func TestFrameGraphFrames(t *testing.T) {
+	g := NewFrameGraph()
+	g.Set("b", "a", IdentityTransform())
+	g.Set("c", "a", IdentityTransform())
+	got := g.Frames()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("frames = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frames = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFrameGraphConcurrent(t *testing.T) {
+	g := NewFrameGraph()
+	g.Set("A", "B", IdentityTransform())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			g.Set("A", "B", NewTransform(RotZ(float64(i)), Zero3))
+		}(i)
+		go func() {
+			defer wg.Done()
+			_, _ = g.Resolve("A", "B")
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMustResolvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustResolve should panic on missing path")
+		}
+	}()
+	NewFrameGraph().MustResolve("x", "y")
+}

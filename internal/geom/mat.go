@@ -1,0 +1,231 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat3 is a 3×3 matrix in row-major order, used for rotations and general
+// linear maps on Vec3.
+type Mat3 struct {
+	M [3][3]float64
+}
+
+// Identity3 returns the 3×3 identity matrix.
+func Identity3() Mat3 {
+	return Mat3{M: [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}}
+}
+
+// NewMat3 builds a matrix from rows.
+func NewMat3(r0, r1, r2 Vec3) Mat3 {
+	return Mat3{M: [3][3]float64{
+		{r0.X, r0.Y, r0.Z},
+		{r1.X, r1.Y, r1.Z},
+		{r2.X, r2.Y, r2.Z},
+	}}
+}
+
+// Mat3FromCols builds a matrix from column vectors.
+func Mat3FromCols(c0, c1, c2 Vec3) Mat3 {
+	return Mat3{M: [3][3]float64{
+		{c0.X, c1.X, c2.X},
+		{c0.Y, c1.Y, c2.Y},
+		{c0.Z, c1.Z, c2.Z},
+	}}
+}
+
+// Row returns row i as a Vec3.
+func (m Mat3) Row(i int) Vec3 { return Vec3{m.M[i][0], m.M[i][1], m.M[i][2]} }
+
+// Col returns column j as a Vec3.
+func (m Mat3) Col(j int) Vec3 { return Vec3{m.M[0][j], m.M[1][j], m.M[2][j]} }
+
+// Mul returns the matrix product m·n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += m.M[i][k] * n.M[k][j]
+			}
+			out.M[i][j] = s
+		}
+	}
+	return out
+}
+
+// MulVec returns m·v.
+func (m Mat3) MulVec(v Vec3) Vec3 {
+	return Vec3{
+		X: m.M[0][0]*v.X + m.M[0][1]*v.Y + m.M[0][2]*v.Z,
+		Y: m.M[1][0]*v.X + m.M[1][1]*v.Y + m.M[1][2]*v.Z,
+		Z: m.M[2][0]*v.X + m.M[2][1]*v.Y + m.M[2][2]*v.Z,
+	}
+}
+
+// Transpose returns mᵀ.
+func (m Mat3) Transpose() Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.M[i][j] = m.M[j][i]
+		}
+	}
+	return out
+}
+
+// Det returns the determinant of m.
+func (m Mat3) Det() float64 {
+	a := m.M
+	return a[0][0]*(a[1][1]*a[2][2]-a[1][2]*a[2][1]) -
+		a[0][1]*(a[1][0]*a[2][2]-a[1][2]*a[2][0]) +
+		a[0][2]*(a[1][0]*a[2][1]-a[1][1]*a[2][0])
+}
+
+// Inverse returns m⁻¹ and true, or the identity and false when m is
+// singular (|det| < Epsilon).
+func (m Mat3) Inverse() (Mat3, bool) {
+	d := m.Det()
+	if math.Abs(d) < Epsilon {
+		return Identity3(), false
+	}
+	a := m.M
+	inv := Mat3{}
+	inv.M[0][0] = (a[1][1]*a[2][2] - a[1][2]*a[2][1]) / d
+	inv.M[0][1] = (a[0][2]*a[2][1] - a[0][1]*a[2][2]) / d
+	inv.M[0][2] = (a[0][1]*a[1][2] - a[0][2]*a[1][1]) / d
+	inv.M[1][0] = (a[1][2]*a[2][0] - a[1][0]*a[2][2]) / d
+	inv.M[1][1] = (a[0][0]*a[2][2] - a[0][2]*a[2][0]) / d
+	inv.M[1][2] = (a[0][2]*a[1][0] - a[0][0]*a[1][2]) / d
+	inv.M[2][0] = (a[1][0]*a[2][1] - a[1][1]*a[2][0]) / d
+	inv.M[2][1] = (a[0][1]*a[2][0] - a[0][0]*a[2][1]) / d
+	inv.M[2][2] = (a[0][0]*a[1][1] - a[0][1]*a[1][0]) / d
+	return inv, true
+}
+
+// ApproxEq reports element-wise agreement within tol.
+func (m Mat3) ApproxEq(n Mat3, tol float64) bool {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(m.M[i][j]-n.M[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsRotation reports whether m is a proper rotation matrix: orthonormal
+// with determinant +1, within tol.
+func (m Mat3) IsRotation(tol float64) bool {
+	if math.Abs(m.Det()-1) > tol {
+		return false
+	}
+	mt := m.Transpose().Mul(m)
+	return mt.ApproxEq(Identity3(), tol)
+}
+
+// String renders the matrix over three lines.
+func (m Mat3) String() string {
+	return fmt.Sprintf("[%7.3f %7.3f %7.3f]\n[%7.3f %7.3f %7.3f]\n[%7.3f %7.3f %7.3f]",
+		m.M[0][0], m.M[0][1], m.M[0][2],
+		m.M[1][0], m.M[1][1], m.M[1][2],
+		m.M[2][0], m.M[2][1], m.M[2][2])
+}
+
+// RotX returns the rotation by angle a (radians) about the X axis.
+func RotX(a float64) Mat3 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat3{M: [3][3]float64{
+		{1, 0, 0},
+		{0, c, -s},
+		{0, s, c},
+	}}
+}
+
+// RotY returns the rotation by angle a about the Y axis.
+func RotY(a float64) Mat3 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat3{M: [3][3]float64{
+		{c, 0, s},
+		{0, 1, 0},
+		{-s, 0, c},
+	}}
+}
+
+// RotZ returns the rotation by angle a about the Z axis.
+func RotZ(a float64) Mat3 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat3{M: [3][3]float64{
+		{c, -s, 0},
+		{s, c, 0},
+		{0, 0, 1},
+	}}
+}
+
+// EulerZYX builds a rotation from yaw (about Z), pitch (about Y), and roll
+// (about X), applied in Z·Y·X order — the convention used for camera and
+// head poses throughout DiEvent.
+func EulerZYX(yaw, pitch, roll float64) Mat3 {
+	return RotZ(yaw).Mul(RotY(pitch)).Mul(RotX(roll))
+}
+
+// ToEulerZYX decomposes a rotation into (yaw, pitch, roll) matching
+// EulerZYX. At gimbal lock (|pitch| = π/2) roll is fixed to 0.
+func (m Mat3) ToEulerZYX() (yaw, pitch, roll float64) {
+	// m = Rz(yaw)·Ry(pitch)·Rx(roll)
+	sp := -m.M[2][0]
+	sp = Clamp(sp, -1, 1)
+	pitch = math.Asin(sp)
+	if math.Abs(sp) > 1-1e-12 {
+		// Gimbal lock: only yaw±roll observable; fix roll = 0.
+		yaw = math.Atan2(-m.M[0][1], m.M[1][1])
+		roll = 0
+		return yaw, pitch, roll
+	}
+	yaw = math.Atan2(m.M[1][0], m.M[0][0])
+	roll = math.Atan2(m.M[2][1], m.M[2][2])
+	return yaw, pitch, roll
+}
+
+// AxisAngle builds the rotation of angle a about the (normalised) axis.
+// A zero axis yields the identity.
+func AxisAngle(axis Vec3, a float64) Mat3 {
+	u := axis.Unit()
+	if u.IsZero() {
+		return Identity3()
+	}
+	c, s := math.Cos(a), math.Sin(a)
+	t := 1 - c
+	x, y, z := u.X, u.Y, u.Z
+	return Mat3{M: [3][3]float64{
+		{t*x*x + c, t*x*y - s*z, t*x*z + s*y},
+		{t*x*y + s*z, t*y*y + c, t*y*z - s*x},
+		{t*x*z - s*y, t*y*z + s*x, t*z*z + c},
+	}}
+}
+
+// RotationBetween returns a rotation taking unit direction a to unit
+// direction b. Antiparallel inputs rotate π about an arbitrary orthogonal
+// axis.
+func RotationBetween(a, b Vec3) Mat3 {
+	ua, ub := a.Unit(), b.Unit()
+	if ua.IsZero() || ub.IsZero() {
+		return Identity3()
+	}
+	d := Clamp(ua.Dot(ub), -1, 1)
+	if d > 1-1e-12 {
+		return Identity3()
+	}
+	if d < -1+1e-12 {
+		// Pick any axis orthogonal to a.
+		axis := ua.Cross(V3(1, 0, 0))
+		if axis.Norm() < 1e-6 {
+			axis = ua.Cross(V3(0, 1, 0))
+		}
+		return AxisAngle(axis, math.Pi)
+	}
+	axis := ua.Cross(ub)
+	return AxisAngle(axis, math.Acos(d))
+}

@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randRotation(rng *rand.Rand) Mat3 {
+	return EulerZYX(
+		rng.Float64()*2*math.Pi-math.Pi,
+		rng.Float64()*math.Pi-math.Pi/2,
+		rng.Float64()*2*math.Pi-math.Pi,
+	)
+}
+
+func TestIdentity3(t *testing.T) {
+	id := Identity3()
+	v := V3(1, 2, 3)
+	if !id.MulVec(v).ApproxEq(v, Epsilon) {
+		t.Error("identity should not move vectors")
+	}
+	if id.Det() != 1 {
+		t.Errorf("det = %v", id.Det())
+	}
+}
+
+func TestMat3MulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a, b, c := randRotation(rng), randRotation(rng), randRotation(rng)
+		l := a.Mul(b).Mul(c)
+		r := a.Mul(b.Mul(c))
+		if !l.ApproxEq(r, 1e-9) {
+			t.Fatalf("not associative at iter %d", i)
+		}
+	}
+}
+
+func TestRotationProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		r := randRotation(rng)
+		if !r.IsRotation(1e-9) {
+			t.Fatalf("EulerZYX produced a non-rotation: det=%v", r.Det())
+		}
+		inv, ok := r.Inverse()
+		if !ok {
+			t.Fatal("rotation should be invertible")
+		}
+		if !inv.ApproxEq(r.Transpose(), 1e-9) {
+			t.Fatal("inverse of rotation should equal transpose")
+		}
+		if !r.Mul(inv).ApproxEq(Identity3(), 1e-9) {
+			t.Fatal("R·R⁻¹ should be identity")
+		}
+	}
+}
+
+func TestSingularInverse(t *testing.T) {
+	var z Mat3 // zero matrix
+	if _, ok := z.Inverse(); ok {
+		t.Error("zero matrix should not invert")
+	}
+}
+
+func TestRotXYZ(t *testing.T) {
+	// RotZ(90°) maps +X to +Y.
+	if got := RotZ(math.Pi / 2).MulVec(V3(1, 0, 0)); !got.ApproxEq(V3(0, 1, 0), 1e-12) {
+		t.Errorf("RotZ(90°)·x = %v", got)
+	}
+	// RotX(90°) maps +Y to +Z.
+	if got := RotX(math.Pi / 2).MulVec(V3(0, 1, 0)); !got.ApproxEq(V3(0, 0, 1), 1e-12) {
+		t.Errorf("RotX(90°)·y = %v", got)
+	}
+	// RotY(90°) maps +Z to +X.
+	if got := RotY(math.Pi / 2).MulVec(V3(0, 0, 1)); !got.ApproxEq(V3(1, 0, 0), 1e-12) {
+		t.Errorf("RotY(90°)·z = %v", got)
+	}
+}
+
+func TestEulerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		yaw := rng.Float64()*2*math.Pi - math.Pi
+		pitch := rng.Float64()*math.Pi*0.98 - math.Pi/2*0.98 // avoid gimbal lock
+		roll := rng.Float64()*2*math.Pi - math.Pi
+		m := EulerZYX(yaw, pitch, roll)
+		y2, p2, r2 := m.ToEulerZYX()
+		m2 := EulerZYX(y2, p2, r2)
+		if !m.ApproxEq(m2, 1e-9) {
+			t.Fatalf("euler round trip failed: (%v,%v,%v) -> (%v,%v,%v)", yaw, pitch, roll, y2, p2, r2)
+		}
+	}
+}
+
+func TestEulerGimbalLock(t *testing.T) {
+	m := EulerZYX(0.7, math.Pi/2, 0.3)
+	y, p, r := m.ToEulerZYX()
+	m2 := EulerZYX(y, p, r)
+	if !m.ApproxEq(m2, 1e-6) {
+		t.Errorf("gimbal-lock decomposition should still reproduce the rotation")
+	}
+}
+
+func TestAxisAngle(t *testing.T) {
+	// 90° about Z equals RotZ(90°).
+	if !AxisAngle(V3(0, 0, 1), math.Pi/2).ApproxEq(RotZ(math.Pi/2), 1e-12) {
+		t.Error("AxisAngle(z, 90°) != RotZ(90°)")
+	}
+	// Zero axis gives identity.
+	if !AxisAngle(Zero3, 1).ApproxEq(Identity3(), Epsilon) {
+		t.Error("zero axis should give identity")
+	}
+}
+
+func TestRotationBetween(t *testing.T) {
+	cases := []struct{ a, b Vec3 }{
+		{V3(1, 0, 0), V3(0, 1, 0)},
+		{V3(1, 2, 3), V3(-3, 1, 2)},
+		{V3(1, 0, 0), V3(1, 0, 0)},   // identical
+		{V3(1, 0, 0), V3(-1, 0, 0)},  // antiparallel
+		{V3(0, 0, 2), V3(0, 0, -99)}, // antiparallel, non-unit
+	}
+	for _, c := range cases {
+		r := RotationBetween(c.a, c.b)
+		if !r.IsRotation(1e-9) {
+			t.Errorf("RotationBetween(%v,%v) not a rotation", c.a, c.b)
+		}
+		got := r.MulVec(c.a.Unit())
+		if !got.ApproxEq(c.b.Unit(), 1e-9) {
+			t.Errorf("RotationBetween(%v,%v) maps a to %v, want %v", c.a, c.b, got, c.b.Unit())
+		}
+	}
+}
+
+func TestMat3RowsCols(t *testing.T) {
+	m := NewMat3(V3(1, 2, 3), V3(4, 5, 6), V3(7, 8, 9))
+	if m.Row(1) != V3(4, 5, 6) {
+		t.Errorf("Row(1) = %v", m.Row(1))
+	}
+	if m.Col(2) != V3(3, 6, 9) {
+		t.Errorf("Col(2) = %v", m.Col(2))
+	}
+	if got := Mat3FromCols(m.Col(0), m.Col(1), m.Col(2)); !got.ApproxEq(m, 0) {
+		t.Error("Mat3FromCols should rebuild the matrix")
+	}
+}
+
+func TestDetTransposeInvariant(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i, j float64) bool {
+		m := Mat3{M: [3][3]float64{
+			{bound(a), bound(b), bound(c)},
+			{bound(d), bound(e), bound(g)},
+			{bound(h), bound(i), bound(j)},
+		}}
+		return math.Abs(m.Det()-m.Transpose().Det()) <= 1e-6*(1+math.Abs(m.Det()))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quat is a unit quaternion w + xi + yj + zk representing a 3-D rotation.
+// Quaternions are used for smooth head-pose interpolation in the scene
+// simulator; rotation matrices remain the interchange format.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// QuatIdentity returns the identity rotation.
+func QuatIdentity() Quat { return Quat{W: 1} }
+
+// QuatFromAxisAngle builds the quaternion rotating by angle a about axis.
+// A zero axis yields the identity.
+func QuatFromAxisAngle(axis Vec3, a float64) Quat {
+	u := axis.Unit()
+	if u.IsZero() {
+		return QuatIdentity()
+	}
+	s := math.Sin(a / 2)
+	return Quat{W: math.Cos(a / 2), X: u.X * s, Y: u.Y * s, Z: u.Z * s}
+}
+
+// QuatFromMat converts a rotation matrix to a quaternion (Shepperd's
+// method, numerically stable for all rotations).
+func QuatFromMat(m Mat3) Quat {
+	a := m.M
+	tr := a[0][0] + a[1][1] + a[2][2]
+	var q Quat
+	switch {
+	case tr > 0:
+		s := math.Sqrt(tr+1) * 2
+		q = Quat{
+			W: s / 4,
+			X: (a[2][1] - a[1][2]) / s,
+			Y: (a[0][2] - a[2][0]) / s,
+			Z: (a[1][0] - a[0][1]) / s,
+		}
+	case a[0][0] > a[1][1] && a[0][0] > a[2][2]:
+		s := math.Sqrt(1+a[0][0]-a[1][1]-a[2][2]) * 2
+		q = Quat{
+			W: (a[2][1] - a[1][2]) / s,
+			X: s / 4,
+			Y: (a[0][1] + a[1][0]) / s,
+			Z: (a[0][2] + a[2][0]) / s,
+		}
+	case a[1][1] > a[2][2]:
+		s := math.Sqrt(1+a[1][1]-a[0][0]-a[2][2]) * 2
+		q = Quat{
+			W: (a[0][2] - a[2][0]) / s,
+			X: (a[0][1] + a[1][0]) / s,
+			Y: s / 4,
+			Z: (a[1][2] + a[2][1]) / s,
+		}
+	default:
+		s := math.Sqrt(1+a[2][2]-a[0][0]-a[1][1]) * 2
+		q = Quat{
+			W: (a[1][0] - a[0][1]) / s,
+			X: (a[0][2] + a[2][0]) / s,
+			Y: (a[1][2] + a[2][1]) / s,
+			Z: s / 4,
+		}
+	}
+	return q.Normalize()
+}
+
+// Mat converts q to a rotation matrix.
+func (q Quat) Mat() Mat3 {
+	q = q.Normalize()
+	w, x, y, z := q.W, q.X, q.Y, q.Z
+	return Mat3{M: [3][3]float64{
+		{1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y)},
+		{2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x)},
+		{2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y)},
+	}}
+}
+
+// Mul returns the Hamilton product q·p (apply p, then q).
+func (q Quat) Mul(p Quat) Quat {
+	return Quat{
+		W: q.W*p.W - q.X*p.X - q.Y*p.Y - q.Z*p.Z,
+		X: q.W*p.X + q.X*p.W + q.Y*p.Z - q.Z*p.Y,
+		Y: q.W*p.Y - q.X*p.Z + q.Y*p.W + q.Z*p.X,
+		Z: q.W*p.Z + q.X*p.Y - q.Y*p.X + q.Z*p.W,
+	}
+}
+
+// Conj returns the conjugate (inverse for unit quaternions).
+func (q Quat) Conj() Quat { return Quat{W: q.W, X: -q.X, Y: -q.Y, Z: -q.Z} }
+
+// Norm returns the quaternion magnitude.
+func (q Quat) Norm() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalize scales q to unit norm; a zero quaternion becomes the identity.
+func (q Quat) Normalize() Quat {
+	n := q.Norm()
+	if n < Epsilon {
+		return QuatIdentity()
+	}
+	return Quat{W: q.W / n, X: q.X / n, Y: q.Y / n, Z: q.Z / n}
+}
+
+// Rotate applies the rotation q to vector v.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	// v' = q · (0,v) · q⁻¹, expanded for efficiency.
+	u := Vec3{q.X, q.Y, q.Z}
+	s := q.W
+	return u.Scale(2 * u.Dot(v)).
+		Add(v.Scale(s*s - u.Dot(u))).
+		Add(u.Cross(v).Scale(2 * s))
+}
+
+// Slerp spherically interpolates from q to p by t ∈ [0,1], taking the
+// shortest arc.
+func (q Quat) Slerp(p Quat, t float64) Quat {
+	q, p = q.Normalize(), p.Normalize()
+	dot := q.W*p.W + q.X*p.X + q.Y*p.Y + q.Z*p.Z
+	if dot < 0 { // take the short way around
+		p = Quat{-p.W, -p.X, -p.Y, -p.Z}
+		dot = -dot
+	}
+	if dot > 1-1e-9 {
+		// Nearly identical: fall back to normalised lerp.
+		return Quat{
+			W: q.W + t*(p.W-q.W),
+			X: q.X + t*(p.X-q.X),
+			Y: q.Y + t*(p.Y-q.Y),
+			Z: q.Z + t*(p.Z-q.Z),
+		}.Normalize()
+	}
+	theta := math.Acos(Clamp(dot, -1, 1))
+	sinT := math.Sin(theta)
+	a := math.Sin((1-t)*theta) / sinT
+	b := math.Sin(t*theta) / sinT
+	return Quat{
+		W: a*q.W + b*p.W,
+		X: a*q.X + b*p.X,
+		Y: a*q.Y + b*p.Y,
+		Z: a*q.Z + b*p.Z,
+	}.Normalize()
+}
+
+// AngleTo returns the rotation angle (radians, in [0, π]) between q and p.
+func (q Quat) AngleTo(p Quat) float64 {
+	d := q.Conj().Mul(p).Normalize()
+	return 2 * math.Acos(Clamp(math.Abs(d.W), 0, 1))
+}
+
+// String renders the quaternion components.
+func (q Quat) String() string {
+	return fmt.Sprintf("quat(w=%.4f, x=%.4f, y=%.4f, z=%.4f)", q.W, q.X, q.Y, q.Z)
+}

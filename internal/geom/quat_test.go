@@ -1,0 +1,113 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuatIdentity(t *testing.T) {
+	q := QuatIdentity()
+	v := V3(1, 2, 3)
+	if !q.Rotate(v).ApproxEq(v, Epsilon) {
+		t.Error("identity quat moved a vector")
+	}
+	if !q.Mat().ApproxEq(Identity3(), Epsilon) {
+		t.Error("identity quat matrix should be I")
+	}
+}
+
+func TestQuatMatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		m := randRotation(rng)
+		q := QuatFromMat(m)
+		if !q.Mat().ApproxEq(m, 1e-9) {
+			t.Fatalf("quat<->mat round trip failed at iter %d", i)
+		}
+	}
+}
+
+func TestQuatRotateMatchesMat(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 200; i++ {
+		m := randRotation(rng)
+		q := QuatFromMat(m)
+		v := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		if !q.Rotate(v).ApproxEq(m.MulVec(v), 1e-9) {
+			t.Fatalf("quat rotate != matrix rotate at iter %d", i)
+		}
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 100; i++ {
+		a, b := randRotation(rng), randRotation(rng)
+		qa, qb := QuatFromMat(a), QuatFromMat(b)
+		if !qa.Mul(qb).Mat().ApproxEq(a.Mul(b), 1e-9) {
+			t.Fatalf("quat composition mismatch at iter %d", i)
+		}
+	}
+}
+
+func TestQuatConjInverse(t *testing.T) {
+	q := QuatFromAxisAngle(V3(1, 2, 3), 1.1)
+	id := q.Mul(q.Conj()).Normalize()
+	if math.Abs(math.Abs(id.W)-1) > 1e-9 {
+		t.Errorf("q·q* should be identity, got %v", id)
+	}
+}
+
+func TestQuatSlerpEndpoints(t *testing.T) {
+	a := QuatFromAxisAngle(V3(0, 0, 1), 0)
+	b := QuatFromAxisAngle(V3(0, 0, 1), math.Pi/2)
+	if got := a.Slerp(b, 0); got.AngleTo(a) > 1e-9 {
+		t.Errorf("slerp(0) = %v", got)
+	}
+	if got := a.Slerp(b, 1); got.AngleTo(b) > 1e-9 {
+		t.Errorf("slerp(1) = %v", got)
+	}
+	// Midpoint is 45° about Z.
+	mid := a.Slerp(b, 0.5)
+	want := QuatFromAxisAngle(V3(0, 0, 1), math.Pi/4)
+	if mid.AngleTo(want) > 1e-9 {
+		t.Errorf("slerp midpoint off by %v rad", mid.AngleTo(want))
+	}
+}
+
+func TestQuatSlerpShortestArc(t *testing.T) {
+	// q and −q are the same rotation; slerp must take the short way.
+	a := QuatFromAxisAngle(V3(0, 0, 1), 0.1)
+	b := QuatFromAxisAngle(V3(0, 0, 1), 0.2)
+	bneg := Quat{-b.W, -b.X, -b.Y, -b.Z}
+	mid := a.Slerp(bneg, 0.5)
+	want := QuatFromAxisAngle(V3(0, 0, 1), 0.15)
+	if mid.AngleTo(want) > 1e-6 {
+		t.Errorf("slerp did not take shortest arc, off by %v", mid.AngleTo(want))
+	}
+}
+
+func TestQuatSlerpNearlyIdentical(t *testing.T) {
+	a := QuatFromAxisAngle(V3(0, 0, 1), 0.1)
+	b := QuatFromAxisAngle(V3(0, 0, 1), 0.1+1e-12)
+	mid := a.Slerp(b, 0.5)
+	if mid.AngleTo(a) > 1e-6 {
+		t.Error("slerp of nearly identical quats should stay put")
+	}
+}
+
+func TestQuatNormalizeZero(t *testing.T) {
+	var z Quat
+	if z.Normalize() != QuatIdentity() {
+		t.Error("zero quat should normalise to identity")
+	}
+}
+
+func TestQuatAngleTo(t *testing.T) {
+	a := QuatIdentity()
+	b := QuatFromAxisAngle(V3(0, 1, 0), 0.7)
+	if got := a.AngleTo(b); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("AngleTo = %v, want 0.7", got)
+	}
+}

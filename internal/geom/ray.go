@@ -1,0 +1,120 @@
+package geom
+
+import "math"
+
+// Ray is a half-line x = Origin + d·Dir for d ≥ 0 (paper Eq. 4). Dir need
+// not be unit length; intersection distances are reported in units of
+// ‖Dir‖.
+type Ray struct {
+	Origin Vec3
+	Dir    Vec3
+}
+
+// NewRay constructs a ray.
+func NewRay(origin, dir Vec3) Ray { return Ray{Origin: origin, Dir: dir} }
+
+// At returns the point at parameter d along the ray.
+func (r Ray) At(d float64) Vec3 { return r.Origin.Add(r.Dir.Scale(d)) }
+
+// Transformed returns the ray expressed in another frame via tr (rotating
+// the direction and transforming the origin), as in paper Eq. 2.
+func (r Ray) Transformed(tr Transform) Ray {
+	return Ray{Origin: tr.ApplyPoint(r.Origin), Dir: tr.ApplyDir(r.Dir)}
+}
+
+// Sphere is the head model of paper Eq. 3: ‖x − C‖² = R².
+type Sphere struct {
+	C Vec3    // center (head position)
+	R float64 // radius (head radius, metres)
+}
+
+// NewSphere constructs a sphere.
+func NewSphere(c Vec3, r float64) Sphere { return Sphere{C: c, R: r} }
+
+// Contains reports whether p lies inside or on the sphere.
+func (s Sphere) Contains(p Vec3) bool { return p.Dist(s.C) <= s.R+Epsilon }
+
+// SphereHit is the result of a ray–sphere intersection test.
+type SphereHit struct {
+	// Hit is true when the ray's supporting line crosses the sphere with
+	// positive discriminant (the paper's w ∈ ℝ⁺ condition) and at least
+	// one intersection lies on the forward half of the ray.
+	Hit bool
+	// D1, D2 are the two intersection parameters along the ray (D1 ≤ D2),
+	// valid only when the discriminant is non-negative.
+	D1, D2 float64
+	// W is the discriminant of paper Eq. 5; Hit requires W > 0.
+	W float64
+}
+
+// IntersectSphere solves paper Eq. 5: substitute the line equation (Eq. 4)
+// into the sphere equation (Eq. 3) and solve the quadratic for d:
+//
+//	d = (−(V·(O−C)) ± √w) / ‖V‖²
+//	w = (V·(O−C))² − ‖V‖²·(‖O−C‖² − r²)
+//
+// where O is the ray origin, V the ray direction, C the sphere centre and
+// r its radius. The paper declares a hit when w ∈ ℝ⁺ (two crossing
+// points); tangency (w = 0) and misses (w < 0) are not eye contact. We
+// additionally require the intersection to lie forward along the gaze ray
+// (d ≥ 0) — a person does not look backwards out of their skull.
+func (r Ray) IntersectSphere(s Sphere) SphereHit {
+	oc := r.Origin.Sub(s.C)
+	v2 := r.Dir.NormSq()
+	if v2 < Epsilon*Epsilon {
+		return SphereHit{W: -1}
+	}
+	b := r.Dir.Dot(oc)
+	w := b*b - v2*(oc.NormSq()-s.R*s.R)
+	if w <= 0 {
+		return SphereHit{W: w}
+	}
+	sq := math.Sqrt(w)
+	d1 := (-b - sq) / v2
+	d2 := (-b + sq) / v2
+	hit := d2 >= 0 // at least the far intersection is in front
+	return SphereHit{Hit: hit, D1: d1, D2: d2, W: w}
+}
+
+// DistanceToPoint returns the shortest distance from point p to the
+// forward half of the ray (used for angular diagnostics in gaze tests).
+func (r Ray) DistanceToPoint(p Vec3) float64 {
+	u := r.Dir.Unit()
+	if u.IsZero() {
+		return r.Origin.Dist(p)
+	}
+	w := p.Sub(r.Origin)
+	d := w.Dot(u)
+	if d < 0 {
+		return r.Origin.Dist(p)
+	}
+	return r.Origin.Add(u.Scale(d)).Sub(p).Norm()
+}
+
+// AngularOffset returns the angle (radians) between the ray direction and
+// the direction from the ray origin to p. Useful for noise-sweep
+// experiments: eye contact at tolerance θ means AngularOffset ≤ θ.
+func (r Ray) AngularOffset(p Vec3) float64 {
+	return r.Dir.AngleTo(p.Sub(r.Origin))
+}
+
+// Plane is an infinite plane through Point with unit Normal, used for
+// table-surface and floor tests in the scene simulator.
+type Plane struct {
+	Point  Vec3
+	Normal Vec3
+}
+
+// IntersectPlane returns the ray parameter d where the ray crosses the
+// plane, and whether such a forward crossing exists.
+func (r Ray) IntersectPlane(pl Plane) (float64, bool) {
+	denom := pl.Normal.Dot(r.Dir)
+	if math.Abs(denom) < Epsilon {
+		return 0, false
+	}
+	d := pl.Normal.Dot(pl.Point.Sub(r.Origin)) / denom
+	if d < 0 {
+		return 0, false
+	}
+	return d, true
+}

@@ -1,0 +1,397 @@
+package hmm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/scene"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, 1); !errors.Is(err, ErrBadModel) {
+		t.Error("n=0 should fail")
+	}
+	if _, err := New(3, 1, 1); !errors.Is(err, ErrBadModel) {
+		t.Error("m=1 should fail")
+	}
+	h, err := New(3, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("fresh model invalid: %v", err)
+	}
+}
+
+func TestLeftRightTopology(t *testing.T) {
+	h, err := NewLeftRight(4, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if j != i && j != i+1 && h.A[i][j] != 0 {
+				t.Errorf("A[%d][%d] = %v, want 0 in left-right model", i, j, h.A[i][j])
+			}
+		}
+	}
+	if h.Pi[0] != 1 {
+		t.Error("left-right model should start in state 0")
+	}
+}
+
+// knownHMM builds a 2-state, 2-symbol model with distinctive dynamics.
+func knownHMM() *HMM {
+	return &HMM{
+		N: 2, M: 2,
+		Pi: []float64{0.8, 0.2},
+		A:  [][]float64{{0.9, 0.1}, {0.2, 0.8}},
+		B:  [][]float64{{0.95, 0.05}, {0.1, 0.9}},
+	}
+}
+
+// sample draws a sequence from the model.
+func sample(h *HMM, T int, rng *rand.Rand) ([]int, []int) {
+	draw := func(d []float64) int {
+		r := rng.Float64()
+		var c float64
+		for i, p := range d {
+			c += p
+			if r < c {
+				return i
+			}
+		}
+		return len(d) - 1
+	}
+	obs := make([]int, T)
+	states := make([]int, T)
+	s := draw(h.Pi)
+	for t := 0; t < T; t++ {
+		states[t] = s
+		obs[t] = draw(h.B[s])
+		s = draw(h.A[s])
+	}
+	return obs, states
+}
+
+func TestForwardMatchesBruteForce(t *testing.T) {
+	// Property: scaled forward log-likelihood equals brute-force
+	// enumeration over all state paths for short sequences.
+	h := knownHMM()
+	f := func(raw []bool) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		obs := make([]int, len(raw))
+		for i, b := range raw {
+			if b {
+				obs[i] = 1
+			}
+		}
+		got, err := h.LogLikelihood(obs)
+		if err != nil {
+			return false
+		}
+		want := math.Log(bruteLikelihood(h, obs))
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteLikelihood enumerates all state paths.
+func bruteLikelihood(h *HMM, obs []int) float64 {
+	T := len(obs)
+	var total float64
+	path := make([]int, T)
+	var rec func(t int, p float64)
+	rec = func(t int, p float64) {
+		if t == T {
+			total += p
+			return
+		}
+		for s := 0; s < h.N; s++ {
+			var tp float64
+			if t == 0 {
+				tp = h.Pi[s]
+			} else {
+				tp = h.A[path[t-1]][s]
+			}
+			path[t] = s
+			rec(t+1, p*tp*h.B[s][obs[t]])
+		}
+	}
+	rec(0, 1)
+	return total
+}
+
+func TestViterbiRecoversStates(t *testing.T) {
+	h := knownHMM()
+	rng := rand.New(rand.NewSource(3))
+	obs, states := sample(h, 500, rng)
+	dec, err := h.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := range dec {
+		if dec[i] == states[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(dec)); frac < 0.85 {
+		t.Errorf("viterbi agreement = %v, want ≥ 0.85", frac)
+	}
+}
+
+func TestPosteriorSimplex(t *testing.T) {
+	h := knownHMM()
+	rng := rand.New(rand.NewSource(4))
+	obs, _ := sample(h, 100, rng)
+	g, err := h.Posterior(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2, row := range g {
+		var s float64
+		for _, v := range row {
+			if v < 0 || v > 1+1e-9 {
+				t.Fatalf("posterior out of range at %d: %v", t2, row)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("posterior at %d sums to %v", t2, s)
+		}
+	}
+}
+
+func TestBaumWelchImprovesLikelihood(t *testing.T) {
+	truth := knownHMM()
+	rng := rand.New(rand.NewSource(5))
+	var seqs [][]int
+	for i := 0; i < 5; i++ {
+		obs, _ := sample(truth, 200, rng)
+		seqs = append(seqs, obs)
+	}
+	h, _ := New(2, 2, 6)
+	hist, err := h.BaumWelch(seqs, 50, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) < 2 {
+		t.Fatalf("history too short: %v", hist)
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i] < hist[i-1]-1e-6 {
+			t.Errorf("likelihood decreased at iter %d: %v -> %v", i, hist[i-1], hist[i])
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("trained model invalid: %v", err)
+	}
+	// The trained model should assign the data higher likelihood than
+	// its random initialisation did.
+	if hist[len(hist)-1] <= hist[0] {
+		t.Errorf("no improvement: %v", hist)
+	}
+}
+
+func TestBaumWelchValidation(t *testing.T) {
+	h, _ := New(2, 3, 1)
+	if _, err := h.BaumWelch(nil, 10, 0); !errors.Is(err, ErrBadObs) {
+		t.Error("no sequences should fail")
+	}
+	if _, err := h.BaumWelch([][]int{{0, 9}}, 10, 0); !errors.Is(err, ErrBadObs) {
+		t.Error("out-of-alphabet symbol should fail")
+	}
+	if _, err := h.Viterbi(nil); !errors.Is(err, ErrBadObs) {
+		t.Error("empty viterbi should fail")
+	}
+	if _, err := h.LogLikelihood([]int{-1}); !errors.Is(err, ErrBadObs) {
+		t.Error("negative symbol should fail")
+	}
+}
+
+func TestDiningSymbolRange(t *testing.T) {
+	sc, err := scene.DinnerScenario(scene.DinnerOptions{Persons: 4, Frames: 1000, Seed: 7, Enjoyment: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := scene.NewSimulator(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, phases := FeaturizeScenario(sim, 0, 0)
+	if len(syms) != 1000 || len(phases) != 1000 {
+		t.Fatal("featurize length mismatch")
+	}
+	seen := map[int]bool{}
+	for _, s := range syms {
+		if s < 0 || s >= DiningSymbols {
+			t.Fatalf("symbol %d outside alphabet", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("only %d distinct symbols; featurizer too coarse", len(seen))
+	}
+}
+
+func TestDiningSymbolDropoutChangesSymbols(t *testing.T) {
+	sc, _ := scene.DinnerScenario(scene.DinnerOptions{Persons: 4, Frames: 500, Seed: 8, Enjoyment: 0.5})
+	sim, _ := scene.NewSimulator(sc)
+	clean, _ := FeaturizeScenario(sim, 0, 1)
+	noisy, _ := FeaturizeScenario(sim, 0.3, 1)
+	diff := 0
+	for i := range clean {
+		if clean[i] != noisy[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("dropout should perturb symbols")
+	}
+	// Determinism.
+	noisy2, _ := FeaturizeScenario(sim, 0.3, 1)
+	for i := range noisy {
+		if noisy[i] != noisy2[i] {
+			t.Fatal("dropout not deterministic")
+		}
+	}
+}
+
+// TestHMMSegmentsDinnerPhases is the end-to-end baseline check: an HMM
+// trained on dinners must beat chance substantially on phase
+// segmentation of a held-out dinner.
+func TestHMMSegmentsDinnerPhases(t *testing.T) {
+	var train [][]int
+	var labels [][]scene.Phase
+	for seed := int64(0); seed < 3; seed++ {
+		sc, err := scene.DinnerScenario(scene.DinnerOptions{Persons: 4, Frames: 1500, Seed: 10 + seed, Enjoyment: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, _ := scene.NewSimulator(sc)
+		syms, phases := FeaturizeScenario(sim, 0.05, seed)
+		train = append(train, syms)
+		labels = append(labels, phases)
+	}
+
+	// Unsupervised variant (Baum–Welch from a left-right init) must
+	// beat chance (0.2 over five phases).
+	hu, _ := NewLeftRight(scene.NumPhases, DiningSymbols, 11)
+	if _, err := hu.BaumWelch(train, 30, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := scene.DinnerScenario(scene.DinnerOptions{Persons: 4, Frames: 1500, Seed: 99, Enjoyment: 0.6})
+	sim, _ := scene.NewSimulator(sc)
+	syms, truth := FeaturizeScenario(sim, 0.05, 99)
+	statesU, err := hu.Viterbi(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predU := MapStatesToPhases(statesU, truth, scene.NumPhases)
+	if acc := PhaseAccuracy(predU, truth); acc < 0.3 {
+		t.Errorf("unsupervised HMM accuracy = %v, want ≥ 0.3", acc)
+	}
+
+	// Supervised variant (Gao et al.'s protocol: annotated training
+	// footage) must do clearly better.
+	hs, err := FitSupervised(train, labels, DiningSymbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	statesS, err := hs.Viterbi(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predS := make([]scene.Phase, len(statesS))
+	for i, s := range statesS {
+		predS[i] = scene.Phase(s)
+	}
+	if acc := PhaseAccuracy(predS, truth); acc < 0.55 {
+		t.Errorf("supervised HMM accuracy = %v, want ≥ 0.55", acc)
+	}
+}
+
+func TestFitSupervisedValidation(t *testing.T) {
+	if _, err := FitSupervised(nil, nil, DiningSymbols); !errors.Is(err, ErrBadObs) {
+		t.Error("empty fit should fail")
+	}
+	if _, err := FitSupervised([][]int{{0}}, [][]scene.Phase{{0, 1}}, DiningSymbols); !errors.Is(err, ErrBadObs) {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := FitSupervised([][]int{{99}}, [][]scene.Phase{{0}}, DiningSymbols); !errors.Is(err, ErrBadObs) {
+		t.Error("bad symbol should fail")
+	}
+}
+
+func TestPhaseAccuracyEdges(t *testing.T) {
+	if PhaseAccuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	if PhaseAccuracy([]scene.Phase{0}, []scene.Phase{0, 1}) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+	if PhaseAccuracy([]scene.Phase{1, 1}, []scene.Phase{1, 0}) != 0.5 {
+		t.Error("accuracy arithmetic wrong")
+	}
+}
+
+func TestBurstyFeaturization(t *testing.T) {
+	sc, _ := scene.DinnerScenario(scene.DinnerOptions{Persons: 4, Frames: 1000, Seed: 21, Enjoyment: 0.6})
+	sim, _ := scene.NewSimulator(sc)
+
+	// No bursts: both sequences match the clean featurizers.
+	b0, m0, ph := FeaturizeScenarioBursty(sim, BurstModel{}, 1)
+	cleanB, cleanPh := FeaturizeScenario(sim, 0, 1)
+	cleanM, _ := FeaturizeScenarioMultilayer(sim, 0, 1)
+	for i := range b0 {
+		if b0[i] != cleanB[i] || m0[i] != cleanM[i] || ph[i] != cleanPh[i] {
+			t.Fatalf("burst-free featurization differs at %d", i)
+		}
+	}
+
+	// With bursts: symbols stay in range, some frames corrupted, and
+	// the multilayer affect component survives corruption.
+	bm := BurstModel{PerFrameStart: 0.01, Len: 100}
+	b1, m1, _ := FeaturizeScenarioBursty(sim, bm, 1)
+	corrupted := 0
+	for i := range b1 {
+		if b1[i] < 0 || b1[i] >= DiningSymbols {
+			t.Fatalf("baseline symbol %d out of range", b1[i])
+		}
+		if m1[i] < 0 || m1[i] >= MultilayerSymbols {
+			t.Fatalf("multilayer symbol %d out of range", m1[i])
+		}
+		if b1[i] != cleanB[i] {
+			corrupted++
+			// Affect bucket (high part of the multilayer symbol) must
+			// equal the clean affect — it comes from another sensor.
+			if m1[i]/DiningSymbols != cleanM[i]/DiningSymbols {
+				t.Fatalf("affect corrupted during gaze blackout at %d", i)
+			}
+		}
+	}
+	if corrupted == 0 {
+		t.Error("bursts corrupted nothing")
+	}
+	// Determinism.
+	b2, m2, _ := FeaturizeScenarioBursty(sim, bm, 1)
+	for i := range b1 {
+		if b1[i] != b2[i] || m1[i] != m2[i] {
+			t.Fatal("bursty featurization not deterministic")
+		}
+	}
+}

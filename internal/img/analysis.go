@@ -1,0 +1,201 @@
+package img
+
+import "math"
+
+// Histogram is a 256-bin intensity histogram.
+type Histogram [256]uint32
+
+// Hist computes the intensity histogram of the whole image.
+func (g *Gray) Hist() Histogram {
+	var h Histogram
+	for _, p := range g.Pix {
+		h[p]++
+	}
+	return h
+}
+
+// HistRegion computes the histogram over the (clipped) rectangle.
+func (g *Gray) HistRegion(r Rect) Histogram {
+	var h Histogram
+	c := r.Intersect(Rect{0, 0, g.W, g.H})
+	for y := c.Y; y < c.Y+c.H; y++ {
+		for x := c.X; x < c.X+c.W; x++ {
+			h[g.Pix[y*g.W+x]]++
+		}
+	}
+	return h
+}
+
+// Total returns the histogram mass (pixel count).
+func (h Histogram) Total() uint64 {
+	var s uint64
+	for _, c := range h {
+		s += uint64(c)
+	}
+	return s
+}
+
+// ChiSquare returns the χ² distance between two histograms, each
+// normalised to unit mass first; empty histograms compare as distance 0.
+// This is the shot-boundary dissimilarity used by internal/parsing.
+func (h Histogram) ChiSquare(o Histogram) float64 {
+	th, to := float64(h.Total()), float64(o.Total())
+	if th == 0 || to == 0 {
+		if th == to {
+			return 0
+		}
+		return 1
+	}
+	var d float64
+	for i := 0; i < 256; i++ {
+		a := float64(h[i]) / th
+		b := float64(o[i]) / to
+		if a+b > 0 {
+			d += (a - b) * (a - b) / (a + b)
+		}
+	}
+	return d / 2 // normalised to [0,1]
+}
+
+// Intersection returns the histogram-intersection similarity in [0,1]
+// after normalisation (1 = identical distributions).
+func (h Histogram) Intersection(o Histogram) float64 {
+	th, to := float64(h.Total()), float64(o.Total())
+	if th == 0 || to == 0 {
+		if th == to {
+			return 1
+		}
+		return 0
+	}
+	var s float64
+	for i := 0; i < 256; i++ {
+		s += math.Min(float64(h[i])/th, float64(o[i])/to)
+	}
+	return s
+}
+
+// MeanAbsDiff returns the mean absolute pixel difference between two
+// equally-sized images, in intensity levels. Mismatched sizes compare the
+// overlapping region after resizing the smaller to the larger — callers in
+// the pipeline always pass same-sized frames, but defensive handling beats
+// a panic in stream code.
+func MeanAbsDiff(a, b *Gray) float64 {
+	if a.W != b.W || a.H != b.H {
+		b = b.Resize(a.W, a.H)
+	}
+	var s uint64
+	for i := range a.Pix {
+		d := int(a.Pix[i]) - int(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		s += uint64(d)
+	}
+	return float64(s) / float64(len(a.Pix))
+}
+
+// Integral is a summed-area table: Sum[y][x] holds the sum of all pixels
+// strictly above and left of (x,y), so region sums are four lookups.
+type Integral struct {
+	W, H int
+	Sum  []uint64 // (W+1)*(H+1)
+}
+
+// NewIntegral builds the summed-area table of g.
+func NewIntegral(g *Gray) *Integral {
+	w, h := g.W, g.H
+	in := &Integral{W: w, H: h, Sum: make([]uint64, (w+1)*(h+1))}
+	stride := w + 1
+	for y := 0; y < h; y++ {
+		var rowSum uint64
+		for x := 0; x < w; x++ {
+			rowSum += uint64(g.Pix[y*w+x])
+			in.Sum[(y+1)*stride+x+1] = in.Sum[y*stride+x+1] + rowSum
+		}
+	}
+	return in
+}
+
+// RegionSum returns the sum of pixels in the rectangle (clipped to the
+// image).
+func (in *Integral) RegionSum(r Rect) uint64 {
+	c := r.Intersect(Rect{0, 0, in.W, in.H})
+	if c.Area() == 0 {
+		return 0
+	}
+	stride := in.W + 1
+	x0, y0, x1, y1 := c.X, c.Y, c.X+c.W, c.Y+c.H
+	return in.Sum[y1*stride+x1] - in.Sum[y0*stride+x1] - in.Sum[y1*stride+x0] + in.Sum[y0*stride+x0]
+}
+
+// RegionMean returns the mean intensity over the rectangle (0 when empty).
+func (in *Integral) RegionMean(r Rect) float64 {
+	a := r.Intersect(Rect{0, 0, in.W, in.H}).Area()
+	if a == 0 {
+		return 0
+	}
+	return float64(in.RegionSum(r)) / float64(a)
+}
+
+// BoxBlur returns the image smoothed with a (2r+1)×(2r+1) box filter using
+// the integral image (O(1) per pixel).
+func (g *Gray) BoxBlur(r int) *Gray {
+	if r <= 0 {
+		return g.Clone()
+	}
+	in := NewIntegral(g)
+	out := New(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			win := Rect{X: x - r, Y: y - r, W: 2*r + 1, H: 2*r + 1}
+			out.Pix[y*g.W+x] = uint8(math.Round(in.RegionMean(win)))
+		}
+	}
+	return out
+}
+
+// SobelMag returns the Sobel gradient magnitude image (clamped to 255),
+// used as an auxiliary cue by the face detector.
+func (g *Gray) SobelMag() *Gray {
+	out := New(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			gx := -int(g.AtClamped(x-1, y-1)) + int(g.AtClamped(x+1, y-1)) +
+				-2*int(g.AtClamped(x-1, y)) + 2*int(g.AtClamped(x+1, y)) +
+				-int(g.AtClamped(x-1, y+1)) + int(g.AtClamped(x+1, y+1))
+			gy := -int(g.AtClamped(x-1, y-1)) - 2*int(g.AtClamped(x, y-1)) - int(g.AtClamped(x+1, y-1)) +
+				int(g.AtClamped(x-1, y+1)) + 2*int(g.AtClamped(x, y+1)) + int(g.AtClamped(x+1, y+1))
+			m := math.Hypot(float64(gx), float64(gy))
+			if m > 255 {
+				m = 255
+			}
+			out.Pix[y*g.W+x] = uint8(m)
+		}
+	}
+	return out
+}
+
+// NCC returns the normalised cross-correlation between two equally-sized
+// images in [-1, 1]; flat images correlate as 0 against anything non-flat
+// and 1 against each other. Used for template-based face recognition.
+func NCC(a, b *Gray) float64 {
+	if a.W != b.W || a.H != b.H {
+		b = b.Resize(a.W, a.H)
+	}
+	ma, mb := a.Mean(), b.Mean()
+	var num, da, db float64
+	for i := range a.Pix {
+		x := float64(a.Pix[i]) - ma
+		y := float64(b.Pix[i]) - mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 && db == 0 {
+		return 1
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}

@@ -1,0 +1,186 @@
+package img
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomImage(w, h int, seed int64) *Gray {
+	g := New(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.Intn(256))
+	}
+	return g
+}
+
+func TestHistMass(t *testing.T) {
+	g := randomImage(64, 48, 1)
+	h := g.Hist()
+	if h.Total() != 64*48 {
+		t.Errorf("hist mass = %d, want %d", h.Total(), 64*48)
+	}
+}
+
+func TestHistRegion(t *testing.T) {
+	g := New(10, 10)
+	g.FillRect(Rect{0, 0, 5, 10}, 200)
+	h := g.HistRegion(Rect{0, 0, 5, 10})
+	if h[200] != 50 || h.Total() != 50 {
+		t.Errorf("region hist wrong: h[200]=%d total=%d", h[200], h.Total())
+	}
+	// Clipped region.
+	h2 := g.HistRegion(Rect{-5, -5, 10, 10})
+	if h2.Total() != 25 {
+		t.Errorf("clipped region total = %d, want 25", h2.Total())
+	}
+}
+
+func TestChiSquareProperties(t *testing.T) {
+	a := randomImage(32, 32, 2).Hist()
+	b := randomImage(32, 32, 3).Hist()
+	if d := a.ChiSquare(a); d > 1e-12 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+	dab, dba := a.ChiSquare(b), b.ChiSquare(a)
+	if math.Abs(dab-dba) > 1e-12 {
+		t.Error("χ² should be symmetric")
+	}
+	if dab < 0 || dab > 1 {
+		t.Errorf("χ² = %v outside [0,1]", dab)
+	}
+	// Disjoint supports: maximum distance 1.
+	dark := New(4, 4)
+	bright := New(4, 4)
+	bright.Fill(255)
+	if d := dark.Hist().ChiSquare(bright.Hist()); math.Abs(d-1) > 1e-12 {
+		t.Errorf("disjoint χ² = %v, want 1", d)
+	}
+	var empty Histogram
+	if empty.ChiSquare(empty) != 0 {
+		t.Error("two empty hists should be identical")
+	}
+	if empty.ChiSquare(a) != 1 {
+		t.Error("empty vs non-empty should be max distance")
+	}
+}
+
+func TestIntersectionSimilarity(t *testing.T) {
+	a := randomImage(16, 16, 4).Hist()
+	if s := a.Intersection(a); math.Abs(s-1) > 1e-12 {
+		t.Errorf("self intersection = %v", s)
+	}
+	dark := New(4, 4).Hist()
+	bright := New(4, 4)
+	bright.Fill(255)
+	if s := dark.Intersection(bright.Hist()); s != 0 {
+		t.Errorf("disjoint intersection = %v", s)
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a := New(4, 4)
+	b := New(4, 4)
+	b.Fill(10)
+	if d := MeanAbsDiff(a, b); d != 10 {
+		t.Errorf("MAD = %v, want 10", d)
+	}
+	if d := MeanAbsDiff(a, a); d != 0 {
+		t.Errorf("self MAD = %v", d)
+	}
+}
+
+func TestIntegralMatchesBruteForce(t *testing.T) {
+	g := randomImage(23, 17, 5)
+	in := NewIntegral(g)
+	rects := []Rect{
+		{0, 0, 23, 17}, {0, 0, 1, 1}, {5, 3, 7, 9}, {22, 16, 1, 1}, {-3, -3, 10, 10},
+	}
+	for _, r := range rects {
+		var want uint64
+		c := r.Intersect(Rect{0, 0, g.W, g.H})
+		for y := c.Y; y < c.Y+c.H; y++ {
+			for x := c.X; x < c.X+c.W; x++ {
+				want += uint64(g.At(x, y))
+			}
+		}
+		if got := in.RegionSum(r); got != want {
+			t.Errorf("RegionSum(%v) = %d, want %d", r, got, want)
+		}
+	}
+	if in.RegionSum(Rect{50, 50, 3, 3}) != 0 {
+		t.Error("fully OOB region should sum to 0")
+	}
+}
+
+func TestIntegralProperty(t *testing.T) {
+	g := randomImage(31, 29, 6)
+	in := NewIntegral(g)
+	f := func(x8, y8, w8, h8 uint8) bool {
+		r := Rect{int(x8%31) - 2, int(y8%29) - 2, int(w8%12) + 1, int(h8%12) + 1}
+		var want uint64
+		c := r.Intersect(Rect{0, 0, g.W, g.H})
+		for y := c.Y; y < c.Y+c.H; y++ {
+			for x := c.X; x < c.X+c.W; x++ {
+				want += uint64(g.At(x, y))
+			}
+		}
+		return in.RegionSum(r) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxBlurFlattens(t *testing.T) {
+	g := New(20, 20)
+	g.Set(10, 10, 255)
+	b := g.BoxBlur(2)
+	if b.At(10, 10) >= 255 {
+		t.Error("blur should spread the impulse")
+	}
+	if b.At(11, 10) == 0 {
+		t.Error("blur should reach neighbours")
+	}
+	// r=0 clones.
+	c := g.BoxBlur(0)
+	if c.At(10, 10) != 255 {
+		t.Error("r=0 blur should be identity")
+	}
+}
+
+func TestSobelMag(t *testing.T) {
+	g := New(10, 10)
+	g.FillRect(Rect{5, 0, 5, 10}, 255) // vertical edge at x=5
+	s := g.SobelMag()
+	if s.At(5, 5) == 0 && s.At(4, 5) == 0 {
+		t.Error("edge should produce gradient")
+	}
+	if s.At(2, 5) != 0 {
+		t.Error("flat region should have zero gradient")
+	}
+}
+
+func TestNCC(t *testing.T) {
+	a := randomImage(16, 16, 7)
+	if c := NCC(a, a); math.Abs(c-1) > 1e-12 {
+		t.Errorf("self NCC = %v", c)
+	}
+	inv := a.Clone()
+	for i, p := range inv.Pix {
+		inv.Pix[i] = 255 - p
+	}
+	if c := NCC(a, inv); c > -0.99 {
+		t.Errorf("inverted NCC = %v, want ≈ -1", c)
+	}
+	flat := New(16, 16)
+	flat.Fill(100)
+	if c := NCC(flat, flat); c != 1 {
+		t.Errorf("flat-flat NCC = %v, want 1", c)
+	}
+	if c := NCC(flat, a); c != 0 {
+		t.Errorf("flat-random NCC = %v, want 0", c)
+	}
+}

@@ -1,0 +1,191 @@
+// Package lbp implements Local Binary Patterns, the feature extractor
+// the paper specifies for emotion recognition (§II-C: "we consider the
+// Local Binary Patterns as a feature extractor and neural network as a
+// classifier"). It provides the basic 3×3 operator, the circular (P,R)
+// generalisation with bilinear sampling, the uniform-pattern mapping,
+// and spatial grid histograms — the standard LBP face-descriptor recipe.
+package lbp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/img"
+)
+
+// Code3x3 computes the basic LBP code at (x,y): each of the 8 neighbours
+// contributes one bit, set when the neighbour is ≥ the centre pixel.
+// Neighbours are visited clockwise from the top-left, so codes are
+// comparable across pixels and images. Border pixels use clamped reads.
+func Code3x3(g *img.Gray, x, y int) uint8 {
+	c := g.AtClamped(x, y)
+	var code uint8
+	// Offsets clockwise from top-left.
+	offs := [8][2]int{
+		{-1, -1}, {0, -1}, {1, -1}, {1, 0}, {1, 1}, {0, 1}, {-1, 1}, {-1, 0},
+	}
+	for i, o := range offs {
+		if g.AtClamped(x+o[0], y+o[1]) >= c {
+			code |= 1 << uint(i)
+		}
+	}
+	return code
+}
+
+// CodeCircular computes the circular LBP code with p sampling points on
+// a radius-r circle, using bilinear interpolation for off-grid samples.
+// p must be ≤ 32.
+func CodeCircular(g *img.Gray, x, y, p int, r float64) (uint32, error) {
+	if p < 4 || p > 32 {
+		return 0, fmt.Errorf("lbp: %d sampling points outside [4,32]: %w", p, ErrBadParams)
+	}
+	if r <= 0 {
+		return 0, fmt.Errorf("lbp: radius %v must be positive: %w", r, ErrBadParams)
+	}
+	c := float64(g.AtClamped(x, y))
+	var code uint32
+	for i := 0; i < p; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(p)
+		sx := float64(x) + r*math.Cos(ang)
+		sy := float64(y) - r*math.Sin(ang)
+		// Epsilon absorbs bilinear round-off so flat regions compare
+		// as "equal" (≥) exactly like the integer 3×3 operator.
+		if bilinear(g, sx, sy) >= c-1e-9 {
+			code |= 1 << uint(i)
+		}
+	}
+	return code, nil
+}
+
+// ErrBadParams reports invalid operator parameters.
+var ErrBadParams = errors.New("lbp: bad parameters")
+
+// bilinear samples the image at a fractional coordinate with clamped
+// borders.
+func bilinear(g *img.Gray, x, y float64) float64 {
+	x0, y0 := int(math.Floor(x)), int(math.Floor(y))
+	dx, dy := x-float64(x0), y-float64(y0)
+	v00 := float64(g.AtClamped(x0, y0))
+	v10 := float64(g.AtClamped(x0+1, y0))
+	v01 := float64(g.AtClamped(x0, y0+1))
+	v11 := float64(g.AtClamped(x0+1, y0+1))
+	return v00*(1-dx)*(1-dy) + v10*dx*(1-dy) + v01*(1-dx)*dy + v11*dx*dy
+}
+
+// transitions counts 0↔1 transitions in the circular 8-bit pattern.
+func transitions(code uint8) int {
+	t := 0
+	for i := 0; i < 8; i++ {
+		a := (code >> uint(i)) & 1
+		b := (code >> uint((i+1)%8)) & 1
+		if a != b {
+			t++
+		}
+	}
+	return t
+}
+
+// NumUniformBins is the length of a uniform-LBP histogram: the 58
+// uniform 8-bit patterns plus one shared bin for all non-uniform codes.
+const NumUniformBins = 59
+
+// uniformMap maps each of the 256 LBP codes to its uniform-histogram
+// bin. Built once at package initialisation.
+var uniformMap [256]uint8
+
+func init() {
+	next := uint8(0)
+	for c := 0; c < 256; c++ {
+		if transitions(uint8(c)) <= 2 {
+			uniformMap[c] = next
+			next++
+		} else {
+			uniformMap[c] = NumUniformBins - 1
+		}
+	}
+	// Exactly 58 uniform patterns exist; the invariant is checked here
+	// rather than trusted.
+	if next != NumUniformBins-1 {
+		panic(fmt.Sprintf("lbp: %d uniform patterns, want %d", next, NumUniformBins-1))
+	}
+}
+
+// UniformBin maps an LBP code to its uniform-histogram bin.
+func UniformBin(code uint8) int { return int(uniformMap[code]) }
+
+// Image computes the LBP code image of g (same dimensions).
+func Image(g *img.Gray) *img.Gray {
+	out := img.New(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			out.Pix[y*g.W+x] = Code3x3(g, x, y)
+		}
+	}
+	return out
+}
+
+// Histogram computes the uniform-LBP histogram of a region of the code
+// image (as produced by Image), L1-normalised to sum 1 (all-zero when
+// the region is empty).
+func Histogram(codes *img.Gray, r img.Rect) []float64 {
+	h := make([]float64, NumUniformBins)
+	c := r.Intersect(img.Rect{X: 0, Y: 0, W: codes.W, H: codes.H})
+	n := 0
+	for y := c.Y; y < c.Y+c.H; y++ {
+		for x := c.X; x < c.X+c.W; x++ {
+			h[UniformBin(codes.Pix[y*codes.W+x])]++
+			n++
+		}
+	}
+	if n > 0 {
+		inv := 1 / float64(n)
+		for i := range h {
+			h[i] *= inv
+		}
+	}
+	return h
+}
+
+// GridDescriptor divides the image into gx×gy cells and concatenates
+// the per-cell uniform-LBP histograms — the classic LBP face descriptor.
+// The result has gx·gy·NumUniformBins components, each cell L1-normalised.
+func GridDescriptor(g *img.Gray, gx, gy int) ([]float64, error) {
+	if gx <= 0 || gy <= 0 {
+		return nil, fmt.Errorf("lbp: grid %dx%d: %w", gx, gy, ErrBadParams)
+	}
+	if g.W < gx || g.H < gy {
+		return nil, fmt.Errorf("lbp: image %dx%d smaller than grid %dx%d: %w",
+			g.W, g.H, gx, gy, ErrBadParams)
+	}
+	codes := Image(g)
+	out := make([]float64, 0, gx*gy*NumUniformBins)
+	for cy := 0; cy < gy; cy++ {
+		y0 := cy * g.H / gy
+		y1 := (cy + 1) * g.H / gy
+		for cx := 0; cx < gx; cx++ {
+			x0 := cx * g.W / gx
+			x1 := (cx + 1) * g.W / gx
+			cell := Histogram(codes, img.Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0})
+			out = append(out, cell...)
+		}
+	}
+	return out, nil
+}
+
+// ChiSquare returns the χ² distance between two equally-long descriptors.
+// It panics on length mismatch — descriptors of different grids are a
+// programming error, not a data condition.
+func ChiSquare(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("lbp: descriptor lengths %d != %d", len(a), len(b)))
+	}
+	var d float64
+	for i := range a {
+		s := a[i] + b[i]
+		if s > 0 {
+			d += (a[i] - b[i]) * (a[i] - b[i]) / s
+		}
+	}
+	return d / 2
+}

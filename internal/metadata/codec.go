@@ -1,0 +1,177 @@
+package metadata
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Record wire format (little-endian), one record per log entry:
+//
+//	length  uint32  — payload length (excluding length and crc)
+//	payload:
+//	  id       uint64
+//	  kind     uint8
+//	  frame    int64
+//	  frameEnd int64
+//	  timeNs   int64
+//	  person   int32
+//	  other    int32
+//	  value    float64
+//	  labelLen uint8, label bytes
+//	  tagCount uint16, tagCount × (kLen uint8, k, vLen uint16, v)
+//	crc     uint32 — CRC-32 (IEEE) of payload
+//
+// The length prefix lets recovery skip to the next entry; the CRC
+// detects torn or bit-rotted writes.
+
+// appendRecord encodes r into buf (reusing capacity) and returns it.
+func appendRecord(buf []byte, r Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	p := len(buf)
+
+	var tmp [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+
+	put64(r.ID)
+	buf = append(buf, uint8(r.Kind))
+	put64(uint64(int64(r.Frame)))
+	put64(uint64(int64(r.FrameEnd)))
+	put64(uint64(r.Time.Nanoseconds()))
+	put32(uint32(int32(r.Person)))
+	put32(uint32(int32(r.Other)))
+	put64(math.Float64bits(r.Value))
+	buf = append(buf, uint8(len(r.Label)))
+	buf = append(buf, r.Label...)
+
+	keys := make([]string, 0, len(r.Tags))
+	for k := range r.Tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic encoding
+	var t16 [2]byte
+	binary.LittleEndian.PutUint16(t16[:], uint16(len(keys)))
+	buf = append(buf, t16[:]...)
+	for _, k := range keys {
+		v := r.Tags[k]
+		buf = append(buf, uint8(len(k)))
+		buf = append(buf, k...)
+		binary.LittleEndian.PutUint16(t16[:], uint16(len(v)))
+		buf = append(buf, t16[:]...)
+		buf = append(buf, v...)
+	}
+
+	payload := buf[p:]
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(payload)))
+	crc := crc32.ChecksumIEEE(payload)
+	var c4 [4]byte
+	binary.LittleEndian.PutUint32(c4[:], crc)
+	return append(buf, c4[:]...)
+}
+
+// maxEntry bounds a single entry so recovery never allocates absurd
+// buffers from a corrupt length prefix.
+const maxEntry = 1 << 20
+
+// readRecord decodes the next record from r. It returns io.EOF cleanly
+// at end of stream and ErrCorrupt (wrapped) for any malformed entry.
+func readRecord(r io.Reader) (Record, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("metadata: entry header: %w", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxEntry {
+		return Record{}, fmt.Errorf("metadata: entry length %d: %w", n, ErrCorrupt)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, fmt.Errorf("metadata: entry payload: %w", ErrCorrupt)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return Record{}, fmt.Errorf("metadata: entry crc: %w", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return Record{}, fmt.Errorf("metadata: entry checksum: %w", ErrCorrupt)
+	}
+	return decodePayload(payload)
+}
+
+func decodePayload(p []byte) (Record, error) {
+	var rec Record
+	off := 0
+	need := func(n int) bool { return off+n <= len(p) }
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(p[off:])
+		off += 8
+		return v
+	}
+	u32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(p[off:])
+		off += 4
+		return v
+	}
+	if !need(8 + 1 + 8 + 8 + 8 + 4 + 4 + 8 + 1) {
+		return rec, fmt.Errorf("metadata: short payload: %w", ErrCorrupt)
+	}
+	rec.ID = u64()
+	rec.Kind = Kind(p[off])
+	off++
+	rec.Frame = int(int64(u64()))
+	rec.FrameEnd = int(int64(u64()))
+	rec.Time = time.Duration(int64(u64()))
+	rec.Person = int(int32(u32()))
+	rec.Other = int(int32(u32()))
+	rec.Value = math.Float64frombits(u64())
+	lblLen := int(p[off])
+	off++
+	if !need(lblLen + 2) {
+		return rec, fmt.Errorf("metadata: truncated label: %w", ErrCorrupt)
+	}
+	rec.Label = string(p[off : off+lblLen])
+	off += lblLen
+	tagCount := int(binary.LittleEndian.Uint16(p[off:]))
+	off += 2
+	if tagCount > 0 {
+		rec.Tags = make(map[string]string, tagCount)
+	}
+	for i := 0; i < tagCount; i++ {
+		if !need(1) {
+			return rec, fmt.Errorf("metadata: truncated tag: %w", ErrCorrupt)
+		}
+		kl := int(p[off])
+		off++
+		if !need(kl + 2) {
+			return rec, fmt.Errorf("metadata: truncated tag key: %w", ErrCorrupt)
+		}
+		k := string(p[off : off+kl])
+		off += kl
+		vl := int(binary.LittleEndian.Uint16(p[off:]))
+		off += 2
+		if !need(vl) {
+			return rec, fmt.Errorf("metadata: truncated tag value: %w", ErrCorrupt)
+		}
+		rec.Tags[k] = string(p[off : off+vl])
+		off += vl
+	}
+	if off != len(p) {
+		return rec, fmt.Errorf("metadata: %d trailing payload bytes: %w", len(p)-off, ErrCorrupt)
+	}
+	return rec, nil
+}

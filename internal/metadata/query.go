@@ -1,0 +1,459 @@
+package metadata
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Query language: boolean filter expressions over record fields, giving
+// the "rich query vocabulary" of paper §II-E. Grammar:
+//
+//	expr   := or
+//	or     := and ( OR and )*
+//	and    := unary ( AND unary )*
+//	unary  := NOT unary | '(' expr ')' | cmp
+//	cmp    := field op value
+//	field  := kind | label | person | other | frame | frameend | time
+//	        | value | tag.<name>
+//	op     := = | != | < | <= | > | >=
+//	value  := number | 'single-quoted string' | bareword
+//
+// Examples:
+//
+//	kind = event AND label = 'eye-contact' AND person = 1
+//	label = 'happy' AND frame >= 250 AND frame < 500
+//	tag.camera = 'C2' OR value > 0.9
+//
+// person/other values are 1-based in queries (P1, P2… as the paper
+// labels participants) and converted to 0-based IDs internally.
+
+// Expr is a compiled query expression.
+type Expr interface {
+	// Eval reports whether a record matches.
+	Eval(Record) (bool, error)
+}
+
+// --- lexer ---
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp     // = != < <= > >=
+	tokLParen //
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '!' && l.peek(1) == '=':
+		l.pos += 2
+		return token{kind: tokOp, text: "!=", pos: start}, nil
+	case c == '<':
+		if l.peek(1) == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: "<=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, text: "<", pos: start}, nil
+	case c == '>':
+		if l.peek(1) == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, text: ">", pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("metadata: unterminated string at %d: %w", start, ErrBadQuery)
+		}
+		l.pos++ // closing quote
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+	case c == '-' || c == '+' || unicode.IsDigit(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) ||
+			l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		l.pos++
+		for l.pos < len(l.src) {
+			r := rune(l.src[l.pos])
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '-' {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	}
+	return token{}, fmt.Errorf("metadata: unexpected %q at %d: %w", c, start, ErrBadQuery)
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+// --- parser ---
+
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+// Parse compiles a query string.
+func Parse(q string) (Expr, error) {
+	p := &parser{lex: &lexer{src: q}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, fmt.Errorf("metadata: trailing input %q at %d: %w", p.cur.text, p.cur.pos, ErrBadQuery)
+	}
+	return e, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, "or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orExpr{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, "and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = andExpr{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, "not"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{inner}, nil
+	case p.cur.kind == tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur.kind != tokRParen {
+			return nil, fmt.Errorf("metadata: missing ')' at %d: %w", p.cur.pos, ErrBadQuery)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	if p.cur.kind != tokIdent {
+		return nil, fmt.Errorf("metadata: expected field at %d, got %q: %w", p.cur.pos, p.cur.text, ErrBadQuery)
+	}
+	field := strings.ToLower(p.cur.text)
+	pos := p.cur.pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokOp {
+		return nil, fmt.Errorf("metadata: expected operator after %q at %d: %w", field, p.cur.pos, ErrBadQuery)
+	}
+	op := p.cur.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokNumber && p.cur.kind != tokString && p.cur.kind != tokIdent {
+		return nil, fmt.Errorf("metadata: expected value at %d: %w", p.cur.pos, ErrBadQuery)
+	}
+	valText := p.cur.text
+	valIsString := p.cur.kind != tokNumber
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return buildCmp(field, op, valText, valIsString, pos)
+}
+
+// --- expression nodes ---
+
+type andExpr struct{ l, r Expr }
+
+func (e andExpr) Eval(rec Record) (bool, error) {
+	ok, err := e.l.Eval(rec)
+	if err != nil || !ok {
+		return false, err
+	}
+	return e.r.Eval(rec)
+}
+
+type orExpr struct{ l, r Expr }
+
+func (e orExpr) Eval(rec Record) (bool, error) {
+	ok, err := e.l.Eval(rec)
+	if err != nil {
+		return false, err
+	}
+	if ok {
+		return true, nil
+	}
+	return e.r.Eval(rec)
+}
+
+type notExpr struct{ inner Expr }
+
+func (e notExpr) Eval(rec Record) (bool, error) {
+	ok, err := e.inner.Eval(rec)
+	return !ok, err
+}
+
+// cmpExpr compares one field.
+type cmpExpr struct {
+	field string // normalised field name, or "tag" with key set
+	key   string // tag key when field == "tag"
+	op    string
+	str   string  // string operand
+	num   float64 // numeric operand
+	isNum bool
+}
+
+func buildCmp(field, op, val string, valIsString bool, pos int) (Expr, error) {
+	e := cmpExpr{op: op}
+	if strings.HasPrefix(field, "tag.") {
+		e.field = "tag"
+		e.key = field[len("tag."):]
+		if e.key == "" {
+			return nil, fmt.Errorf("metadata: empty tag key at %d: %w", pos, ErrBadQuery)
+		}
+	} else {
+		switch field {
+		case "kind", "label", "person", "other", "frame", "frameend", "time", "value", "id":
+			e.field = field
+		default:
+			return nil, fmt.Errorf("metadata: unknown field %q at %d: %w", field, pos, ErrBadQuery)
+		}
+	}
+	if !valIsString {
+		n, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metadata: bad number %q at %d: %w", val, pos, ErrBadQuery)
+		}
+		e.num = n
+		e.isNum = true
+	} else {
+		e.str = val
+	}
+
+	// Field-specific validation and normalisation.
+	switch e.field {
+	case "kind":
+		if e.isNum {
+			return nil, fmt.Errorf("metadata: kind compares by name at %d: %w", pos, ErrBadQuery)
+		}
+		if _, err := ParseKind(e.str); err != nil {
+			return nil, err
+		}
+		if op != "=" && op != "!=" {
+			return nil, fmt.Errorf("metadata: kind supports = and != only: %w", ErrBadQuery)
+		}
+	case "label", "tag":
+		if e.isNum {
+			return nil, fmt.Errorf("metadata: %s compares strings at %d: %w", e.field, pos, ErrBadQuery)
+		}
+		if op != "=" && op != "!=" {
+			return nil, fmt.Errorf("metadata: %s supports = and != only: %w", e.field, ErrBadQuery)
+		}
+	case "person", "other", "frame", "frameend", "time", "value", "id":
+		if !e.isNum {
+			return nil, fmt.Errorf("metadata: %s compares numbers at %d: %w", e.field, pos, ErrBadQuery)
+		}
+	}
+	return e, nil
+}
+
+func (e cmpExpr) Eval(rec Record) (bool, error) {
+	switch e.field {
+	case "kind":
+		k, _ := ParseKind(e.str)
+		if e.op == "=" {
+			return rec.Kind == k, nil
+		}
+		return rec.Kind != k, nil
+	case "label":
+		if e.op == "=" {
+			return rec.Label == e.str, nil
+		}
+		return rec.Label != e.str, nil
+	case "tag":
+		v, ok := rec.Tags[e.key]
+		if e.op == "=" {
+			return ok && v == e.str, nil
+		}
+		return !ok || v != e.str, nil
+	case "person":
+		// Queries are 1-based (P1 = 1); absent person (-1) never
+		// matches equality.
+		return cmpNum(float64(rec.Person+1), e.op, e.num), nil
+	case "other":
+		return cmpNum(float64(rec.Other+1), e.op, e.num), nil
+	case "frame":
+		return cmpNum(float64(rec.Frame), e.op, e.num), nil
+	case "frameend":
+		return cmpNum(float64(rec.FrameEnd), e.op, e.num), nil
+	case "time":
+		return cmpNum(rec.Time.Seconds(), e.op, e.num), nil
+	case "value":
+		return cmpNum(rec.Value, e.op, e.num), nil
+	case "id":
+		return cmpNum(float64(rec.ID), e.op, e.num), nil
+	}
+	return false, fmt.Errorf("metadata: unreachable field %q: %w", e.field, ErrBadQuery)
+}
+
+func cmpNum(a float64, op string, b float64) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+// --- planner hints ---
+
+// hints captures top-level AND equality constraints usable as index
+// lookups.
+type hintSet struct {
+	label  *string
+	person *int
+	kind   *Kind
+}
+
+// indexHints walks top-level AND chains collecting equality constraints.
+// OR and NOT nodes stop the walk (their matches may fall outside any
+// single index bucket).
+func indexHints(e Expr) hintSet {
+	var h hintSet
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case andExpr:
+			walk(v.l)
+			walk(v.r)
+		case cmpExpr:
+			if v.op != "=" {
+				return
+			}
+			switch v.field {
+			case "label":
+				s := v.str
+				h.label = &s
+			case "person":
+				p := int(v.num) - 1
+				h.person = &p
+			case "kind":
+				if k, err := ParseKind(v.str); err == nil {
+					h.kind = &k
+				}
+			}
+		}
+	}
+	walk(e)
+	return h
+}

@@ -1,0 +1,398 @@
+package metadata
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Repository is the embedded metadata store. Appends go to an append-only
+// log on disk (when opened with a directory) and into the in-memory
+// indexes; queries run against memory. Safe for concurrent use.
+type Repository struct {
+	mu sync.RWMutex
+
+	dir     string   // "" for in-memory-only repositories
+	logFile *os.File // nil for in-memory
+	logBuf  *bufio.Writer
+	encBuf  []byte
+
+	records []Record // append order == ID order
+	// Secondary indexes hold positions into records.
+	byLabel  map[string][]int
+	byPerson map[int][]int
+	byKind   [numKinds][]int
+
+	nextID uint64
+	closed bool
+}
+
+const logName = "metadata.log"
+
+// Open opens (or creates) a repository persisted under dir. Existing log
+// entries are replayed; a corrupt tail is truncated with only valid
+// prefix records retained — the standard recovery contract for an
+// append-only store.
+func Open(dir string) (*Repository, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("metadata: creating %s: %w", dir, err)
+	}
+	r := newMem()
+	r.dir = dir
+	path := filepath.Join(dir, logName)
+
+	// Replay.
+	validBytes, err := r.replay(path)
+	if err != nil {
+		return nil, err
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("metadata: opening log: %w", err)
+	}
+	// Drop any corrupt tail before appending.
+	if err := f.Truncate(validBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("metadata: truncating corrupt tail: %w", err)
+	}
+	if _, err := f.Seek(validBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("metadata: seeking log end: %w", err)
+	}
+	r.logFile = f
+	r.logBuf = bufio.NewWriter(f)
+	return r, nil
+}
+
+// NewMem returns a purely in-memory repository (no durability) — used by
+// tests and short-lived analyses.
+func NewMem() *Repository { return newMem() }
+
+func newMem() *Repository {
+	return &Repository{
+		byLabel:  make(map[string][]int),
+		byPerson: make(map[int][]int),
+		nextID:   1,
+	}
+}
+
+// replay loads records from the log, returning the byte offset of the
+// last fully valid entry.
+func (r *Repository) replay(path string) (int64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("metadata: opening log for replay: %w", err)
+	}
+	defer f.Close()
+
+	cr := &countingReader{r: bufio.NewReader(f)}
+	var valid int64
+	for {
+		rec, err := readRecord(cr)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Corrupt tail: keep the valid prefix, stop replaying.
+			break
+		}
+		r.index(rec)
+		if rec.ID >= r.nextID {
+			r.nextID = rec.ID + 1
+		}
+		valid = cr.n
+	}
+	return valid, nil
+}
+
+// countingReader tracks consumed bytes for tail truncation.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// index inserts a record into memory structures. Caller holds the lock
+// (or is constructing the repository).
+func (r *Repository) index(rec Record) {
+	pos := len(r.records)
+	r.records = append(r.records, rec)
+	r.byLabel[rec.Label] = append(r.byLabel[rec.Label], pos)
+	if rec.Person >= 0 {
+		r.byPerson[rec.Person] = append(r.byPerson[rec.Person], pos)
+	}
+	if rec.Other >= 0 && rec.Other != rec.Person {
+		r.byPerson[rec.Other] = append(r.byPerson[rec.Other], pos)
+	}
+	r.byKind[rec.Kind] = append(r.byKind[rec.Kind], pos)
+}
+
+// Append validates, assigns an ID, persists and indexes a record,
+// returning the assigned ID.
+func (r *Repository) Append(rec Record) (uint64, error) {
+	if err := rec.Validate(); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, ErrClosed
+	}
+	rec.ID = r.nextID
+	r.nextID++
+	if r.logBuf != nil {
+		r.encBuf = appendRecord(r.encBuf[:0], rec)
+		if _, err := r.logBuf.Write(r.encBuf); err != nil {
+			return 0, fmt.Errorf("metadata: appending record: %w", err)
+		}
+	}
+	r.index(rec)
+	return rec.ID, nil
+}
+
+// AppendBatch appends many records, flushing once.
+func (r *Repository) AppendBatch(recs []Record) error {
+	for i := range recs {
+		if _, err := r.Append(recs[i]); err != nil {
+			return fmt.Errorf("metadata: batch record %d: %w", i, err)
+		}
+	}
+	return r.Flush()
+}
+
+// Flush forces buffered log writes to the OS.
+func (r *Repository) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if r.logBuf == nil {
+		return nil
+	}
+	if err := r.logBuf.Flush(); err != nil {
+		return fmt.Errorf("metadata: flushing log: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs the log.
+func (r *Repository) Sync() error {
+	if err := r.Flush(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.logFile == nil {
+		return nil
+	}
+	if err := r.logFile.Sync(); err != nil {
+		return fmt.Errorf("metadata: syncing log: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the repository.
+func (r *Repository) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.logBuf != nil {
+		if err := r.logBuf.Flush(); err != nil {
+			r.logFile.Close()
+			return fmt.Errorf("metadata: flushing on close: %w", err)
+		}
+	}
+	if r.logFile != nil {
+		if err := r.logFile.Close(); err != nil {
+			return fmt.Errorf("metadata: closing log: %w", err)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored records.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.records)
+}
+
+// Get returns a record by ID.
+func (r *Repository) Get(id uint64) (Record, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// IDs are dense and start at 1 unless the log was compacted; a
+	// binary search over the ordered records handles both.
+	i := sort.Search(len(r.records), func(i int) bool { return r.records[i].ID >= id })
+	if i < len(r.records) && r.records[i].ID == id {
+		return r.records[i], true
+	}
+	return Record{}, false
+}
+
+// Query parses and executes a query, returning matching records in
+// frame order (time-invariant records first).
+func (r *Repository) Query(q string) ([]Record, error) {
+	expr, err := Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return r.QueryExpr(expr)
+}
+
+// QueryExpr executes a parsed expression.
+func (r *Repository) QueryExpr(expr Expr) ([]Record, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+
+	// Planner: extract an index hint from top-level AND equalities.
+	cand := r.candidates(expr)
+
+	var out []Record
+	for _, pos := range cand {
+		rec := r.records[pos]
+		ok, err := expr.Eval(rec)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, rec)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		fi, fj := out[i].Frame, out[j].Frame
+		if fi != fj {
+			return fi < fj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// candidates returns the index positions to scan: the smallest
+// applicable index, or everything.
+func (r *Repository) candidates(expr Expr) []int {
+	hints := indexHints(expr)
+	best := -1
+	var bestList []int
+	consider := func(list []int, ok bool) {
+		if !ok {
+			return
+		}
+		if best == -1 || len(list) < best {
+			best = len(list)
+			bestList = list
+		}
+	}
+	if hints.label != nil {
+		consider(r.byLabel[*hints.label], true)
+	}
+	// person = 0 queries address "no participant" records, which the
+	// person index does not cover — only positive IDs may use it.
+	if hints.person != nil && *hints.person >= 0 {
+		consider(r.byPerson[*hints.person], true)
+	}
+	if hints.kind != nil && int(*hints.kind) < int(numKinds) {
+		consider(r.byKind[*hints.kind], true)
+	}
+	if best >= 0 {
+		return bestList
+	}
+	all := make([]int, len(r.records))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// Scan iterates all records in append order, stopping when fn returns
+// false. The callback must not call back into the repository.
+func (r *Repository) Scan(fn func(Record) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, rec := range r.records {
+		if !fn(rec) {
+			return
+		}
+	}
+}
+
+// Compact rewrites the log with the current records only (dropping any
+// previously truncated garbage and reclaiming buffering slack), then
+// reopens it for appending. In-memory repositories are a no-op.
+func (r *Repository) Compact() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if r.logFile == nil {
+		return nil
+	}
+	if err := r.logBuf.Flush(); err != nil {
+		return fmt.Errorf("metadata: flush before compact: %w", err)
+	}
+	tmp := filepath.Join(r.dir, logName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("metadata: creating compact file: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	buf := make([]byte, 0, 4096)
+	for _, rec := range r.records {
+		buf = appendRecord(buf[:0], rec)
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("metadata: writing compact file: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("metadata: flushing compact file: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("metadata: syncing compact file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("metadata: closing compact file: %w", err)
+	}
+	// Swap.
+	r.logFile.Close()
+	final := filepath.Join(r.dir, logName)
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("metadata: swapping compact file: %w", err)
+	}
+	nf, err := os.OpenFile(final, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("metadata: reopening log: %w", err)
+	}
+	r.logFile = nf
+	r.logBuf = bufio.NewWriter(nf)
+	return nil
+}

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Binary model format, little-endian:
+//
+//	magic   [4]byte "DINN"
+//	version uint16 (1)
+//	hidden  uint8
+//	nLayers uint16
+//	sizes   nLayers × uint32
+//	params  float64 stream: for each layer, weights then biases
+//	crc     uint32 over the raw param bytes
+//
+// The CRC catches truncated or bit-rotted model files at load time.
+
+var modelMagic = [4]byte{'D', 'I', 'N', 'N'}
+
+const modelVersion = 1
+
+// ErrBadModel reports an unreadable model stream.
+var ErrBadModel = errors.New("nn: bad model data")
+
+// Save writes the network to w.
+func (n *Network) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(modelMagic[:]); err != nil {
+		return fmt.Errorf("nn: writing magic: %w", err)
+	}
+	hdr := []any{uint16(modelVersion), uint8(n.hidden), uint16(len(n.sizes))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("nn: writing header: %w", err)
+		}
+	}
+	for _, s := range n.sizes {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(s)); err != nil {
+			return fmt.Errorf("nn: writing sizes: %w", err)
+		}
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, crc)
+	buf := make([]byte, 8)
+	writeF := func(xs []float64) error {
+		for _, x := range xs {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+			if _, err := mw.Write(buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for l := range n.w {
+		if err := writeF(n.w[l]); err != nil {
+			return fmt.Errorf("nn: writing layer %d: %w", l, err)
+		}
+		if err := writeF(n.b[l]); err != nil {
+			return fmt.Errorf("nn: writing layer %d bias: %w", l, err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("nn: writing crc: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("nn: flushing model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, fmt.Errorf("nn: magic %q: %w", magic, ErrBadModel)
+	}
+	var version uint16
+	var hidden uint8
+	var nLayers uint16
+	for _, p := range []any{&version, &hidden, &nLayers} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("nn: reading header: %w", err)
+		}
+	}
+	if version != modelVersion {
+		return nil, fmt.Errorf("nn: version %d: %w", version, ErrBadModel)
+	}
+	if nLayers < 2 || nLayers > 64 {
+		return nil, fmt.Errorf("nn: %d layers: %w", nLayers, ErrBadModel)
+	}
+	sizes := make([]int, nLayers)
+	for i := range sizes {
+		var s uint32
+		if err := binary.Read(br, binary.LittleEndian, &s); err != nil {
+			return nil, fmt.Errorf("nn: reading sizes: %w", err)
+		}
+		if s == 0 || s > 1<<20 {
+			return nil, fmt.Errorf("nn: layer size %d: %w", s, ErrBadModel)
+		}
+		sizes[i] = int(s)
+	}
+	n := &Network{sizes: sizes, hidden: Activation(hidden)}
+	crc := crc32.NewIEEE()
+	buf := make([]byte, 8)
+	readF := func(count int) ([]float64, error) {
+		out := make([]float64, count)
+		for i := range out {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			crc.Write(buf)
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+		return out, nil
+	}
+	for l := 0; l+1 < len(sizes); l++ {
+		w, err := readF(sizes[l] * sizes[l+1])
+		if err != nil {
+			return nil, fmt.Errorf("nn: reading layer %d: %w", l, err)
+		}
+		b, err := readF(sizes[l+1])
+		if err != nil {
+			return nil, fmt.Errorf("nn: reading layer %d bias: %w", l, err)
+		}
+		n.w = append(n.w, w)
+		n.b = append(n.b, b)
+	}
+	var want uint32
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("nn: reading crc: %w", err)
+	}
+	if crc.Sum32() != want {
+		return nil, fmt.Errorf("nn: parameter checksum mismatch: %w", ErrBadModel)
+	}
+	return n, nil
+}

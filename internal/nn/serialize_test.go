@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func trainedNet(t *testing.T) *Network {
+	t.Helper()
+	n, err := New(Config{Sizes: []int{2, 8, 2}, Hidden: Tanh, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, labels := xorData()
+	if _, err := n.Train(samples, labels, TrainOptions{Epochs: 300, Seed: 21}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n := trainedNet(t)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same predictions bit-for-bit.
+	samples, _ := xorData()
+	for _, x := range samples {
+		pa, _ := n.Predict(x)
+		pb, _ := m.Predict(x)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("prediction drift after round trip: %v vs %v", pa, pb)
+			}
+		}
+	}
+	// Loaded net remains trainable.
+	if _, err := m.Train(samples, []int{0, 1, 1, 0}, TrainOptions{Epochs: 1}); err != nil {
+		t.Errorf("loaded model not trainable: %v", err)
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model at all"))); !errors.Is(err, ErrBadModel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptParams(t *testing.T) {
+	n := trainedNet(t)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-12] ^= 0x55 // corrupt a parameter byte near the tail
+	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrBadModel) {
+		t.Errorf("corrupt params error = %v", err)
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	n := trainedNet(t)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Error("truncated model should fail")
+	}
+}

@@ -1,0 +1,308 @@
+package scene
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/emotion"
+	"repro/internal/geom"
+)
+
+// Prototype participant colours, matching §III and Figs. 7–9: the paper
+// names yellow (P1), green (P3) explicitly; blue and black fill P2/P4.
+var prototypeColors = []string{"yellow", "blue", "green", "black"}
+
+// PrototypeScenario reproduces the paper's §III prototype exactly: four
+// participants around a rectangular table in a meeting room, 610 frames
+// at 25 fps (40 s). The gaze script is constructed so that
+//
+//   - at t = 10 s (frame 250) the look-at map matches Fig. 7: green and
+//     yellow in mutual eye contact, black → blue, blue → green;
+//   - at t = 15 s (frame 375) the map matches Fig. 8: green, blue and
+//     black all look at yellow;
+//   - the 610-frame summary matches Fig. 9's shape: zero diagonal,
+//     P1's (yellow's) column sum maximal (meeting dominance), and
+//     P1 → P3 (yellow → green) the largest single entry at exactly 357.
+func PrototypeScenario() Scenario {
+	// Seats around a 1.8 × 1.0 m rectangular table centred at the
+	// origin; heads at sitting height 1.2 m.
+	const headZ = 1.2
+	persons := []PersonSpec{
+		{ID: 0, Name: "P1", Color: prototypeColors[0], Seat: geom.V3(1.15, 0, headZ), HeadRadius: DefaultHeadRadius, FaceTone: 230},
+		{ID: 1, Name: "P2", Color: prototypeColors[1], Seat: geom.V3(0, 0.8, headZ), HeadRadius: DefaultHeadRadius, FaceTone: 190},
+		{ID: 2, Name: "P3", Color: prototypeColors[2], Seat: geom.V3(-1.15, 0, headZ), HeadRadius: DefaultHeadRadius, FaceTone: 150},
+		{ID: 3, Name: "P4", Color: prototypeColors[3], Seat: geom.V3(0, -0.8, headZ), HeadRadius: DefaultHeadRadius, FaceTone: 110},
+	}
+
+	// Gaze script. P1 = 0, P2 = 1, P3 = 2, P4 = 3.
+	// P1→P3 frame count: (207−100) + (300−207) + (346−300) + (518−450)
+	// + (610−567) = 107+93+46+68+43 = 357, pinning Fig. 9's headline
+	// number.
+	segments := []Segment{
+		{ // P1 eats; the others chat around him.
+			Start: 0,
+			Gaze: map[int]GazeTarget{
+				0: AtTable(), 1: AtPerson(0), 2: AtPerson(1), 3: AtPerson(2),
+			},
+			Emotions: map[int]emotion.Label{0: emotion.Neutral, 1: emotion.Neutral, 2: emotion.Happy, 3: emotion.Neutral},
+			Speaker:  1, Phase: PhaseTalking,
+		},
+		{ // P1 starts speaking to P3; all attention on P1.
+			Start: 100,
+			Gaze: map[int]GazeTarget{
+				0: AtPerson(2), 1: AtPerson(0), 2: AtPerson(0), 3: AtPerson(0),
+			},
+			Speaker: 0, Phase: PhaseTalking,
+		},
+		{ // Fig. 7 configuration (covers frame 250, t = 10 s):
+			// yellow ↔ green mutual, blue → green, black → blue.
+			Start: 207,
+			Gaze: map[int]GazeTarget{
+				0: AtPerson(2), 1: AtPerson(2), 2: AtPerson(0), 3: AtPerson(1),
+			},
+			Speaker: 0, Phase: PhaseTalking,
+		},
+		{ // Side conversation collapses; back to P1.
+			Start: 300,
+			Gaze: map[int]GazeTarget{
+				0: AtPerson(2), 1: AtPerson(0), 2: AtPerson(0), 3: AtPerson(0),
+			},
+			Speaker: 0, Phase: PhaseTalking,
+		},
+		{ // Fig. 8 configuration (covers frame 375, t = 15 s):
+			// green, blue, black → yellow; yellow glances at his notes.
+			Start: 346,
+			Gaze: map[int]GazeTarget{
+				0: AtTable(), 1: AtPerson(0), 2: AtPerson(0), 3: AtPerson(0),
+			},
+			Emotions: map[int]emotion.Label{0: emotion.Happy},
+			Speaker:  0, Phase: PhaseTalking,
+		},
+		{ // P1 resumes with P3; P2 drifts to P4.
+			Start: 450,
+			Gaze: map[int]GazeTarget{
+				0: AtPerson(2), 1: AtPerson(3), 2: AtPerson(0), 3: AtPerson(0),
+			},
+			Speaker: 0, Phase: PhaseTalking,
+		},
+		{ // Brief exchange P1 ↔ P2.
+			Start: 518,
+			Gaze: map[int]GazeTarget{
+				0: AtPerson(1), 1: AtPerson(0), 2: AtPerson(0), 3: AtPerson(0),
+			},
+			Speaker: 1, Phase: PhaseTalking,
+		},
+		{ // Closing: P1 back to P3, P2 follows the talk.
+			Start: 567,
+			Gaze: map[int]GazeTarget{
+				0: AtPerson(2), 1: AtPerson(2), 2: AtPerson(0), 3: AtPerson(0),
+			},
+			Speaker: 0, Phase: PhaseTalking,
+		},
+	}
+
+	return Scenario{
+		Name:          "prototype",
+		Persons:       persons,
+		Segments:      segments,
+		NumFrames:     610,
+		FPS:           25,
+		TableW:        1.8,
+		TableD:        1.0,
+		TableH:        0.75,
+		RoomW:         6,
+		RoomD:         5,
+		Seed:          20180416, // ICDEW 2018 workshop date
+		HeadJitterDeg: 0.8,
+	}
+}
+
+// DinnerOptions parameterises the synthetic restaurant dinner used by the
+// smart-restaurant experiments and the HMM baseline.
+type DinnerOptions struct {
+	// Persons is the party size (2–8).
+	Persons int
+	// Frames is the total length.
+	Frames int
+	// Seed drives the emotion/gaze randomisation.
+	Seed int64
+	// Enjoyment in [0,1] biases emotions positive — the knob the
+	// recipe-evaluation experiment turns.
+	Enjoyment float64
+}
+
+// DinnerScenario generates a full dinner with the five dining phases
+// (arriving → ordering → eating → talking → paying), speaker rotation,
+// plausible gaze behaviour (diners watch the speaker or their plates) and
+// emotion dynamics biased by the Enjoyment knob. It provides ground truth
+// for the activity-segmentation baseline (T-E) and the satisfaction
+// analytics (Fig. 5 and the smart-restaurant example).
+func DinnerScenario(opt DinnerOptions) (Scenario, error) {
+	if opt.Persons < 2 || opt.Persons > 8 {
+		return Scenario{}, fmt.Errorf("scene: dinner party of %d outside [2,8]: %w", opt.Persons, ErrNoPersons)
+	}
+	if opt.Frames < NumPhases*10 {
+		return Scenario{}, fmt.Errorf("scene: %d frames too short for a dinner: %w", opt.Frames, ErrBadFrames)
+	}
+	if opt.Enjoyment < 0 || opt.Enjoyment > 1 {
+		return Scenario{}, fmt.Errorf("scene: enjoyment %v outside [0,1]: %w", opt.Enjoyment, ErrBadSegments)
+	}
+
+	// Seats spaced around an ellipse fitting the table.
+	const headZ = 1.2
+	tones := []uint8{230, 200, 170, 140, 110, 90, 70, 50}
+	persons := make([]PersonSpec, opt.Persons)
+	for i := range persons {
+		ang := 2 * 3.141592653589793 * float64(i) / float64(opt.Persons)
+		persons[i] = PersonSpec{
+			ID:         i,
+			Name:       fmt.Sprintf("P%d", i+1),
+			Color:      dinnerColors[i%len(dinnerColors)],
+			Seat:       geom.V3(1.15*cos(ang), 0.8*sin(ang), headZ),
+			HeadRadius: DefaultHeadRadius,
+			FaceTone:   tones[i%len(tones)],
+		}
+	}
+
+	rng := newFrameRand(opt.Seed, 0xD1EE, 0)
+
+	// Phase boundaries: arriving 10%, ordering 15%, eating 40%,
+	// talking 25%, paying 10%.
+	cuts := []float64{0, 0.10, 0.25, 0.65, 0.90}
+	phases := []Phase{PhaseArriving, PhaseOrdering, PhaseEating, PhaseTalking, PhasePaying}
+
+	var segments []Segment
+	for pi, frac := range cuts {
+		phaseStart := int(frac * float64(opt.Frames))
+		phaseEnd := opt.Frames
+		if pi+1 < len(cuts) {
+			phaseEnd = int(cuts[pi+1] * float64(opt.Frames))
+		}
+		ph := phases[pi]
+		// Sub-segments of ~2 s (50 frames) within the phase, each with
+		// fresh gaze/emotion assignments.
+		for s := phaseStart; s < phaseEnd; s += 50 {
+			seg := Segment{
+				Start:    s,
+				Gaze:     make(map[int]GazeTarget, opt.Persons),
+				Emotions: make(map[int]emotion.Label, opt.Persons),
+				Speaker:  -1,
+				Phase:    ph,
+			}
+			// A speaker (if any) for this sub-segment.
+			speaker := -1
+			if ph != PhaseEating || rng.Float64() < 0.3 {
+				speaker = int(rng.Float64() * float64(opt.Persons))
+				seg.Speaker = speaker
+			}
+			for _, p := range persons {
+				seg.Gaze[p.ID] = dinnerGaze(ph, p.ID, speaker, opt.Persons, rng)
+				seg.Emotions[p.ID] = dinnerEmotion(ph, opt.Enjoyment, rng)
+			}
+			segments = append(segments, seg)
+		}
+	}
+
+	return Scenario{
+		Name:          fmt.Sprintf("dinner-%dp", opt.Persons),
+		Persons:       persons,
+		Segments:      segments,
+		NumFrames:     opt.Frames,
+		FPS:           25,
+		TableW:        1.8,
+		TableD:        1.0,
+		TableH:        0.75,
+		RoomW:         6,
+		RoomD:         5,
+		Seed:          opt.Seed,
+		HeadJitterDeg: 0.8,
+	}, nil
+}
+
+var dinnerColors = []string{"yellow", "blue", "green", "black", "red", "white", "orange", "purple"}
+
+// dinnerGaze picks a plausible gaze target for a phase: diners watch the
+// speaker while talking/ordering, their plates while eating, and wander
+// while arriving or paying.
+func dinnerGaze(ph Phase, self, speaker, n int, rng *frameRand) GazeTarget {
+	other := func() GazeTarget {
+		t := int(rng.Float64() * float64(n))
+		if t == self {
+			t = (t + 1) % n
+		}
+		return AtPerson(t)
+	}
+	r := rng.Float64()
+	switch ph {
+	case PhaseEating:
+		switch {
+		case r < 0.70:
+			return AtTable()
+		case r < 0.9:
+			return other()
+		default:
+			return Away()
+		}
+	case PhaseTalking, PhaseOrdering:
+		if speaker >= 0 && speaker != self && r < 0.75 {
+			return AtPerson(speaker)
+		}
+		if r < 0.9 {
+			return other()
+		}
+		return AtTable()
+	case PhaseArriving, PhasePaying:
+		switch {
+		case r < 0.4:
+			return Away()
+		case r < 0.8:
+			return other()
+		default:
+			return AtTable()
+		}
+	}
+	return AtTable()
+}
+
+// dinnerEmotion samples an emotion biased by the enjoyment knob and the
+// dining phase. Affect expression is strongly phase-coupled — people
+// react to the food while eating, arrive near-neutral, and sour a little
+// at the bill — following the food-and-emotion coupling the paper cites
+// (Canetti et al. [5]).
+func dinnerEmotion(ph Phase, enjoyment float64, rng *frameRand) emotion.Label {
+	r := rng.Float64()
+	var pHappy, pNegative float64
+	switch ph {
+	case PhaseArriving:
+		pHappy, pNegative = 0.10*enjoyment, 0.05
+	case PhaseOrdering:
+		pHappy, pNegative = 0.10+0.25*enjoyment, 0.10*(1-enjoyment)
+	case PhaseEating:
+		pHappy, pNegative = 0.10+0.70*enjoyment, 0.55*(1-enjoyment)
+	case PhaseTalking:
+		pHappy, pNegative = 0.10+0.40*enjoyment, 0.25*(1-enjoyment)
+	case PhasePaying:
+		pHappy, pNegative = 0.10*enjoyment, 0.15+0.25*(1-enjoyment)
+	}
+	switch {
+	case r < pHappy:
+		return emotion.Happy
+	case r < pHappy+pNegative:
+		// Split negatives: disgust dominates for bad food.
+		switch int(rng.Float64() * 3) {
+		case 0:
+			return emotion.Sad
+		case 1:
+			return emotion.Disgust
+		default:
+			return emotion.Angry
+		}
+	case r < pHappy+pNegative+0.08:
+		return emotion.Surprise
+	default:
+		return emotion.Neutral
+	}
+}
+
+func cos(x float64) float64 { return math.Cos(x) }
+func sin(x float64) float64 { return math.Sin(x) }

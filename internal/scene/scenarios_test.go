@@ -1,0 +1,245 @@
+package scene
+
+import (
+	"testing"
+
+	"repro/internal/emotion"
+)
+
+// TestPrototypeFig7 checks the exact t = 10 s (frame 250) look-at
+// configuration of paper Fig. 7: green ↔ yellow mutual eye contact,
+// black → blue, blue → green.
+func TestPrototypeFig7(t *testing.T) {
+	s, err := NewSimulator(PrototypeScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := s.FrameState(250)
+	if fs.Time.Seconds() != 10 {
+		t.Fatalf("frame 250 at %v, want 10 s", fs.Time)
+	}
+	m := fs.TrueLookAt()
+	// Indices: 0=P1 yellow, 1=P2 blue, 2=P3 green, 3=P4 black.
+	want := [4][4]int{
+		{0, 0, 1, 0}, // yellow → green
+		{0, 0, 1, 0}, // blue → green
+		{1, 0, 0, 0}, // green → yellow
+		{0, 1, 0, 0}, // black → blue
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if m[i][j] != want[i][j] {
+				t.Errorf("M[%d][%d] = %d, want %d", i, j, m[i][j], want[i][j])
+			}
+		}
+	}
+	// Eye contact (paper: both (x,y) and (y,x) equal 1) holds exactly
+	// for yellow-green.
+	if !(m[0][2] == 1 && m[2][0] == 1) {
+		t.Error("yellow-green eye contact missing")
+	}
+}
+
+// TestPrototypeFig8 checks the t = 15 s (frame 375) configuration of
+// Fig. 8: green, blue and black all look at yellow.
+func TestPrototypeFig8(t *testing.T) {
+	s, _ := NewSimulator(PrototypeScenario())
+	fs := s.FrameState(375)
+	if fs.Time.Seconds() != 15 {
+		t.Fatalf("frame 375 at %v, want 15 s", fs.Time)
+	}
+	m := fs.TrueLookAt()
+	for _, from := range []int{1, 2, 3} {
+		if m[from][0] != 1 {
+			t.Errorf("P%d should look at P1 (yellow)", from+1)
+		}
+	}
+	// Yellow looks at the table — no person-directed edge from row 0.
+	for j := 0; j < 4; j++ {
+		if m[0][j] != 0 {
+			t.Errorf("P1 row should be empty, M[0][%d]=%d", j, m[0][j])
+		}
+	}
+}
+
+// TestPrototypeFig9Summary checks the 610-frame summary matrix shape of
+// Fig. 9: zero diagonal, P1 (yellow) column sum maximal (dominance), and
+// P1 → P3 the largest entry at exactly 357.
+func TestPrototypeFig9Summary(t *testing.T) {
+	s, _ := NewSimulator(PrototypeScenario())
+	if s.NumFrames() != 610 {
+		t.Fatalf("prototype has %d frames, want 610", s.NumFrames())
+	}
+	sum := s.TrueSummary()
+	// Zero diagonal.
+	for i := 0; i < 4; i++ {
+		if sum[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %d, want 0", i, i, sum[i][i])
+		}
+	}
+	// Headline number: yellow looked at green 357 times.
+	if sum[0][2] != 357 {
+		t.Errorf("P1→P3 = %d, want 357", sum[0][2])
+	}
+	// Dominance: P1's column sum strictly maximal.
+	col := func(j int) int {
+		c := 0
+		for i := 0; i < 4; i++ {
+			c += sum[i][j]
+		}
+		return c
+	}
+	c0 := col(0)
+	for j := 1; j < 4; j++ {
+		if col(j) >= c0 {
+			t.Errorf("column %d sum %d >= P1 column %d — P1 must dominate", j, col(j), c0)
+		}
+	}
+	// Every row total ≤ frame count.
+	for i := 0; i < 4; i++ {
+		row := 0
+		for j := 0; j < 4; j++ {
+			row += sum[i][j]
+		}
+		if row > 610 {
+			t.Errorf("row %d total %d exceeds frame count", i, row)
+		}
+	}
+}
+
+func TestPrototypePersons(t *testing.T) {
+	sc := PrototypeScenario()
+	if len(sc.Persons) != 4 {
+		t.Fatal("prototype needs 4 participants")
+	}
+	wantColors := map[string]string{"P1": "yellow", "P2": "blue", "P3": "green", "P4": "black"}
+	for _, p := range sc.Persons {
+		if wantColors[p.Name] != p.Color {
+			t.Errorf("%s color = %s, want %s", p.Name, p.Color, wantColors[p.Name])
+		}
+	}
+}
+
+func TestDinnerScenarioValidation(t *testing.T) {
+	if _, err := DinnerScenario(DinnerOptions{Persons: 1, Frames: 1000}); err == nil {
+		t.Error("party of 1 should fail")
+	}
+	if _, err := DinnerScenario(DinnerOptions{Persons: 9, Frames: 1000}); err == nil {
+		t.Error("party of 9 should fail")
+	}
+	if _, err := DinnerScenario(DinnerOptions{Persons: 4, Frames: 10}); err == nil {
+		t.Error("too-short dinner should fail")
+	}
+	if _, err := DinnerScenario(DinnerOptions{Persons: 4, Frames: 1000, Enjoyment: 2}); err == nil {
+		t.Error("enjoyment > 1 should fail")
+	}
+}
+
+func TestDinnerScenarioStructure(t *testing.T) {
+	sc, err := DinnerScenario(DinnerOptions{Persons: 4, Frames: 2000, Seed: 7, Enjoyment: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("generated dinner invalid: %v", err)
+	}
+	s, err := NewSimulator(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All five phases must appear, in order.
+	seen := make(map[Phase]int)
+	lastPhase := Phase(0)
+	ordered := true
+	for i := 0; i < sc.NumFrames; i += 25 {
+		ph := s.FrameState(i).Phase
+		seen[ph]++
+		if ph < lastPhase {
+			ordered = false
+		}
+		lastPhase = ph
+	}
+	if len(seen) != NumPhases {
+		t.Errorf("saw %d phases, want %d (%v)", len(seen), NumPhases, seen)
+	}
+	if !ordered {
+		t.Error("phases should be non-decreasing over the dinner")
+	}
+}
+
+func TestDinnerEnjoymentShiftsEmotions(t *testing.T) {
+	count := func(enjoyment float64) (happy, negative int) {
+		sc, err := DinnerScenario(DinnerOptions{Persons: 4, Frames: 2000, Seed: 11, Enjoyment: enjoyment})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := NewSimulator(sc)
+		for i := 0; i < sc.NumFrames; i += 10 {
+			for _, p := range s.FrameState(i).Persons {
+				if p.Emotion == emotion.Happy {
+					happy++
+				}
+				if p.Emotion.Negative() {
+					negative++
+				}
+			}
+		}
+		return happy, negative
+	}
+	goodHappy, goodNeg := count(0.95)
+	badHappy, badNeg := count(0.05)
+	if goodHappy <= badHappy {
+		t.Errorf("enjoyable dinner should show more happiness: %d vs %d", goodHappy, badHappy)
+	}
+	if goodNeg >= badNeg {
+		t.Errorf("bad dinner should show more negative affect: %d vs %d", goodNeg, badNeg)
+	}
+}
+
+func TestDinnerDeterministicAcrossCalls(t *testing.T) {
+	a, _ := DinnerScenario(DinnerOptions{Persons: 5, Frames: 1500, Seed: 3, Enjoyment: 0.5})
+	b, _ := DinnerScenario(DinnerOptions{Persons: 5, Frames: 1500, Seed: 3, Enjoyment: 0.5})
+	if len(a.Segments) != len(b.Segments) {
+		t.Fatal("same seed must give same segment count")
+	}
+	for i := range a.Segments {
+		if a.Segments[i].Speaker != b.Segments[i].Speaker {
+			t.Fatal("same seed must give same speakers")
+		}
+	}
+}
+
+func TestFrameRandDistribution(t *testing.T) {
+	// Sanity: the counter-based PRNG's normal output has roughly unit
+	// variance and zero mean.
+	r := newFrameRand(42, 1, 2)
+	var sum, sumSq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean > 0.05 || mean < -0.05 {
+		t.Errorf("mean = %v, want ≈ 0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Errorf("variance = %v, want ≈ 1", variance)
+	}
+}
+
+func TestFrameRandIndependentStreams(t *testing.T) {
+	a := newFrameRand(1, 10, 0)
+	b := newFrameRand(1, 11, 0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.next() == b.next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Error("adjacent frame streams should not collide")
+	}
+}

@@ -1,0 +1,42 @@
+package summarize
+
+import (
+	"fmt"
+
+	"repro/internal/img"
+)
+
+// ContactSheet tiles thumbnails of selected frames into one image — the
+// visual digest a reviewer skims instead of the footage. Thumbnails are
+// scaled to thumbW wide (aspect preserved), laid out cols per row,
+// left-to-right then top-to-bottom, separated by a 2-pixel gutter.
+func ContactSheet(frames []*img.Gray, cols, thumbW int) (*img.Gray, error) {
+	if len(frames) == 0 {
+		return nil, ErrNoData
+	}
+	if cols <= 0 || thumbW <= 0 {
+		return nil, fmt.Errorf("summarize: sheet cols=%d thumbW=%d: %w", cols, thumbW, ErrNoData)
+	}
+	const gutter = 2
+	// Uniform thumbnail height from the first frame's aspect ratio; all
+	// frames from one rig share dimensions, and strays are resized.
+	thumbH := thumbW * frames[0].H / frames[0].W
+	if thumbH < 1 {
+		thumbH = 1
+	}
+	rows := (len(frames) + cols - 1) / cols
+	sheet := img.New(cols*thumbW+(cols+1)*gutter, rows*thumbH+(rows+1)*gutter)
+	sheet.Fill(20)
+	for i, f := range frames {
+		t := f.Resize(thumbW, thumbH)
+		r := i / cols
+		c := i % cols
+		x0 := gutter + c*(thumbW+gutter)
+		y0 := gutter + r*(thumbH+gutter)
+		for y := 0; y < thumbH; y++ {
+			copy(sheet.Pix[(y0+y)*sheet.W+x0:(y0+y)*sheet.W+x0+thumbW],
+				t.Pix[y*thumbW:(y+1)*thumbW])
+		}
+	}
+	return sheet, nil
+}

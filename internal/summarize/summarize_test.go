@@ -1,0 +1,193 @@
+package summarize
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/img"
+
+	"repro/internal/emotion"
+	"repro/internal/gaze"
+	"repro/internal/layers"
+	"repro/internal/parsing"
+)
+
+// buildResult fabricates a multilayer result with one strong EC episode
+// and an emotion swing.
+func buildResult(t *testing.T) *layers.Result {
+	t.Helper()
+	ctx := layers.Context{
+		Location: "lab", Occasion: "meeting",
+		Participants: []layers.Participant{
+			{ID: 0, Name: "P1", Color: "yellow"},
+			{ID: 1, Name: "P2", Color: "blue"},
+			{ID: 2, Name: "P3", Color: "green"},
+		},
+	}
+	a, err := layers.NewAnalyzer(ctx, layers.Options{SmoothWindow: 3, MinECFrames: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ctx.IDs()
+	for i := 0; i < 300; i++ {
+		m := gaze.NewMatrix(ids)
+		// Strong EC episode frames 100-160 between P1 and P3; others
+		// look at P1 throughout (dominance).
+		m.M[1][0] = 1
+		m.M[2][0] = 1
+		if i >= 100 && i < 160 {
+			m.M[0][2] = 1
+		}
+		emo := emotion.Neutral
+		if i >= 150 {
+			emo = emotion.Happy
+		}
+		in := layers.FrameInput{
+			Index: i, Time: time.Duration(i) * 40 * time.Millisecond,
+			LookAt: m,
+			Emotions: map[int]layers.EmotionObs{
+				0: {Label: emo, Confidence: 0.9},
+				1: {Label: emotion.Neutral, Confidence: 0.9},
+			},
+		}
+		if err := a.Push(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a.Finalize()
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	res := buildResult(t)
+	s, err := Summarize(res, nil, Options{TopK: 3, WindowLen: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Highlights) == 0 {
+		t.Fatal("no highlights")
+	}
+	// The best highlight must overlap the EC episode [100,160).
+	h := s.Highlights[0]
+	if h.End <= 95 || h.Start >= 165 {
+		t.Errorf("top highlight [%d,%d) misses the EC episode", h.Start, h.End)
+	}
+	if len(h.Reasons) == 0 {
+		t.Error("highlight should carry reasons")
+	}
+	// P1 receives all gaze: dominant.
+	if s.Dominant != 0 {
+		t.Errorf("dominant = %d, want 0", s.Dominant)
+	}
+	if s.DominanceShare <= 0.5 {
+		t.Errorf("dominance share = %v", s.DominanceShare)
+	}
+	if !strings.Contains(s.Digest, "P1") {
+		t.Error("digest should mention the dominant participant")
+	}
+}
+
+func TestSummarizeWindowsDisjoint(t *testing.T) {
+	res := buildResult(t)
+	s, err := Summarize(res, nil, Options{TopK: 5, WindowLen: 30, MinGap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(s.Highlights); i++ {
+		for j := i + 1; j < len(s.Highlights); j++ {
+			a, b := s.Highlights[i], s.Highlights[j]
+			if a.Start < b.End+10 && b.Start < a.End+10 {
+				t.Errorf("highlights %v and %v violate spacing", a, b)
+			}
+		}
+	}
+	// Ordered by score.
+	for i := 1; i < len(s.Highlights); i++ {
+		if s.Highlights[i].Score > s.Highlights[i-1].Score {
+			t.Error("highlights not score-ordered")
+		}
+	}
+}
+
+func TestSummarizeWithParse(t *testing.T) {
+	res := buildResult(t)
+	parse := &parsing.Parse{
+		NumFrames: 300,
+		Shots: []parsing.Shot{
+			{Start: 0, End: 150, KeyFrame: 70},
+			{Start: 150, End: 300, KeyFrame: 220},
+		},
+	}
+	s, err := Summarize(res, parse, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.KeyFrames) != 2 || s.KeyFrames[0] != 70 || s.KeyFrames[1] != 220 {
+		t.Errorf("keyframes = %v", s.KeyFrames)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil, nil, Options{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("nil result err = %v", err)
+	}
+	if _, err := Summarize(&layers.Result{}, nil, Options{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty result err = %v", err)
+	}
+}
+
+func TestSummarizeShortEvent(t *testing.T) {
+	// Window longer than the event must clamp, not panic.
+	ctx := layers.Context{Participants: []layers.Participant{{ID: 0, Name: "P1"}, {ID: 1, Name: "P2"}}}
+	a, _ := layers.NewAnalyzer(ctx, layers.Options{SmoothWindow: 1, MinECFrames: 2})
+	ids := ctx.IDs()
+	for i := 0; i < 10; i++ {
+		m := gaze.NewMatrix(ids)
+		m.M[0][1], m.M[1][0] = 1, 1
+		if err := a.Push(layers.FrameInput{Index: i, LookAt: m,
+			Emotions: map[int]layers.EmotionObs{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Summarize(a.Finalize(), nil, Options{WindowLen: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Highlights) == 0 {
+		t.Error("short event should still produce a highlight")
+	}
+	if s.Highlights[0].End > 10 {
+		t.Errorf("highlight exceeds event length: %+v", s.Highlights[0])
+	}
+}
+
+func TestContactSheet(t *testing.T) {
+	frames := make([]*img.Gray, 5)
+	for i := range frames {
+		frames[i] = img.New(64, 48)
+		frames[i].Fill(uint8(50 + i*40))
+	}
+	sheet, err := ContactSheet(frames, 3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 columns × 2 rows of 32×24 thumbs + gutters.
+	if sheet.W != 3*32+4*2 || sheet.H != 2*24+3*2 {
+		t.Fatalf("sheet dims %dx%d", sheet.W, sheet.H)
+	}
+	// First thumb content present at its cell.
+	if sheet.At(2+5, 2+5) != 50 {
+		t.Errorf("thumb 0 pixel = %d", sheet.At(7, 7))
+	}
+	// Last cell of an incomplete row stays background.
+	if sheet.At(2+2*(32+2)+5, 2+24+2+5) == 210 {
+		t.Error("empty cell should stay background")
+	}
+	if _, err := ContactSheet(nil, 3, 32); !errors.Is(err, ErrNoData) {
+		t.Error("empty frames should fail")
+	}
+	if _, err := ContactSheet(frames, 0, 32); !errors.Is(err, ErrNoData) {
+		t.Error("zero cols should fail")
+	}
+}

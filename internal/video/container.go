@@ -1,0 +1,153 @@
+package video
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"repro/internal/img"
+)
+
+// Raw video container: a minimal seekless stream format for persisting
+// rendered footage (the paper's acquisition platform stores recordings
+// for later analysis). Layout, all little-endian:
+//
+//	magic   [4]byte  "DIEV"
+//	version uint16   (1)
+//	width   uint16
+//	height  uint16
+//	fpsMilli uint32  (fps × 1000)
+//	count   uint32   frame count
+//	frames  count × (camLen uint8, camName [camLen]byte,
+//	                 timeNanos int64, pixels [w*h]byte, crc uint32)
+//
+// Each frame carries a CRC-32 of its pixel payload so corrupted tails
+// are detected on read — the same defensive posture the metadata
+// repository takes with its segment log.
+
+var containerMagic = [4]byte{'D', 'I', 'E', 'V'}
+
+const containerVersion = 1
+
+// Container codec errors.
+var (
+	ErrBadContainer = errors.New("video: bad container")
+	ErrCorruptFrame = errors.New("video: corrupt frame payload")
+)
+
+// WriteContainer encodes frames to w. All frames must share one size.
+func WriteContainer(w io.Writer, fps float64, frames []Frame) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("video: nothing to write: %w", ErrBadContainer)
+	}
+	fw := bufio.NewWriter(w)
+	w0, h0 := frames[0].Pixels.W, frames[0].Pixels.H
+	if _, err := fw.Write(containerMagic[:]); err != nil {
+		return fmt.Errorf("video: writing magic: %w", err)
+	}
+	hdr := []any{
+		uint16(containerVersion), uint16(w0), uint16(h0),
+		uint32(fps * 1000), uint32(len(frames)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(fw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("video: writing header: %w", err)
+		}
+	}
+	for i, f := range frames {
+		if f.Pixels.W != w0 || f.Pixels.H != h0 {
+			return fmt.Errorf("video: frame %d size %dx%d != %dx%d: %w",
+				i, f.Pixels.W, f.Pixels.H, w0, h0, ErrBadContainer)
+		}
+		name := []byte(f.Camera)
+		if len(name) > 255 {
+			name = name[:255]
+		}
+		if err := fw.WriteByte(uint8(len(name))); err != nil {
+			return fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		if _, err := fw.Write(name); err != nil {
+			return fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		if err := binary.Write(fw, binary.LittleEndian, f.Time.Nanoseconds()); err != nil {
+			return fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		if _, err := fw.Write(f.Pixels.Pix); err != nil {
+			return fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		crc := crc32.ChecksumIEEE(f.Pixels.Pix)
+		if err := binary.Write(fw, binary.LittleEndian, crc); err != nil {
+			return fmt.Errorf("video: frame %d crc: %w", i, err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		return fmt.Errorf("video: flushing container: %w", err)
+	}
+	return nil
+}
+
+// ReadContainer decodes a container, returning the frames and the fps.
+func ReadContainer(r io.Reader) ([]Frame, float64, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, 0, fmt.Errorf("video: reading magic: %w", err)
+	}
+	if magic != containerMagic {
+		return nil, 0, fmt.Errorf("video: magic %q: %w", magic, ErrBadContainer)
+	}
+	var version, w0, h0 uint16
+	var fpsMilli, count uint32
+	for _, p := range []any{&version, &w0, &h0, &fpsMilli, &count} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, 0, fmt.Errorf("video: reading header: %w", err)
+		}
+	}
+	if version != containerVersion {
+		return nil, 0, fmt.Errorf("video: version %d: %w", version, ErrBadContainer)
+	}
+	if w0 == 0 || h0 == 0 {
+		return nil, 0, fmt.Errorf("video: zero dimensions: %w", ErrBadContainer)
+	}
+	frames := make([]Frame, 0, count)
+	for i := 0; i < int(count); i++ {
+		nameLen, err := br.ReadByte()
+		if err != nil {
+			return frames, 0, fmt.Errorf("video: frame %d name: %w", i, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return frames, 0, fmt.Errorf("video: frame %d name: %w", i, err)
+		}
+		var nanos int64
+		if err := binary.Read(br, binary.LittleEndian, &nanos); err != nil {
+			return frames, 0, fmt.Errorf("video: frame %d time: %w", i, err)
+		}
+		pix := make([]uint8, int(w0)*int(h0))
+		if _, err := io.ReadFull(br, pix); err != nil {
+			return frames, 0, fmt.Errorf("video: frame %d pixels: %w", i, err)
+		}
+		var crc uint32
+		if err := binary.Read(br, binary.LittleEndian, &crc); err != nil {
+			return frames, 0, fmt.Errorf("video: frame %d crc: %w", i, err)
+		}
+		if crc32.ChecksumIEEE(pix) != crc {
+			return frames, 0, fmt.Errorf("video: frame %d: %w", i, ErrCorruptFrame)
+		}
+		g, err := img.FromPix(int(w0), int(h0), pix)
+		if err != nil {
+			return frames, 0, fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		frames = append(frames, Frame{
+			Index:  i,
+			Time:   time.Duration(nanos),
+			Camera: string(name),
+			Pixels: g,
+		})
+	}
+	return frames, float64(fpsMilli) / 1000, nil
+}
