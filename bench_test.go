@@ -7,6 +7,7 @@ package repro
 import (
 	"fmt"
 	"os"
+	"sync"
 	"testing"
 	"time"
 
@@ -246,7 +247,8 @@ func BenchmarkLBPDescriptor(b *testing.B) {
 }
 
 // BenchmarkNNForward measures one forward pass of the emotion network
-// shape (944-48-7).
+// shape (944-48-7) on the pipeline's inference entry point (Classify,
+// which reuses pooled activation scratch and allocates nothing warm).
 func BenchmarkNNForward(b *testing.B) {
 	net, err := nn.New(nn.Config{Sizes: []int{944, 48, 7}, Seed: 1})
 	if err != nil {
@@ -259,7 +261,7 @@ func BenchmarkNNForward(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := net.Predict(x); err != nil {
+		if _, _, err := net.Classify(x); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -312,16 +314,79 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 	}
 }
 
-// BenchmarkRenderFrame measures synthetic 640×480 frame rendering (the
-// acquisition substrate's unit cost).
+// BenchmarkRenderFrame measures synthetic 640×480 frame rendering on
+// the engine's steady-state path: drawing into a reused pooled buffer,
+// so allocations/op stay near zero.
 func BenchmarkRenderFrame(b *testing.B) {
 	sim := mustSim(b)
 	rig := mustRig(b)
 	r := video.NewRenderer(sim, rig.Cameras[0], video.RenderOptions{NoiseSigma: 2})
+	frame := r.AcquireFrame()
+	defer r.ReleaseFrame(frame)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = r.Render(i % 610)
+		frame = r.RenderStateInto(sim.FrameState(i%610), frame)
+	}
+}
+
+// benchClassifier trains one small shared emotion classifier for the
+// parallel-pipeline benchmark (setup must not be paid inside b.N).
+var (
+	benchClfOnce sync.Once
+	benchClf     *emotion.Classifier
+	benchClfErr  error
+)
+
+func benchClassifier(b *testing.B) *emotion.Classifier {
+	b.Helper()
+	benchClfOnce.Do(func() {
+		clf, err := emotion.NewClassifier(48, 1)
+		if err != nil {
+			benchClfErr = err
+			return
+		}
+		ds := emotion.GenerateDataset(10, 1)
+		if _, err := clf.Train(ds, emotion.TrainOptions{Epochs: 5, Seed: 2, LearningRate: 0.01}); err != nil {
+			benchClfErr = err
+			return
+		}
+		benchClf = clf
+	})
+	if benchClfErr != nil {
+		b.Fatal(benchClfErr)
+	}
+	return benchClf
+}
+
+// BenchmarkPipelineParallel measures the concurrent PixelVision
+// extraction engine over a bounded prototype prefix (two cameras,
+// staggered detection). Workers defaults to GOMAXPROCS, so a
+// `-cpu 1,2,4` sweep exercises worker pools of the matching sizes —
+// the experiment behind the engine's ≥2× scaling claim.
+func BenchmarkPipelineParallel(b *testing.B) {
+	p, err := core.New(core.Config{
+		Scenario:     scene.PrototypeScenario(),
+		Mode:         core.PixelVision,
+		Gaze:         gaze.EstimatorOptions{Seed: 1},
+		Classifier:   benchClassifier(b),
+		MaxFrames:    30,
+		DetectEvery:  3,
+		PixelCameras: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Repo.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

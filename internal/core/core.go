@@ -12,11 +12,25 @@
 // DESIGN.md §1) and is fast enough for full-length multi-camera events
 // and parameter sweeps. Both modes share the gaze math, multilayer
 // analysis, metadata store and summariser.
+//
+// Extraction runs on a concurrent engine (DESIGN.md §2): a worker pool
+// executes the stateless per-(camera, frame) stages — rendering and
+// face detection — in any order, while per-camera ordered streams
+// advance the stateful stages (tracking, recognition, classification)
+// and a merger reassembles frames in index order before the multilayer
+// analysis. Config.Workers sets the pool size (default GOMAXPROCS;
+// 1 selects the plain sequential loop); every worker count produces
+// byte-identical results. Hot-path buffers — rendered frames, face
+// crops, LBP scratch, network activations — are pooled, so steady-state
+// extraction allocates almost nothing.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/camera"
@@ -93,9 +107,18 @@ type Config struct {
 	// MaxFrames truncates the event (0 = all frames) — lets callers
 	// bound PixelVision costs.
 	MaxFrames int
+	// Workers is the extraction parallelism: the number of goroutines
+	// rendering and detecting concurrently (default GOMAXPROCS; 1
+	// forces the plain sequential loop). Results are byte-identical for
+	// every worker count — the engine reassembles frames in order.
+	Workers int
 }
 
-// StageTiming reports wall time spent in one pipeline stage.
+// StageTiming reports time spent in one pipeline stage. Serial stages
+// (gaze-analysis, multilayer, metadata, summarize) report wall time;
+// under parallel extraction (Workers > 1) the feature-extraction entry
+// aggregates CPU time across workers and can exceed the run's wall
+// time.
 type StageTiming struct {
 	Name     string
 	Duration time.Duration
@@ -150,6 +173,9 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.DetectEvery < 0 {
 		return nil, fmt.Errorf("core: detect cadence %d: %w", cfg.DetectEvery, ErrBadConfig)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: worker count %d: %w", cfg.Workers, ErrBadConfig)
 	}
 	return &Pipeline{cfg: cfg, sim: sim, rig: rig}, nil
 }
@@ -223,21 +249,26 @@ func (p *Pipeline) Run() (*Result, error) {
 	}
 	det := gaze.NewDetector()
 
-	for i := 0; i < numFrames; i++ {
-		fs := p.sim.FrameState(i)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
-		timer.start("feature-extraction")
-		obs, emotions, err := vision.extract(fs)
-		timer.stop("feature-extraction")
-		if err != nil {
-			return nil, fmt.Errorf("core: frame %d: %w", i, err)
-		}
+	// Per-frame emotion observations buffer into batches so the
+	// repository lock and log flush are paid once per metadataBatch
+	// frames, not once per record. Person IDs are sorted so the record
+	// log is byte-identical across runs and worker counts (map
+	// iteration order is not).
+	const metadataBatch = 256
+	pending := make([]metadata.Record, 0, metadataBatch)
+	pids := make([]int, 0, len(ids))
 
+	sink := func(i int, fs scene.FrameState, obs []gaze.Observation, emotions map[int]layers.EmotionObs) error {
 		timer.start("gaze-analysis")
 		lookAt, err := det.LookAt(obs, p.rig, ids)
 		timer.stop("gaze-analysis")
 		if err != nil {
-			return nil, fmt.Errorf("core: frame %d: %w", i, err)
+			return fmt.Errorf("core: frame %d: %w", i, err)
 		}
 
 		timer.start("multilayer")
@@ -246,24 +277,51 @@ func (p *Pipeline) Run() (*Result, error) {
 		})
 		timer.stop("multilayer")
 		if err != nil {
-			return nil, fmt.Errorf("core: frame %d: %w", i, err)
+			return fmt.Errorf("core: frame %d: %w", i, err)
 		}
 
 		// Per-frame observations into the repository (emotions only;
 		// gaze edges are stored as events at the end — per-edge
 		// per-frame rows would dwarf everything else).
 		timer.start("metadata")
-		for id, e := range emotions {
-			if _, err := repo.Append(metadata.Record{
+		pids = pids[:0]
+		for id := range emotions {
+			pids = append(pids, id)
+		}
+		sort.Ints(pids)
+		for _, id := range pids {
+			e := emotions[id]
+			pending = append(pending, metadata.Record{
 				Kind: metadata.KindObservation, Frame: i, FrameEnd: i + 1,
 				Time: fs.Time, Person: id, Other: -1,
 				Label: e.Label.String(), Value: e.Confidence,
-			}); err != nil {
-				return nil, fmt.Errorf("core: frame %d: %w", i, err)
-			}
+			})
+		}
+		var aerr error
+		if len(pending) >= metadataBatch {
+			aerr = repo.AppendBatch(pending)
+			pending = pending[:0]
 		}
 		timer.stop("metadata")
+		if aerr != nil {
+			// The batch spans records from up to metadataBatch earlier
+			// frames, so don't blame the frame that triggered the flush.
+			return fmt.Errorf("core: flushing observations: %w", aerr)
+		}
+		return nil
 	}
+
+	if err := p.runFrames(numFrames, workers, vision, timer, sink); err != nil {
+		return nil, err
+	}
+
+	timer.start("metadata")
+	if len(pending) > 0 {
+		if err := repo.AppendBatch(pending); err != nil {
+			return nil, fmt.Errorf("core: flushing observations: %w", err)
+		}
+	}
+	timer.stop("metadata")
 
 	timer.start("multilayer")
 	res.Layers = analyzer.Finalize()
@@ -421,6 +479,32 @@ func (g *geometricVision) extract(fs scene.FrameState) ([]gaze.Observation, map[
 	return obs, emotions, nil
 }
 
+// geometricVision's extract is stateless, so it streams trivially: one
+// lane whose prepare does all the work and whose step passes through.
+// This lets the engine pipeline geometric frames across workers too.
+type geoPrep struct {
+	obs      []gaze.Observation
+	emotions map[int]layers.EmotionObs
+	err      error
+}
+
+func (g *geometricVision) streams() int { return 1 }
+
+func (g *geometricVision) prepare(_ int, fs scene.FrameState) any {
+	obs, emotions, err := g.extract(fs)
+	return geoPrep{obs: obs, emotions: emotions, err: err}
+}
+
+func (g *geometricVision) step(_ int, _ scene.FrameState, prep any) (any, error) {
+	gp := prep.(geoPrep)
+	return gp, gp.err
+}
+
+func (g *geometricVision) finish(_ scene.FrameState, perStream []any) ([]gaze.Observation, map[int]layers.EmotionObs, error) {
+	gp := perStream[0].(geoPrep)
+	return gp.obs, gp.emotions, nil
+}
+
 // confuse returns a plausible misclassification of l.
 func confuse(l emotion.Label, r *tinyRand) emotion.Label {
 	confusables := map[emotion.Label][]emotion.Label{
@@ -459,11 +543,15 @@ func (t *tinyRand) f() float64 { return float64(t.u()>>11) / (1 << 53) }
 // --- pixel vision ---
 
 // pixelCam is the per-camera pixel-path state: each camera gets its own
-// renderer and tracker (tracks don't transfer between viewpoints) while
-// the detector, recognizer and classifier are shared.
+// renderer, tracker and crop scratch (tracks don't transfer between
+// viewpoints) while the detector, recognizer and classifier are shared
+// and safe for concurrent use. The engine runs each camera as one
+// ordered stream, so this state is only ever touched by one goroutine
+// at a time.
 type pixelCam struct {
 	renderer *video.Renderer
 	tracker  *face.Tracker
+	crop     *img.Gray // reusable face-crop buffer for this stream
 }
 
 type pixelVision struct {
@@ -541,48 +629,92 @@ func trainDefaultClassifier() (*emotion.Classifier, error) {
 	return clf, nil
 }
 
+// extract is the sequential path: every camera staged in order on the
+// calling goroutine. It shares prepare/step/finish with the concurrent
+// engine so both paths are the same code and produce identical results.
 func (pv *pixelVision) extract(fs scene.FrameState) ([]gaze.Observation, map[int]layers.EmotionObs, error) {
-	emotions := make(map[int]layers.EmotionObs)
+	perCam := make([]any, len(pv.cams))
 	for ci := range pv.cams {
-		pc := &pv.cams[ci]
-		frame := pc.renderer.RenderState(fs)
-
-		// Detect on cadence; track continuously. Cameras stagger their
-		// detection frames so the per-frame cost stays flat.
-		var dets []face.Detection
-		if (fs.Index+ci)%pv.cfg.DetectEvery == 0 {
-			dets = pv.detector.Detect(frame)
+		res, err := pv.step(ci, fs, pv.prepare(ci, fs))
+		if err != nil {
+			return nil, nil, err
 		}
-		pc.tracker.Step(dets)
+		perCam[ci] = res
+	}
+	return pv.finish(fs, perCam)
+}
 
-		for _, tr := range pc.tracker.Tracks() {
-			if tr.State != face.Confirmed && fs.Index > 5 {
-				continue
-			}
-			crop := frame.CropClamped(clampBox(tr.Box, frame))
-			id, _, err := pv.recognizer.Identify(crop)
-			if err != nil {
-				continue // unknown face this frame
-			}
-			pid, ok := pv.nameToID[id]
-			if !ok {
-				continue
-			}
-			label, conf, err := pv.classifier.Classify(crop)
-			if err != nil {
-				continue
-			}
-			// Cross-camera fusion: keep the most confident reading.
-			if cur, exists := emotions[pid]; !exists || conf > cur.Confidence {
-				emotions[pid] = layers.EmotionObs{Label: label, Confidence: conf}
+// streams: one ordered lane per camera.
+func (pv *pixelVision) streams() int { return len(pv.cams) }
+
+// pixelPrep is the stateless stage's output for one (camera, frame).
+type pixelPrep struct {
+	frame *img.Gray // pooled; released by step
+	dets  []face.Detection
+}
+
+// prepare renders the camera's view and runs detection on cadence —
+// the two heavy stateless stages. Cameras stagger their detection
+// frames so the per-frame cost stays flat.
+func (pv *pixelVision) prepare(ci int, fs scene.FrameState) any {
+	pc := &pv.cams[ci]
+	frame := pc.renderer.RenderStateInto(fs, pc.renderer.AcquireFrame())
+	pp := &pixelPrep{frame: frame}
+	if (fs.Index+ci)%pv.cfg.DetectEvery == 0 {
+		pp.dets = pv.detector.Detect(frame)
+	}
+	return pp
+}
+
+// step advances the camera's tracker and classifies each live track's
+// crop. Must see frames in order; the engine guarantees it.
+func (pv *pixelVision) step(ci int, fs scene.FrameState, prep any) (any, error) {
+	pp := prep.(*pixelPrep)
+	pc := &pv.cams[ci]
+	frame := pp.frame
+	pc.tracker.Step(pp.dets)
+
+	emotions := make(map[int]layers.EmotionObs)
+	for _, tr := range pc.tracker.Tracks() {
+		if tr.State != face.Confirmed && fs.Index > 5 {
+			continue
+		}
+		pc.crop = frame.CropClampedInto(clampBox(tr.Box, frame), pc.crop)
+		id, _, err := pv.recognizer.Identify(pc.crop)
+		if err != nil {
+			continue // unknown face this frame
+		}
+		pid, ok := pv.nameToID[id]
+		if !ok {
+			continue
+		}
+		label, conf, err := pv.classifier.Classify(pc.crop)
+		if err != nil {
+			continue
+		}
+		// Within-camera fusion: keep the most confident reading.
+		if cur, exists := emotions[pid]; !exists || conf > cur.Confidence {
+			emotions[pid] = layers.EmotionObs{Label: label, Confidence: conf}
+		}
+	}
+	pc.renderer.ReleaseFrame(frame)
+	return emotions, nil
+}
+
+// finish fuses per-camera emotions in camera order — replace only on
+// strictly higher confidence, exactly the sequential single-map rule —
+// and produces the frame's gaze observations from the calibrated
+// estimator (OpenFace substitution — see package doc).
+func (pv *pixelVision) finish(fs scene.FrameState, perCam []any) ([]gaze.Observation, map[int]layers.EmotionObs, error) {
+	emotions := make(map[int]layers.EmotionObs)
+	for _, raw := range perCam {
+		for pid, e := range raw.(map[int]layers.EmotionObs) {
+			if cur, exists := emotions[pid]; !exists || e.Confidence > cur.Confidence {
+				emotions[pid] = e
 			}
 		}
 	}
-
-	// Gaze observations come from the calibrated estimator (OpenFace
-	// substitution — see package doc).
-	obs := pv.est.Observe(fs, pv.rig)
-	return obs, emotions, nil
+	return pv.est.Observe(fs, pv.rig), emotions, nil
 }
 
 // clampBox keeps a tracker box inside the frame.
@@ -612,7 +744,13 @@ func clampBox(b img.Rect, g *img.Gray) img.Rect {
 
 // --- stage timer ---
 
+// stageTimer accumulates per-stage durations. Safe for concurrent use:
+// engine workers add extraction time from many goroutines while the
+// merger times the downstream stages. Under parallel extraction the
+// "feature-extraction" entry is therefore aggregate CPU time across
+// workers, which can exceed wall time.
 type stageTimer struct {
+	mu      sync.Mutex
 	order   []string
 	total   map[string]time.Duration
 	started map[string]time.Time
@@ -625,22 +763,42 @@ func newStageTimer() *stageTimer {
 	}
 }
 
-func (t *stageTimer) start(name string) {
+// touch registers the stage in report order. Caller holds mu.
+func (t *stageTimer) touch(name string) {
 	if _, ok := t.total[name]; !ok {
 		t.order = append(t.order, name)
 		t.total[name] = 0
 	}
+}
+
+func (t *stageTimer) start(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.touch(name)
 	t.started[name] = time.Now()
 }
 
 func (t *stageTimer) stop(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if s, ok := t.started[name]; ok {
 		t.total[name] += time.Since(s)
 		delete(t.started, name)
 	}
 }
 
+// add accumulates an externally measured duration — how concurrent
+// workers report time without holding a start/stop pair open.
+func (t *stageTimer) add(name string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.touch(name)
+	t.total[name] += d
+}
+
 func (t *stageTimer) report() []StageTiming {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]StageTiming, 0, len(t.order))
 	for _, n := range t.order {
 		out = append(out, StageTiming{Name: n, Duration: t.total[n]})

@@ -22,6 +22,9 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Scenario: scene.PrototypeScenario(), DetectEvery: -1}); !errors.Is(err, ErrBadConfig) {
 		t.Error("negative cadence should fail")
 	}
+	if _, err := New(Config{Scenario: scene.PrototypeScenario(), Workers: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Error("negative worker count should fail")
+	}
 }
 
 // TestGeometricPipelineEndToEnd runs the full prototype event through

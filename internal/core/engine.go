@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/gaze"
+	"repro/internal/layers"
+	"repro/internal/scene"
+)
+
+// frameSink consumes one frame's extraction output in strict frame
+// order: gaze analysis, multilayer push, metadata batching.
+type frameSink func(i int, fs scene.FrameState, obs []gaze.Observation, emotions map[int]layers.EmotionObs) error
+
+// streamedVision is a frameVision whose per-frame work splits into a
+// stateless stage that may run on any worker in any order (prepare:
+// render + detect) and a stateful stage that must see each stream's
+// frames in order (step: track + recognize + classify). Streams are
+// independent ordered lanes — one per camera in PixelVision — so the
+// engine can pipeline frames within a stream and parallelise across
+// streams while finish reassembles per-frame results in stream order,
+// keeping output byte-identical to the sequential path.
+type streamedVision interface {
+	frameVision
+	// streams returns the number of independent ordered lanes.
+	streams() int
+	// prepare runs the heavy stateless stage for one (stream, frame).
+	// It must not touch mutable per-stream state.
+	prepare(stream int, fs scene.FrameState) any
+	// step consumes prepare's output for one stream in strict frame
+	// order, advancing per-stream state (trackers).
+	step(stream int, fs scene.FrameState, prep any) (any, error)
+	// finish merges the per-stream step results for one frame, in
+	// stream order, into the frame's observations and emotions.
+	finish(fs scene.FrameState, perStream []any) ([]gaze.Observation, map[int]layers.EmotionObs, error)
+}
+
+// runFrames drives the per-frame extraction loop. With one worker (or a
+// vision that cannot be staged) it runs the plain sequential loop;
+// otherwise it hands off to the pipelined engine. Both paths deliver
+// frames to sink in strict index order.
+func (p *Pipeline) runFrames(numFrames, workers int, vision frameVision, timer *stageTimer, sink frameSink) error {
+	if numFrames > 0 {
+		// Pre-register the frame-loop stages so the Timings order stays
+		// deterministic even when workers race to report first.
+		for _, s := range []string{"feature-extraction", "gaze-analysis", "multilayer", "metadata"} {
+			timer.add(s, 0)
+		}
+	}
+	sv, staged := vision.(streamedVision)
+	if workers <= 1 || !staged || numFrames == 0 {
+		for i := 0; i < numFrames; i++ {
+			fs := p.sim.FrameState(i)
+			timer.start("feature-extraction")
+			obs, emotions, err := vision.extract(fs)
+			timer.stop("feature-extraction")
+			if err != nil {
+				return fmt.Errorf("core: frame %d: %w", i, err)
+			}
+			if err := sink(i, fs, obs, emotions); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runStreamed(p.sim, numFrames, workers, sv, timer, sink)
+}
+
+// prepPayload travels from a feeder through a worker to a stream
+// consumer; carrying the frame state along avoids recomputing it.
+type prepPayload struct {
+	fs   scene.FrameState
+	prep any
+}
+
+// stepPayload travels from a stream consumer to the merger.
+type stepPayload struct {
+	fs  scene.FrameState
+	res any
+}
+
+// runStreamed is the concurrent extraction engine:
+//
+//	feeders (1/stream) → worker pool (prepare) → consumers (1/stream,
+//	ordered step) → merger (finish + sink, frame order)
+//
+// Ordering: each stream owns a ring of one-shot slots sized to the
+// in-flight window. A feeder enqueues (stream, frame) tasks in frame
+// order, each tagged with its slot; workers run prepare and deliver
+// into the slot; the stream's consumer reads slots in frame order, so
+// step always sees ordered frames no matter which worker finished
+// first. A per-stream semaphore bounds the window, which both caps
+// buffered frames and guarantees a slot is drained before its reuse.
+// The merger collects one step result per stream per frame (stream
+// order) and calls finish + sink, so downstream consumers observe
+// exactly the sequential frame order.
+func runStreamed(sim *scene.Simulator, numFrames, workers int, sv streamedVision, timer *stageTimer, sink frameSink) error {
+	nStreams := sv.streams()
+	window := workers + 2
+
+	type task struct {
+		stream int
+		fs     scene.FrameState
+		slot   chan prepPayload
+	}
+	tasks := make(chan task, workers)
+	done := make(chan struct{})
+	var once sync.Once
+	cancel := func() { once.Do(func() { close(done) }) }
+	defer cancel()
+
+	// Worker pool: stateless prepare, any stream, any order.
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				case t, ok := <-tasks:
+					if !ok {
+						return
+					}
+					t0 := time.Now()
+					prep := sv.prepare(t.stream, t.fs)
+					timer.add("feature-extraction", time.Since(t0))
+					// Never blocks: the window semaphore guarantees the
+					// slot was drained before this frame was enqueued.
+					t.slot <- prepPayload{fs: t.fs, prep: prep}
+				}
+			}
+		}()
+	}
+
+	errs := make(chan error, nStreams)
+	outs := make([]chan stepPayload, nStreams)
+	slots := make([][]chan prepPayload, nStreams)
+	sems := make([]chan struct{}, nStreams)
+	var feedWG, consWG sync.WaitGroup
+	for s := 0; s < nStreams; s++ {
+		outs[s] = make(chan stepPayload, 2)
+		slots[s] = make([]chan prepPayload, window)
+		for i := range slots[s] {
+			slots[s][i] = make(chan prepPayload, 1)
+		}
+		sems[s] = make(chan struct{}, window)
+
+		consWG.Add(1)
+		go func(s int) { // consumer: ordered stateful step
+			defer consWG.Done()
+			for i := 0; i < numFrames; i++ {
+				var pp prepPayload
+				select {
+				case pp = <-slots[s][i%window]:
+				case <-done:
+					return
+				}
+				t0 := time.Now()
+				res, err := sv.step(s, pp.fs, pp.prep)
+				timer.add("feature-extraction", time.Since(t0))
+				if err != nil {
+					errs <- fmt.Errorf("core: frame %d: %w", i, err)
+					cancel()
+					return
+				}
+				select {
+				case outs[s] <- stepPayload{fs: pp.fs, res: res}:
+				case <-done:
+					return
+				}
+				<-sems[s]
+			}
+		}(s)
+	}
+
+	// One feeder computes each frame state exactly once and fans it out
+	// to every stream (FrameState is immutable, so sharing is safe).
+	// The merger synchronises streams per frame anyway, so interleaving
+	// all streams through one feeder costs no parallelism.
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		for i := 0; i < numFrames; i++ {
+			fs := sim.FrameState(i)
+			for s := 0; s < nStreams; s++ {
+				select {
+				case sems[s] <- struct{}{}:
+				case <-done:
+					return
+				}
+				t := task{stream: s, fs: fs, slot: slots[s][i%window]}
+				select {
+				case tasks <- t:
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	go func() { feedWG.Wait(); close(tasks) }()
+
+	// Merger: reassemble per-stream results in frame order.
+	perStream := make([]any, nStreams)
+	var runErr error
+merge:
+	for i := 0; i < numFrames; i++ {
+		var fs scene.FrameState
+		for s := 0; s < nStreams; s++ {
+			select {
+			case sp := <-outs[s]:
+				perStream[s] = sp.res
+				fs = sp.fs
+			case runErr = <-errs:
+				break merge
+			}
+		}
+		obs, emotions, err := sv.finish(fs, perStream)
+		if err == nil {
+			err = sink(i, fs, obs, emotions)
+		}
+		if err != nil {
+			runErr = err
+			break
+		}
+	}
+	cancel()
+	consWG.Wait()
+	feedWG.Wait()
+	if runErr == nil {
+		select {
+		case runErr = <-errs:
+		default:
+		}
+	}
+	return runErr
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/emotion"
+	"repro/internal/gaze"
+	"repro/internal/metadata"
+	"repro/internal/scene"
+)
+
+// testClassifier trains one small shared classifier so every engine test
+// doesn't pay the default training cost.
+var (
+	testClfOnce sync.Once
+	testClf     *emotion.Classifier
+)
+
+func engineTestClassifier(t *testing.T) *emotion.Classifier {
+	t.Helper()
+	testClfOnce.Do(func() {
+		clf, err := emotion.NewClassifier(16, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := emotion.GenerateDataset(6, 3)
+		if _, err := clf.Train(ds, emotion.TrainOptions{Epochs: 8, Seed: 2, LearningRate: 0.01}); err != nil {
+			t.Fatal(err)
+		}
+		testClf = clf
+	})
+	if testClf == nil {
+		t.Fatal("shared classifier failed to train")
+	}
+	return testClf
+}
+
+// runResult is everything the determinism tests compare: the multilayer
+// output, the digest, and the full metadata record log (IDs included —
+// parallel runs must be byte-identical, not merely equivalent).
+type runResult struct {
+	layers  interface{}
+	summary interface{}
+	records []metadata.Record
+}
+
+func captureRun(t *testing.T, cfg Config) runResult {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Repo.Close()
+	var recs []metadata.Record
+	res.Repo.Scan(func(r metadata.Record) bool {
+		recs = append(recs, r)
+		return true
+	})
+	return runResult{layers: res.Layers, summary: res.Summary, records: recs}
+}
+
+// TestParallelPixelMatchesSequential is the engine's core guarantee:
+// a PixelVision run with a worker pool produces byte-identical layers,
+// summary and metadata records to the Workers=1 sequential loop.
+func TestParallelPixelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pixel vision is expensive")
+	}
+	cfg := Config{
+		Scenario:     scene.PrototypeScenario(),
+		Mode:         PixelVision,
+		Gaze:         gaze.EstimatorOptions{Seed: 4},
+		Classifier:   engineTestClassifier(t),
+		MaxFrames:    24,
+		DetectEvery:  3,
+		PixelCameras: 2,
+	}
+	seqCfg := cfg
+	seqCfg.Workers = 1
+	parCfg := cfg
+	parCfg.Workers = 4
+
+	seq := captureRun(t, seqCfg)
+	par := captureRun(t, parCfg)
+
+	if !reflect.DeepEqual(seq.layers, par.layers) {
+		t.Error("parallel layers differ from sequential")
+	}
+	if !reflect.DeepEqual(seq.summary, par.summary) {
+		t.Error("parallel summary differs from sequential")
+	}
+	if len(seq.records) == 0 {
+		t.Fatal("sequential run produced no records")
+	}
+	if !reflect.DeepEqual(seq.records, par.records) {
+		t.Errorf("parallel metadata records differ from sequential (%d vs %d records)",
+			len(seq.records), len(par.records))
+	}
+}
+
+// TestParallelGeometricMatchesSequential checks the single-stream
+// (geometric) pipelining path the same way; it is cheap enough to run
+// un-skipped with a high worker count.
+func TestParallelGeometricMatchesSequential(t *testing.T) {
+	cfg := Config{
+		Scenario:     scene.PrototypeScenario(),
+		Mode:         GeometricVision,
+		Gaze:         gaze.EstimatorOptions{Seed: 9},
+		EmotionNoise: 0.1,
+		MaxFrames:    200,
+	}
+	seqCfg := cfg
+	seqCfg.Workers = 1
+	parCfg := cfg
+	parCfg.Workers = 8
+
+	seq := captureRun(t, seqCfg)
+	par := captureRun(t, parCfg)
+
+	if !reflect.DeepEqual(seq.layers, par.layers) {
+		t.Error("parallel layers differ from sequential")
+	}
+	if !reflect.DeepEqual(seq.records, par.records) {
+		t.Error("parallel metadata records differ from sequential")
+	}
+}
+
+// TestWorkerPoolThreeCameras exercises the full worker pool with three
+// per-camera streams — run under -race this is the engine's
+// thread-safety gate (shared detector, recognizer, classifier and
+// repository hit from concurrent goroutines).
+func TestWorkerPoolThreeCameras(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pixel vision is expensive")
+	}
+	p, err := New(Config{
+		Scenario:     scene.PrototypeScenario(),
+		Mode:         PixelVision,
+		Gaze:         gaze.EstimatorOptions{Seed: 4},
+		Classifier:   engineTestClassifier(t),
+		MaxFrames:    18,
+		DetectEvery:  3,
+		PixelCameras: 3,
+		Workers:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Repo.Close()
+	if res.FramesAnalyzed != 18 {
+		t.Errorf("analyzed %d frames, want 18", res.FramesAnalyzed)
+	}
+	recs, err := res.Repo.Query("kind = observation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Error("three-camera parallel run produced no observations")
+	}
+}
+
+// TestRunDefaultsToParallel ensures the Workers default engages the
+// engine (GOMAXPROCS) without changing results.
+func TestRunDefaultsToParallel(t *testing.T) {
+	cfg := Config{
+		Scenario:  scene.PrototypeScenario(),
+		Mode:      GeometricVision,
+		Gaze:      gaze.EstimatorOptions{Seed: 3},
+		MaxFrames: 60,
+	}
+	def := captureRun(t, cfg) // Workers unset → GOMAXPROCS
+	seqCfg := cfg
+	seqCfg.Workers = 1
+	seq := captureRun(t, seqCfg)
+	if !reflect.DeepEqual(def.records, seq.records) {
+		t.Error("default worker count changed pipeline output")
+	}
+}

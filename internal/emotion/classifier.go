@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/img"
 	"repro/internal/lbp"
@@ -11,11 +12,23 @@ import (
 )
 
 // Classifier is the paper's emotion recogniser: uniform LBP grid
-// histograms fed to a feed-forward neural network (§II-C).
+// histograms fed to a feed-forward neural network (§II-C). Classify is
+// safe for concurrent callers: per-call scratch (resized crop, LBP code
+// image, descriptor) is borrowed from an internal pool, so the hot path
+// stops allocating once warm.
 type Classifier struct {
 	net *nn.Network
 	// gridX, gridY are the LBP descriptor grid, fixed at construction.
 	gridX, gridY int
+
+	scratch sync.Pool // of *clfScratch
+}
+
+// clfScratch is the reusable per-call working set of Classify.
+type clfScratch struct {
+	resized *img.Gray // face crop resampled to FaceSize²
+	codes   *img.Gray // LBP code image
+	feat    []float64 // grid descriptor
 }
 
 // DefaultGrid is the LBP grid used by the default classifier: 4×4 cells
@@ -47,29 +60,46 @@ func NewClassifier(hidden int, seed int64) (*Classifier, error) {
 }
 
 // Features extracts the LBP descriptor of a face crop (resized to
-// FaceSize first so any detector output size works).
+// FaceSize first so any detector output size works). The returned
+// slice is freshly allocated and safe to retain.
 func (c *Classifier) Features(face *img.Gray) ([]float64, error) {
+	return c.featuresInto(face, &clfScratch{codes: &img.Gray{}})
+}
+
+// featuresInto is the shared extraction path: resize into sc's crop
+// buffer when needed, then compute the grid descriptor into sc's
+// descriptor and code-image scratch. The returned slice aliases
+// sc.feat.
+func (c *Classifier) featuresInto(face *img.Gray, sc *clfScratch) ([]float64, error) {
 	if face.W != FaceSize || face.H != FaceSize {
-		face = face.Resize(FaceSize, FaceSize)
+		sc.resized = face.ResizeInto(FaceSize, FaceSize, sc.resized)
+		face = sc.resized
 	}
-	d, err := lbp.GridDescriptor(face, c.gridX, c.gridY)
+	feat, err := lbp.GridDescriptorInto(face, c.gridX, c.gridY, sc.feat, sc.codes)
 	if err != nil {
 		return nil, fmt.Errorf("emotion: extracting features: %w", err)
 	}
-	return d, nil
+	sc.feat = feat
+	return feat, nil
 }
 
 // Classify returns the predicted emotion and its confidence for a face
-// crop.
+// crop. Safe for concurrent callers.
 func (c *Classifier) Classify(face *img.Gray) (Label, float64, error) {
 	if c.net == nil {
 		return Neutral, 0, ErrNotTrained
 	}
-	f, err := c.Features(face)
+	sc, _ := c.scratch.Get().(*clfScratch)
+	if sc == nil {
+		sc = &clfScratch{codes: &img.Gray{}}
+	}
+	feat, err := c.featuresInto(face, sc)
 	if err != nil {
+		c.scratch.Put(sc)
 		return Neutral, 0, err
 	}
-	cls, p, err := c.net.Classify(f)
+	cls, p, err := c.net.Classify(feat)
+	c.scratch.Put(sc)
 	if err != nil {
 		return Neutral, 0, fmt.Errorf("emotion: classifying: %w", err)
 	}

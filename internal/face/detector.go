@@ -107,6 +107,9 @@ func NewDetector(opt DetectorOptions) (*Detector, error) {
 func (d *Detector) Detect(g *img.Gray) []Detection {
 	integral := img.NewIntegral(g)
 	var raw []Detection
+	// One crop buffer serves every candidate window of the scan —
+	// function-local, so concurrent Detect calls stay independent.
+	var crop *img.Gray
 	for _, h := range d.opt.Scales {
 		tpl := d.templates[h]
 		w := tpl.W
@@ -131,10 +134,11 @@ func (d *Detector) Detect(g *img.Gray) []Detection {
 				if diff*diff < d.opt.MinVariance/4 {
 					continue
 				}
-				crop, err := g.Crop(win)
+				c, err := g.CropInto(win, crop)
 				if err != nil {
 					continue
 				}
+				crop = c
 				if crop.Variance() < d.opt.MinVariance {
 					continue
 				}
@@ -142,7 +146,9 @@ func (d *Detector) Detect(g *img.Gray) []Detection {
 				if score < d.opt.CoarseScore {
 					continue
 				}
-				if best, ok := d.refine(g, tpl, win, stride, score); ok {
+				var best Detection
+				var ok bool
+				if best, ok, crop = d.refine(g, tpl, win, stride, score, crop); ok {
 					raw = append(raw, best)
 				}
 			}
@@ -153,8 +159,9 @@ func (d *Detector) Detect(g *img.Gray) []Detection {
 
 // refine hill-climbs the window position at progressively finer steps to
 // undo the coarse grid's localisation loss, returning the best detection
-// if it clears MinScore.
-func (d *Detector) refine(g *img.Gray, tpl *img.Gray, win img.Rect, stride int, score float64) (Detection, bool) {
+// if it clears MinScore. The crop scratch is threaded through and
+// returned so the caller keeps reusing one buffer.
+func (d *Detector) refine(g *img.Gray, tpl *img.Gray, win img.Rect, stride int, score float64, crop *img.Gray) (Detection, bool, *img.Gray) {
 	best := Detection{Box: win, Score: score}
 	for step := stride / 2; step >= 1; step /= 2 {
 		improved := true
@@ -162,10 +169,11 @@ func (d *Detector) refine(g *img.Gray, tpl *img.Gray, win img.Rect, stride int, 
 			improved = false
 			for _, off := range [4][2]int{{-step, 0}, {step, 0}, {0, -step}, {0, step}} {
 				cand := img.Rect{X: best.Box.X + off[0], Y: best.Box.Y + off[1], W: win.W, H: win.H}
-				crop, err := g.Crop(cand)
+				c, err := g.CropInto(cand, crop)
 				if err != nil {
 					continue
 				}
+				crop = c
 				if s := img.NCC(crop, tpl); s > best.Score {
 					best = Detection{Box: cand, Score: s}
 					improved = true
@@ -174,9 +182,9 @@ func (d *Detector) refine(g *img.Gray, tpl *img.Gray, win img.Rect, stride int, 
 		}
 	}
 	if best.Score < d.opt.MinScore {
-		return Detection{}, false
+		return Detection{}, false, crop
 	}
-	return best, true
+	return best, true, crop
 }
 
 // nms performs greedy non-maximum suppression by IoU.

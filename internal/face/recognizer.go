@@ -31,9 +31,15 @@ type Embedding struct {
 // (≈0.1) tone gap costs ≈0.4 similarity.
 const toneWeight = 4.0
 
+// patchPool recycles the EmbedSize² resample buffer used by Identify so
+// concurrent recognition stops allocating per call.
+var patchPool = sync.Pool{New: func() any { return img.New(EmbedSize, EmbedSize) }}
+
 // Embed computes the embedding of a face crop.
 func Embed(face *img.Gray) Embedding {
-	p := face.Resize(EmbedSize, EmbedSize)
+	p := patchPool.Get().(*img.Gray)
+	defer patchPool.Put(p)
+	p = face.ResizeInto(EmbedSize, EmbedSize, p)
 	var e Embedding
 	var mean float64
 	for i, v := range p.Pix {
@@ -93,12 +99,16 @@ type Recognizer struct {
 type centroid struct {
 	sum Embedding
 	n   int
+	// mean caches the normalised centroid, recomputed on Enroll so the
+	// Identify hot path is read-only (and allocation-free).
+	mean Embedding
 }
 
-func (c *centroid) mean() Embedding {
+func (c *centroid) recompute() {
 	var m Embedding
 	if c.n == 0 {
-		return m
+		c.mean = m
+		return
 	}
 	m.Tone = c.sum.Tone / float64(c.n)
 	var norm float64
@@ -109,12 +119,13 @@ func (c *centroid) mean() Embedding {
 	norm = math.Sqrt(norm)
 	if norm < 1e-12 {
 		m.Patch = [EmbedSize * EmbedSize]float64{}
-		return m
+		c.mean = m
+		return
 	}
 	for i := range m.Patch {
 		m.Patch[i] /= norm
 	}
-	return m
+	c.mean = m
 }
 
 // ErrUnknownFace is returned when no enrolled identity matches.
@@ -146,6 +157,7 @@ func (r *Recognizer) Enroll(id string, face *img.Gray) error {
 	}
 	c.sum.Tone += e.Tone
 	c.n++
+	c.recompute()
 	return nil
 }
 
@@ -165,7 +177,7 @@ func (r *Recognizer) Identify(face *img.Gray) (string, float64, error) {
 	defer r.mu.RUnlock()
 	best, bestSim := "", math.Inf(-1)
 	for _, id := range r.ids {
-		sim := e.Similarity(r.centres[id].mean())
+		sim := e.Similarity(r.centres[id].mean)
 		if sim > bestSim {
 			best, bestSim = id, sim
 		}

@@ -87,6 +87,27 @@ func (g *Gray) Clone() *Gray {
 	return out
 }
 
+// Ensure returns g resized to w×h, reusing its pixel buffer when the
+// capacity allows and allocating otherwise. A nil g allocates fresh.
+// Pixel contents after Ensure are unspecified — callers overwrite them.
+// This is the reuse primitive behind the *Into rendering and resampling
+// variants on the pipeline hot path.
+func Ensure(g *Gray, w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid dimensions %dx%d", w, h))
+	}
+	if g == nil {
+		return New(w, h)
+	}
+	if cap(g.Pix) >= w*h {
+		g.Pix = g.Pix[:w*h]
+	} else {
+		g.Pix = make([]uint8, w*h)
+	}
+	g.W, g.H = w, h
+	return g
+}
+
 // Rect is an integer pixel rectangle [X, X+W) × [Y, Y+H).
 type Rect struct {
 	X, Y, W, H int
@@ -139,10 +160,16 @@ func (r Rect) String() string { return fmt.Sprintf("rect(%d,%d %dx%d)", r.X, r.Y
 // Crop returns a copy of the given region. Regions extending outside the
 // image return ErrBounds.
 func (g *Gray) Crop(r Rect) (*Gray, error) {
+	return g.CropInto(r, nil)
+}
+
+// CropInto is Crop reusing dst's buffer when possible (nil dst
+// allocates). dst must not alias g.
+func (g *Gray) CropInto(r Rect, dst *Gray) (*Gray, error) {
 	if r.X < 0 || r.Y < 0 || r.W <= 0 || r.H <= 0 || r.X+r.W > g.W || r.Y+r.H > g.H {
 		return nil, fmt.Errorf("img: crop %v from %dx%d: %w", r, g.W, g.H, ErrBounds)
 	}
-	out := New(r.W, r.H)
+	out := Ensure(dst, r.W, r.H)
 	for y := 0; y < r.H; y++ {
 		src := (r.Y+y)*g.W + r.X
 		copy(out.Pix[y*r.W:(y+1)*r.W], g.Pix[src:src+r.W])
@@ -154,10 +181,18 @@ func (g *Gray) Crop(r Rect) (*Gray, error) {
 // succeeding for positive dimensions — used by trackers whose boxes may
 // extend past the frame.
 func (g *Gray) CropClamped(r Rect) *Gray {
+	return g.CropClampedInto(r, nil)
+}
+
+// CropClampedInto is CropClamped reusing dst's buffer when possible (nil
+// dst allocates). dst must not alias g.
+func (g *Gray) CropClampedInto(r Rect, dst *Gray) *Gray {
 	if r.W <= 0 || r.H <= 0 {
-		return New(1, 1)
+		out := Ensure(dst, 1, 1)
+		out.Pix[0] = 0
+		return out
 	}
-	out := New(r.W, r.H)
+	out := Ensure(dst, r.W, r.H)
 	for y := 0; y < r.H; y++ {
 		for x := 0; x < r.W; x++ {
 			out.Pix[y*r.W+x] = g.AtClamped(r.X+x, r.Y+y)
@@ -168,7 +203,13 @@ func (g *Gray) CropClamped(r Rect) *Gray {
 
 // Resize returns the image resampled to w×h using bilinear interpolation.
 func (g *Gray) Resize(w, h int) *Gray {
-	out := New(w, h)
+	return g.ResizeInto(w, h, nil)
+}
+
+// ResizeInto is Resize reusing dst's buffer when possible (nil dst
+// allocates). dst must not alias g.
+func (g *Gray) ResizeInto(w, h int, dst *Gray) *Gray {
+	out := Ensure(dst, w, h)
 	if w == g.W && h == g.H {
 		copy(out.Pix, g.Pix)
 		return out

@@ -116,7 +116,13 @@ func UniformBin(code uint8) int { return int(uniformMap[code]) }
 
 // Image computes the LBP code image of g (same dimensions).
 func Image(g *img.Gray) *img.Gray {
-	out := img.New(g.W, g.H)
+	return ImageInto(g, nil)
+}
+
+// ImageInto is Image reusing dst's buffer when possible (nil dst
+// allocates). dst must not alias g.
+func ImageInto(g *img.Gray, dst *img.Gray) *img.Gray {
+	out := img.Ensure(dst, g.W, g.H)
 	for y := 0; y < g.H; y++ {
 		for x := 0; x < g.W; x++ {
 			out.Pix[y*g.W+x] = Code3x3(g, x, y)
@@ -130,6 +136,16 @@ func Image(g *img.Gray) *img.Gray {
 // the region is empty).
 func Histogram(codes *img.Gray, r img.Rect) []float64 {
 	h := make([]float64, NumUniformBins)
+	histogramInto(h, codes, r)
+	return h
+}
+
+// histogramInto fills h (length NumUniformBins, zeroed here) with the
+// normalised histogram of the region.
+func histogramInto(h []float64, codes *img.Gray, r img.Rect) {
+	for i := range h {
+		h[i] = 0
+	}
 	c := r.Intersect(img.Rect{X: 0, Y: 0, W: codes.W, H: codes.H})
 	n := 0
 	for y := c.Y; y < c.Y+c.H; y++ {
@@ -144,13 +160,20 @@ func Histogram(codes *img.Gray, r img.Rect) []float64 {
 			h[i] *= inv
 		}
 	}
-	return h
 }
 
 // GridDescriptor divides the image into gx×gy cells and concatenates
 // the per-cell uniform-LBP histograms — the classic LBP face descriptor.
 // The result has gx·gy·NumUniformBins components, each cell L1-normalised.
 func GridDescriptor(g *img.Gray, gx, gy int) ([]float64, error) {
+	return GridDescriptorInto(g, gx, gy, nil, nil)
+}
+
+// GridDescriptorInto is GridDescriptor with caller-owned scratch: dst
+// receives the descriptor (grown as needed, contents overwritten) and
+// codes holds the intermediate LBP code image. Either may be nil; the
+// returned slice aliases dst when its capacity sufficed.
+func GridDescriptorInto(g *img.Gray, gx, gy int, dst []float64, codes *img.Gray) ([]float64, error) {
 	if gx <= 0 || gy <= 0 {
 		return nil, fmt.Errorf("lbp: grid %dx%d: %w", gx, gy, ErrBadParams)
 	}
@@ -158,16 +181,22 @@ func GridDescriptor(g *img.Gray, gx, gy int) ([]float64, error) {
 		return nil, fmt.Errorf("lbp: image %dx%d smaller than grid %dx%d: %w",
 			g.W, g.H, gx, gy, ErrBadParams)
 	}
-	codes := Image(g)
-	out := make([]float64, 0, gx*gy*NumUniformBins)
+	codes = ImageInto(g, codes)
+	n := gx * gy * NumUniformBins
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	out := dst[:n]
+	k := 0
 	for cy := 0; cy < gy; cy++ {
 		y0 := cy * g.H / gy
 		y1 := (cy + 1) * g.H / gy
 		for cx := 0; cx < gx; cx++ {
 			x0 := cx * g.W / gx
 			x1 := (cx + 1) * g.W / gx
-			cell := Histogram(codes, img.Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0})
-			out = append(out, cell...)
+			cell := out[k : k+NumUniformBins]
+			histogramInto(cell, codes, img.Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0})
+			k += NumUniformBins
 		}
 	}
 	return out, nil

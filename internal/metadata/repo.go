@@ -152,6 +152,12 @@ func (r *Repository) Append(rec Record) (uint64, error) {
 	if r.closed {
 		return 0, ErrClosed
 	}
+	return r.appendLocked(rec)
+}
+
+// appendLocked assigns an ID, persists and indexes one validated record.
+// Caller holds the write lock.
+func (r *Repository) appendLocked(rec Record) (uint64, error) {
 	rec.ID = r.nextID
 	r.nextID++
 	if r.logBuf != nil {
@@ -164,13 +170,31 @@ func (r *Repository) Append(rec Record) (uint64, error) {
 	return rec.ID, nil
 }
 
-// AppendBatch appends many records, flushing once.
+// AppendBatch appends many records under a single write-lock
+// acquisition, then flushes once. Validation runs before the lock is
+// taken, so a malformed record rejects the whole batch before anything
+// is written. An I/O failure mid-batch behaves like the equivalent
+// sequence of Appends: records appended before the failure remain
+// appended (and a torn on-disk tail is truncated on reopen, the store's
+// standard recovery contract).
 func (r *Repository) AppendBatch(recs []Record) error {
 	for i := range recs {
-		if _, err := r.Append(recs[i]); err != nil {
+		if err := recs[i].Validate(); err != nil {
 			return fmt.Errorf("metadata: batch record %d: %w", i, err)
 		}
 	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	for i := range recs {
+		if _, err := r.appendLocked(recs[i]); err != nil {
+			r.mu.Unlock()
+			return fmt.Errorf("metadata: batch record %d: %w", i, err)
+		}
+	}
+	r.mu.Unlock()
 	return r.Flush()
 }
 

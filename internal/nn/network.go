@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Activation selects the hidden-layer nonlinearity.
@@ -78,13 +79,19 @@ type Config struct {
 }
 
 // Network is a trained or trainable MLP. The output layer applies
-// softmax; training minimises cross-entropy.
+// softmax; training minimises cross-entropy. Predict and Classify are
+// safe for concurrent callers — forward passes borrow activation
+// scratch from a pool instead of mutating shared state.
 type Network struct {
 	sizes  []int
 	hidden Activation
 	// w[l] is the (sizes[l+1] × sizes[l]) weight matrix, row-major;
 	// b[l] the bias vector of layer l+1.
 	w, b [][]float64
+
+	// actPool recycles per-call activation sets so the inference hot
+	// path stops allocating a full [][]float64 per Classify.
+	actPool sync.Pool
 }
 
 // Package errors.
@@ -137,17 +144,44 @@ func (n *Network) NumParams() int {
 	return t
 }
 
-// forward runs the network, returning every layer's activated output
-// (acts[0] is the input itself, acts[last] the softmax probabilities).
-func (n *Network) forward(x []float64) ([][]float64, error) {
+// actSet boxes a pooled activation set behind a stable pointer so
+// sync.Pool round-trips don't re-box the slice header (which would cost
+// one allocation per forward pass).
+type actSet struct{ a [][]float64 }
+
+// acquireActs returns a pooled activation set: a[0] is left nil for the
+// caller's input, a[1..] are preallocated to the layer widths.
+func (n *Network) acquireActs() *actSet {
+	if v := n.actPool.Get(); v != nil {
+		return v.(*actSet)
+	}
+	s := &actSet{a: make([][]float64, len(n.sizes))}
+	for l := 1; l < len(n.sizes); l++ {
+		s.a[l] = make([]float64, n.sizes[l])
+	}
+	return s
+}
+
+// releaseActs returns an activation set to the pool, dropping the input
+// reference so pooled scratch never pins caller data.
+func (n *Network) releaseActs(s *actSet) {
+	s.a[0] = nil
+	n.actPool.Put(s)
+}
+
+// forward runs the network into a pooled activation set, returning every
+// layer's activated output (a[0] is the input itself, a[last] the
+// softmax probabilities). The caller must releaseActs the result.
+func (n *Network) forward(x []float64) (*actSet, error) {
 	if len(x) != n.sizes[0] {
 		return nil, fmt.Errorf("nn: input %d, want %d: %w", len(x), n.sizes[0], ErrBadInput)
 	}
-	acts := make([][]float64, len(n.sizes))
+	s := n.acquireActs()
+	acts := s.a
 	acts[0] = x
 	for l := 0; l+1 < len(n.sizes); l++ {
 		in, out := n.sizes[l], n.sizes[l+1]
-		a := make([]float64, out)
+		a := acts[l+1]
 		for j := 0; j < out; j++ {
 			s := n.b[l][j]
 			row := n.w[l][j*in : (j+1)*in]
@@ -163,35 +197,38 @@ func (n *Network) forward(x []float64) ([][]float64, error) {
 		} else { // output: softmax
 			softmaxInPlace(a)
 		}
-		acts[l+1] = a
 	}
-	return acts, nil
+	return s, nil
 }
 
 // Predict returns the softmax class probabilities for x.
 func (n *Network) Predict(x []float64) ([]float64, error) {
-	acts, err := n.forward(x)
+	s, err := n.forward(x)
 	if err != nil {
 		return nil, err
 	}
-	out := acts[len(acts)-1]
+	out := s.a[len(s.a)-1]
 	cp := make([]float64, len(out))
 	copy(cp, out)
+	n.releaseActs(s)
 	return cp, nil
 }
 
-// Classify returns the argmax class and its probability.
+// Classify returns the argmax class and its probability. It allocates
+// nothing once the scratch pool is warm.
 func (n *Network) Classify(x []float64) (int, float64, error) {
-	p, err := n.Predict(x)
+	s, err := n.forward(x)
 	if err != nil {
 		return 0, 0, err
 	}
+	p := s.a[len(s.a)-1]
 	best, bp := 0, p[0]
 	for i, v := range p[1:] {
 		if v > bp {
 			best, bp = i+1, v
 		}
 	}
+	n.releaseActs(s)
 	return best, bp, nil
 }
 
@@ -231,10 +268,12 @@ func (n *Network) newGrads() *grads {
 // backward accumulates gradients of the cross-entropy loss for one
 // sample into g and returns the sample's loss.
 func (n *Network) backward(x []float64, label int, g *grads) (float64, error) {
-	acts, err := n.forward(x)
+	s, err := n.forward(x)
 	if err != nil {
 		return 0, err
 	}
+	defer n.releaseActs(s)
+	acts := s.a
 	L := len(n.sizes) - 1 // number of weight layers
 	out := acts[L]
 	if label < 0 || label >= len(out) {

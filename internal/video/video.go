@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/camera"
@@ -73,11 +74,18 @@ func (o RenderOptions) withDefaults() RenderOptions {
 	return o
 }
 
-// Renderer draws simulated frame states as seen by one camera.
+// Renderer draws simulated frame states as seen by one camera. All
+// Render methods are safe for concurrent use — rendering is a pure
+// function of the frame state, and the frame pool is its own
+// synchronisation.
 type Renderer struct {
 	cam *camera.Camera
 	sim *scene.Simulator
 	opt RenderOptions
+
+	// frames recycles full-size frame buffers between AcquireFrame and
+	// ReleaseFrame so steady-state rendering allocates no pixel memory.
+	frames sync.Pool
 }
 
 // NewRenderer builds a renderer for one camera over a simulation.
@@ -85,11 +93,34 @@ func NewRenderer(sim *scene.Simulator, cam *camera.Camera, opt RenderOptions) *R
 	return &Renderer{cam: cam, sim: sim, opt: opt.withDefaults()}
 }
 
+// AcquireFrame returns a frame-sized buffer from the renderer's pool
+// (allocating when the pool is empty). Pair with ReleaseFrame.
+func (r *Renderer) AcquireFrame() *img.Gray {
+	if g, ok := r.frames.Get().(*img.Gray); ok {
+		return g
+	}
+	return img.New(r.cam.In.W, r.cam.In.H)
+}
+
+// ReleaseFrame returns a buffer obtained from AcquireFrame (or any
+// frame-sized image) to the pool. The caller must not use g afterwards.
+func (r *Renderer) ReleaseFrame(g *img.Gray) {
+	if g != nil && g.W == r.cam.In.W && g.H == r.cam.In.H {
+		r.frames.Put(g)
+	}
+}
+
 // RenderState draws an arbitrary frame state (useful for single-frame
 // tooling); frame index governs noise seeding and lighting phase.
 func (r *Renderer) RenderState(fs scene.FrameState) *img.Gray {
+	return r.RenderStateInto(fs, nil)
+}
+
+// RenderStateInto is RenderState drawing into g (reused when its buffer
+// is large enough; nil allocates). It returns the rendered frame.
+func (r *Renderer) RenderStateInto(fs scene.FrameState, g *img.Gray) *img.Gray {
 	o := r.opt
-	g := img.New(r.cam.In.W, r.cam.In.H)
+	g = img.Ensure(g, r.cam.In.W, r.cam.In.H)
 	g.Fill(o.Background)
 
 	r.drawTable(g)
@@ -141,7 +172,7 @@ func (r *Renderer) Render(i int) Frame {
 func (r *Renderer) drawTable(g *img.Gray) {
 	sc := r.sim.Scenario()
 	hw, hd := sc.TableW/2, sc.TableD/2
-	corners := []geom.Vec3{
+	corners := [4]geom.Vec3{
 		{X: -hw, Y: -hd, Z: sc.TableH},
 		{X: hw, Y: -hd, Z: sc.TableH},
 		{X: hw, Y: hd, Z: sc.TableH},
@@ -149,15 +180,15 @@ func (r *Renderer) drawTable(g *img.Gray) {
 	}
 	// Project corners; if any is behind the camera, skip the table
 	// (cannot happen with the standard rigs).
-	px := make([]geom.Vec2, 0, 4)
-	for _, c := range corners {
+	var px [4]geom.Vec2
+	for i, c := range corners {
 		p, err := r.cam.Project(c)
 		if err != nil {
 			return
 		}
-		px = append(px, p)
+		px[i] = p
 	}
-	fillQuad(g, px, r.opt.TableTone)
+	fillQuad(g, px[:], r.opt.TableTone)
 }
 
 // drawPerson draws a participant: a dark torso ellipse under an
@@ -204,20 +235,24 @@ func fillQuad(g *img.Gray, pts []geom.Vec2, tone uint8) {
 	y1 := minInt(g.H-1, int(maxY))
 	for y := y0; y <= y1; y++ {
 		fy := float64(y) + 0.5
-		// Collect intersections of the scanline with quad edges.
-		var xs []float64
+		// Collect intersections of the scanline with quad edges (a
+		// convex quad crosses a scanline at most 4 times — fixed array
+		// keeps this off the heap).
+		var xs [4]float64
+		nx := 0
 		for i := 0; i < 4; i++ {
 			a, b := pts[i], pts[(i+1)%4]
 			if (a.Y <= fy && b.Y > fy) || (b.Y <= fy && a.Y > fy) {
 				t := (fy - a.Y) / (b.Y - a.Y)
-				xs = append(xs, a.X+t*(b.X-a.X))
+				xs[nx] = a.X + t*(b.X-a.X)
+				nx++
 			}
 		}
-		if len(xs) < 2 {
+		if nx < 2 {
 			continue
 		}
 		lo, hi := xs[0], xs[0]
-		for _, x := range xs[1:] {
+		for _, x := range xs[1:nx] {
 			if x < lo {
 				lo = x
 			}

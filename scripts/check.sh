@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# check.sh — the one-command repo gate.
+#
+#   scripts/check.sh         vet + build + short-mode tests (fast)
+#   scripts/check.sh -full   vet + build + full tier-1 test suite
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+if [ "${1:-}" = "-full" ]; then
+	go test ./...
+else
+	go test -short ./...
+fi
+echo "check.sh: OK"
