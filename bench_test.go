@@ -462,6 +462,105 @@ func BenchmarkMetadataQuery(b *testing.B) {
 	}
 }
 
+// benchRepo1M builds the shared 1M-record repository for the planned
+// query benchmarks once: three bulk emotion labels, a sparse
+// "eye-contact" label (1/64), a rare "alert-negative-spike" label
+// (1/8192), 16 participants, frames advancing every 4 records.
+var (
+	repo1MOnce sync.Once
+	repo1M     *metadata.Repository
+	repo1MErr  error
+)
+
+func benchRepo1M(b *testing.B) *metadata.Repository {
+	b.Helper()
+	repo1MOnce.Do(func() {
+		r := metadata.NewMem()
+		labels := []string{"happy", "neutral", "sad"}
+		batch := make([]metadata.Record, 0, 8192)
+		for i := 0; i < 1_000_000; i++ {
+			label := labels[i%3]
+			switch {
+			case i%8192 == 4095:
+				label = "alert-negative-spike"
+			case i%64 == 63:
+				label = "eye-contact"
+			}
+			batch = append(batch, metadata.Record{
+				Kind: metadata.KindObservation, Frame: i / 4, FrameEnd: i/4 + 1,
+				Time:   time.Duration(i/4) * 40 * time.Millisecond,
+				Person: i % 16, Other: -1, Label: label, Value: float64(i%1000) / 1000,
+			})
+			if len(batch) == cap(batch) {
+				if repo1MErr = r.AppendBatch(batch); repo1MErr != nil {
+					return
+				}
+				batch = batch[:0]
+			}
+		}
+		if repo1MErr = r.AppendBatch(batch); repo1MErr != nil {
+			return
+		}
+		repo1M = r
+	})
+	if repo1MErr != nil {
+		b.Fatal(repo1MErr)
+	}
+	return repo1M
+}
+
+// benchQueries1M are the selective shapes of the ≥5× planner claim:
+// a rare label, a label∩person intersection, and a frame window.
+var benchQueries1M = []struct{ name, q string }{
+	{"label", "label = 'alert-negative-spike'"},
+	{"person", "label = 'eye-contact' AND person = 16"},
+	{"frameRange", "frame >= 200000 AND frame < 200100"},
+}
+
+// BenchmarkQueryPlanned1M measures the planned, parallel engine on
+// selective queries over a 1M-record repository.
+func BenchmarkQueryPlanned1M(b *testing.B) {
+	repo := benchRepo1M(b)
+	for _, bq := range benchQueries1M {
+		b.Run(bq.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				recs, err := repo.Query(bq.q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(recs) == 0 {
+					b.Fatal("query became empty — benchmark invalid")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryNaive1M measures the reference full-scan interpreter on
+// the same queries — the baseline of the planner's speedup claim.
+func BenchmarkQueryNaive1M(b *testing.B) {
+	repo := benchRepo1M(b)
+	for _, bq := range benchQueries1M {
+		expr, err := metadata.Parse(bq.q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bq.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				recs, err := repo.NaiveQueryExpr(expr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(recs) == 0 {
+					b.Fatal("query became empty — benchmark invalid")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMetadataParse measures query compilation alone.
 func BenchmarkMetadataParse(b *testing.B) {
 	const q = "(label = 'sad' OR label = 'shot') AND frame < 10000 AND tag.camera != 'C2'"

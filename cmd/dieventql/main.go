@@ -1,13 +1,20 @@
 // Command dieventql runs queries against a persisted DiEvent metadata
-// repository — the paper's §II-E "rich query vocabulary" from the shell.
+// repository — the paper's §II-E "rich query vocabulary" from the shell,
+// executed by the planned, parallel query engine.
 //
 // Usage:
 //
 //	dieventql -repo DIR "label = 'eye-contact' AND person = 1"
+//	dieventql -repo DIR "EXPLAIN label = 'happy' AND frame < 500"
+//	dieventql -repo DIR -i          # interactive REPL
 //	dieventql -repo DIR -stats
+//
+// In the REPL, prefix any query with EXPLAIN to print its plan instead
+// of executing it; "stats" prints repository statistics; "quit" exits.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +25,10 @@ import (
 
 func main() {
 	var (
-		dir   = flag.String("repo", "", "repository directory (required)")
-		stats = flag.Bool("stats", false, "print repository statistics instead of querying")
-		limit = flag.Int("limit", 50, "maximum rows to print (0 = all)")
+		dir         = flag.String("repo", "", "repository directory (required)")
+		stats       = flag.Bool("stats", false, "print repository statistics instead of querying")
+		limit       = flag.Int("limit", 50, "maximum rows to print (0 = all)")
+		interactive = flag.Bool("i", false, "interactive REPL")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -33,38 +41,116 @@ func main() {
 	}
 	defer repo.Close()
 
-	if *stats {
-		printStats(repo)
-		return
-	}
-	q := strings.Join(flag.Args(), " ")
-	if q == "" {
-		fmt.Fprintln(os.Stderr, "dieventql: no query given (try: \"label = 'eye-contact'\")")
-		os.Exit(2)
-	}
-	recs, err := repo.Query(q)
-	if err != nil {
-		fatal(err)
-	}
-	for i, r := range recs {
-		if *limit > 0 && i >= *limit {
-			fmt.Printf("… %d more rows (raise -limit)\n", len(recs)-i)
-			break
+	switch {
+	case *stats:
+		if err := printStats(repo); err != nil {
+			fatal(err)
 		}
-		fmt.Println(r)
+	case *interactive:
+		repl(repo, *limit)
+	default:
+		q := strings.Join(flag.Args(), " ")
+		if q == "" {
+			fmt.Fprintln(os.Stderr, "dieventql: no query given (try: \"label = 'eye-contact'\" or -i)")
+			os.Exit(2)
+		}
+		if err := runQuery(os.Stdout, repo, q, *limit); err != nil {
+			fatal(err)
+		}
 	}
-	fmt.Printf("%d rows\n", len(recs))
 }
 
-func printStats(repo *metadata.Repository) {
+// runQuery executes one line: EXPLAIN renders the plan, anything else
+// streams results through the planner's cursor, printing the first
+// limit rows while counting the rest.
+func runQuery(w *os.File, repo *metadata.Repository, q string, limit int) error {
+	if rest, ok := cutExplain(q); ok {
+		plan, err := repo.Explain(rest, metadata.QueryOpts{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, plan)
+		return nil
+	}
+	it, err := repo.QueryIter(q, metadata.QueryOpts{})
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	n := 0
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		if limit <= 0 || n < limit {
+			fmt.Fprintln(w, rec)
+		}
+		n++
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if limit > 0 && n > limit {
+		fmt.Fprintf(w, "… %d more rows (raise -limit)\n", n-limit)
+	}
+	fmt.Fprintf(w, "%d rows\n", n)
+	return nil
+}
+
+// cutExplain strips a leading EXPLAIN keyword (case-insensitive).
+func cutExplain(q string) (string, bool) {
+	trimmed := strings.TrimSpace(q)
+	if len(trimmed) >= 8 && strings.EqualFold(trimmed[:7], "explain") &&
+		(trimmed[7] == ' ' || trimmed[7] == '\t') {
+		return strings.TrimSpace(trimmed[7:]), true
+	}
+	return q, false
+}
+
+// repl reads queries from stdin until EOF or "quit".
+func repl(repo *metadata.Repository, limit int) {
+	fmt.Printf("dieventql REPL — %d records. EXPLAIN <query> shows the plan; quit exits.\n", repo.Len())
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for {
+		fmt.Print("dieventql> ")
+		if !sc.Scan() {
+			fmt.Println()
+			if err := sc.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "dieventql: reading input:", err)
+			}
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "quit" || line == "exit":
+			return
+		case line == "stats":
+			if err := printStats(repo); err != nil {
+				fmt.Fprintln(os.Stderr, "dieventql:", err)
+			}
+		default:
+			if err := runQuery(os.Stdout, repo, line, limit); err != nil {
+				fmt.Fprintln(os.Stderr, "dieventql:", err)
+			}
+		}
+	}
+}
+
+func printStats(repo *metadata.Repository) error {
 	total := repo.Len()
 	byKind := map[string]int{}
 	byLabel := map[string]int{}
-	repo.Scan(func(r metadata.Record) bool {
+	if err := repo.Scan(func(r metadata.Record) bool {
 		byKind[r.Kind.String()]++
 		byLabel[r.Label]++
 		return true
-	})
+	}); err != nil {
+		return err
+	}
 	fmt.Printf("records: %d\n", total)
 	fmt.Println("by kind:")
 	for k, n := range byKind {
@@ -79,6 +165,7 @@ func printStats(repo *metadata.Repository) {
 		fmt.Printf("  %-22q %d\n", l, n)
 		printed++
 	}
+	return nil
 }
 
 func fatal(err error) {

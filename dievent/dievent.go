@@ -21,7 +21,22 @@
 //	if err != nil { ... }
 //	defer res.Repo.Close()
 //	fmt.Println(res.Summary.Digest)
-//	recs, err := res.Repo.Query("label = 'eye-contact' AND person = 1")
+//
+// Queries run on a planned, parallel engine. QueryIter streams results
+// through a cursor with limit, order and projection pushdown:
+//
+//	it, err := res.Repo.QueryIter("label = 'eye-contact' AND person = 1",
+//	    dievent.QueryOpts{Limit: 10, Order: dievent.OrderFrame})
+//	if err != nil { ... }
+//	defer it.Close()
+//	for {
+//	    rec, ok := it.Next()
+//	    if !ok { break }
+//	    fmt.Println(rec)
+//	}
+//
+// Query collects the full frame-ordered result set in one call, and
+// Explain renders a query's plan without executing it.
 //
 // The types below are aliases into the implementation packages, so the
 // whole framework is drivable from this single import; advanced users
@@ -130,6 +145,22 @@ type (
 	Repository = metadata.Repository
 	// Record is one unit of stored metadata.
 	Record = metadata.Record
+	// QueryOpts tunes planned query execution (limit, order, projection).
+	QueryOpts = metadata.QueryOpts
+	// QueryIter streams planned-query results (see Repository.QueryIter).
+	QueryIter = metadata.Iter
+	// QueryOrder selects the result ordering of a planned query.
+	QueryOrder = metadata.Order
+)
+
+// Result orderings for QueryOpts.Order.
+const (
+	// OrderFrame sorts by (frame, ID) ascending — the default.
+	OrderFrame = metadata.OrderFrame
+	// OrderID yields append (ID) order.
+	OrderID = metadata.OrderID
+	// OrderFrameDesc sorts by (frame, ID) descending — latest first.
+	OrderFrameDesc = metadata.OrderFrameDesc
 )
 
 // OpenRepository opens (or creates) a persistent metadata repository.

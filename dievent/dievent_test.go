@@ -36,6 +36,47 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if len(recs) == 0 {
 		t.Error("no eye-contact records via public API")
 	}
+
+	// The documented streaming path: a cursor with limit and ordering
+	// must yield a prefix of the collected result set.
+	it, err := res.Repo.QueryIter("label = 'eye-contact' AND person = 1",
+		dievent.QueryOpts{Limit: 2, Order: dievent.OrderFrame})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var streamed []dievent.Record
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		streamed = append(streamed, rec)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantN := 2
+	if len(recs) < wantN {
+		wantN = len(recs)
+	}
+	if len(streamed) != wantN {
+		t.Fatalf("streamed %d rows, want %d", len(streamed), wantN)
+	}
+	for i, rec := range streamed {
+		if rec.ID != recs[i].ID {
+			t.Errorf("streamed row %d = #%d, want #%d", i, rec.ID, recs[i].ID)
+		}
+	}
+
+	// Explain renders a plan through the facade without executing.
+	plan, err := res.Repo.Explain("label = 'eye-contact' AND person = 1", dievent.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == "" {
+		t.Error("empty explain output")
+	}
 }
 
 func TestPublicAPIDinnerScenario(t *testing.T) {

@@ -73,15 +73,38 @@ func main() {
 			"kind = context AND label = 'participant'"},
 	}
 	for _, qq := range queries {
-		recs, err := repo.Query(qq.q)
+		// Stream through the planned engine: count everything, but keep
+		// only the first row and only the fields the answer needs.
+		n, err := repo.Count(qq.q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("Q: %s\n   %s\n   → %d rows", qq.question, qq.q, len(recs))
-		if len(recs) > 0 {
-			fmt.Printf("; first: %v", recs[0])
+		it, err := repo.QueryIter(qq.q, dievent.QueryOpts{
+			Limit:   1,
+			Order:   dievent.OrderFrame,
+			Project: []string{"id", "kind", "frame", "person", "other", "label", "value"},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q: %s\n   %s\n   → %d rows", qq.question, qq.q, n)
+		if rec, ok := it.Next(); ok {
+			fmt.Printf("; first: %v", rec)
+		}
+		if err := it.Close(); err != nil {
+			log.Fatal(err)
 		}
 		fmt.Println()
 		fmt.Println()
 	}
+
+	// EXPLAIN shows how the planner answers a selective question: index
+	// intersection plus a frame-range filter instead of a full scan.
+	plan, err := repo.Explain("label = 'happy' AND person = 2 AND frame < 750",
+		dievent.QueryOpts{Limit: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("How a selective query executes:")
+	fmt.Print(plan)
 }

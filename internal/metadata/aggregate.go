@@ -85,10 +85,19 @@ func (r *Repository) Aggregate(query string, op AggOp, key GroupKey) ([]AggRow, 
 	if err != nil {
 		return nil, err
 	}
-	recs, err := r.QueryExpr(expr)
+	// Stream the planned execution: records fold into their groups as
+	// segments merge, so the matched set is never materialised. Frame
+	// order keeps float accumulation identical to the historical path;
+	// pure counting is order-insensitive and skips the segment sorts.
+	ord := OrderFrame
+	if op == AggCount {
+		ord = OrderID
+	}
+	it, err := r.QueryExprIter(expr, QueryOpts{Order: ord})
 	if err != nil {
 		return nil, err
 	}
+	defer it.Close()
 	groups := make(map[string]*AggRow)
 	order := []string{}
 	get := func(k string) *AggRow {
@@ -106,7 +115,11 @@ func (r *Repository) Aggregate(query string, op AggOp, key GroupKey) ([]AggRow, 
 		}
 		return g
 	}
-	for _, rec := range recs {
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
 		g := get(groupKey(rec, key))
 		g.N++
 		switch op {
@@ -123,6 +136,9 @@ func (r *Repository) Aggregate(query string, op AggOp, key GroupKey) ([]AggRow, 
 				g.Value = rec.Value
 			}
 		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
 	}
 	if len(groups) == 0 {
 		if op == AggMin || op == AggMax {
@@ -187,16 +203,25 @@ func (r *Repository) TimeHistogram(query string, binFrames int) (map[int]int, er
 	if err != nil {
 		return nil, err
 	}
-	recs, err := r.QueryExpr(expr)
+	// Bin counting is order-insensitive: OrderID skips the segment sorts.
+	it, err := r.QueryExprIter(expr, QueryOpts{Order: OrderID, Project: []string{"frame"}})
 	if err != nil {
 		return nil, err
 	}
+	defer it.Close()
 	out := make(map[int]int)
-	for _, rec := range recs {
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
 		if rec.Frame < 0 {
 			continue
 		}
 		out[rec.Frame/binFrames]++
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

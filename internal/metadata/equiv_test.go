@@ -1,0 +1,327 @@
+package metadata
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Planner/interpreter equivalence: a seeded, deterministic generator of
+// records and query expressions asserts that planned parallel execution
+// returns exactly what the naive interpreter returns — across orders,
+// limits and projections. Every reference transformation (sort, limit,
+// projection) is reimplemented here rather than shared with the engine,
+// so a bug in the engine's helpers cannot hide itself.
+
+var equivLabels = []string{"happy", "sad", "neutral", "eye-contact", "shot", "alert", "phase"}
+
+// genRecord draws one valid record; roughly 1 in 10 is a time-invariant
+// context record, frames arrive unsorted to exercise range-index
+// insertion, and tags/partners appear sporadically.
+func genRecord(rng *rand.Rand) Record {
+	if rng.Intn(10) == 0 {
+		rec := Record{
+			Kind: KindContext, Frame: -1, FrameEnd: -1, Person: rng.Intn(7) - 1, Other: -1,
+			Label: equivLabels[rng.Intn(len(equivLabels))],
+			Value: float64(rng.Intn(9)) / 4,
+		}
+		if rng.Intn(2) == 0 {
+			rec.Tags = map[string]string{"camera": fmt.Sprintf("C%d", rng.Intn(4))}
+		}
+		return rec
+	}
+	frame := rng.Intn(1000)
+	rec := Record{
+		Kind:   []Kind{KindObservation, KindObservation, KindEvent, KindAnnotation}[rng.Intn(4)],
+		Frame:  frame,
+		Person: rng.Intn(7) - 1,
+		Other:  -1,
+		Label:  equivLabels[rng.Intn(len(equivLabels))],
+		Value:  float64(rng.Intn(200)-100) / 8,
+		Time:   time.Duration(frame) * 40 * time.Millisecond,
+	}
+	switch rng.Intn(3) {
+	case 0:
+		rec.FrameEnd = frame + 1
+	case 1:
+		rec.FrameEnd = frame + 1 + rng.Intn(60)
+	default:
+		rec.FrameEnd = -1
+	}
+	if rec.Kind == KindEvent && rng.Intn(2) == 0 {
+		rec.Other = rng.Intn(6)
+	}
+	if rng.Intn(4) == 0 {
+		rec.Tags = map[string]string{"camera": fmt.Sprintf("C%d", rng.Intn(4))}
+	}
+	return rec
+}
+
+// genQuery builds a random query string with the full grammar: nested
+// AND/OR/NOT over every field, operators valid per field, values both in
+// and out of the stored distributions (plus fractional frame and person
+// values probing the sargable-range float handling).
+func genQuery(rng *rand.Rand, depth int) string {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(10) {
+		case 0:
+			return fmt.Sprintf("kind %s %s",
+				[]string{"=", "!="}[rng.Intn(2)], kindNames[rng.Intn(int(numKinds))])
+		case 1:
+			return fmt.Sprintf("label %s '%s'",
+				[]string{"=", "!="}[rng.Intn(2)],
+				append(equivLabels, "absent")[rng.Intn(len(equivLabels)+1)])
+		case 2:
+			return fmt.Sprintf("person %s %s", cmpOp(rng),
+				[]string{"-1", "0", "1", "2", "3", "7", "1.5"}[rng.Intn(7)])
+		case 3:
+			return fmt.Sprintf("other %s %d", cmpOp(rng), rng.Intn(8)-1)
+		case 4:
+			return fmt.Sprintf("frame %s %s", cmpOp(rng),
+				[]string{"-1", "0", "250", "250.5", "500", "999", "2000"}[rng.Intn(7)])
+		case 5:
+			return fmt.Sprintf("frameend %s %d", cmpOp(rng), rng.Intn(1100)-10)
+		case 6:
+			return fmt.Sprintf("time %s %g", cmpOp(rng), float64(rng.Intn(4500))/100)
+		case 7:
+			return fmt.Sprintf("value %s %g", cmpOp(rng), float64(rng.Intn(220)-110)/8)
+		case 8:
+			return fmt.Sprintf("id %s %d", cmpOp(rng), rng.Intn(4000))
+		default:
+			return fmt.Sprintf("tag.camera %s 'C%d'",
+				[]string{"=", "!="}[rng.Intn(2)], rng.Intn(5))
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("NOT (%s)", genQuery(rng, depth-1))
+	case 1:
+		return fmt.Sprintf("(%s) OR (%s)", genQuery(rng, depth-1), genQuery(rng, depth-1))
+	default: // bias toward AND: that is the sargable shape
+		return fmt.Sprintf("(%s) AND (%s)", genQuery(rng, depth-1), genQuery(rng, depth-1))
+	}
+}
+
+func cmpOp(rng *rand.Rand) string {
+	return []string{"=", "!=", "<", "<=", ">", ">="}[rng.Intn(6)]
+}
+
+// refSort orders records the reference way, per Order semantics.
+func refSort(recs []Record, order Order) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		switch order {
+		case OrderID:
+			return a.ID < b.ID
+		case OrderFrameDesc:
+			if a.Frame != b.Frame {
+				return a.Frame > b.Frame
+			}
+			return a.ID > b.ID
+		default:
+			if a.Frame != b.Frame {
+				return a.Frame < b.Frame
+			}
+			return a.ID < b.ID
+		}
+	})
+}
+
+// refProject is an independent reimplementation of projection.
+func refProject(rec Record, fields []string) Record {
+	if len(fields) == 0 {
+		return rec
+	}
+	out := Record{Frame: -1, FrameEnd: -1, Person: -1, Other: -1}
+	for _, f := range fields {
+		switch f {
+		case "id":
+			out.ID = rec.ID
+		case "kind":
+			out.Kind = rec.Kind
+		case "frame":
+			out.Frame = rec.Frame
+		case "frameend":
+			out.FrameEnd = rec.FrameEnd
+		case "time":
+			out.Time = rec.Time
+		case "person":
+			out.Person = rec.Person
+		case "other":
+			out.Other = rec.Other
+		case "label":
+			out.Label = rec.Label
+		case "value":
+			out.Value = rec.Value
+		case "tags":
+			out.Tags = rec.Tags
+		}
+	}
+	return out
+}
+
+func fillRepo(t *testing.T, r *Repository, rng *rand.Rand, n int) {
+	t.Helper()
+	batch := make([]Record, 0, 64)
+	for i := 0; i < n; i++ {
+		batch = append(batch, genRecord(rng))
+		if len(batch) == cap(batch) || i == n-1 {
+			if err := r.AppendBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+}
+
+func runEquivalence(t *testing.T, r *Repository, seed int64, queries int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	orders := []Order{OrderFrame, OrderID, OrderFrameDesc}
+	limits := []int{0, 1, 7, 1000000}
+	projections := [][]string{nil, {"id", "label"}, {"frame", "person", "value", "tags"}}
+
+	for qi := 0; qi < queries; qi++ {
+		q := genQuery(rng, 3)
+		expr, err := Parse(q)
+		if err != nil {
+			t.Fatalf("generated query %q failed to parse: %v", q, err)
+		}
+		naive, err := r.NaiveQueryExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The collect-all path must be byte-identical to the oracle.
+		planned, err := r.QueryExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(planned, naive) {
+			t.Fatalf("QueryExpr diverged from interpreter for %q:\n planned %d rows\n naive   %d rows",
+				q, len(planned), len(naive))
+		}
+		// Every (order, limit, projection) combination over the cursor.
+		order := orders[qi%len(orders)]
+		for _, limit := range limits {
+			for _, proj := range projections {
+				want := append([]Record(nil), naive...)
+				refSort(want, order)
+				if limit > 0 && limit < len(want) {
+					want = want[:limit]
+				}
+				for i := range want {
+					want[i] = refProject(want[i], proj)
+				}
+				if len(want) == 0 {
+					want = nil
+				}
+				it, err := r.QueryExprIter(expr, QueryOpts{Limit: limit, Order: order, Project: proj})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := it.Collect()
+				if cerr := it.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					i := 0
+					for i < len(got) && i < len(want) && reflect.DeepEqual(got[i], want[i]) {
+						i++
+					}
+					t.Fatalf("planned execution diverged for %q (order=%v limit=%d proj=%v):\n got %d rows, want %d; first divergence at row %d",
+						q, order, limit, proj, len(got), len(want), i)
+				}
+			}
+		}
+	}
+}
+
+func TestPlannerEquivalenceInMemory(t *testing.T) {
+	seeds := []int64{1, 42, 20260725}
+	queries := 120
+	if testing.Short() {
+		seeds = seeds[:1]
+		queries = 40
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := NewMem()
+			defer r.Close()
+			rng := rand.New(rand.NewSource(seed))
+			fillRepo(t, r, rng, 3000)
+			runEquivalence(t, r, seed*31+7, queries)
+		})
+	}
+}
+
+// TestPlannerEquivalencePersisted covers the replay-built indexes and a
+// post-Compact store: the same guarantees must hold for a repository
+// recovered from its log.
+func TestPlannerEquivalencePersisted(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	fillRepo(t, r, rng, 1500)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 1500 {
+		t.Fatalf("recovered %d records, want 1500", r2.Len())
+	}
+	runEquivalence(t, r2, 100, 40)
+	if err := r2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, r2, 101, 40)
+}
+
+// TestIterLimitStopsEarly pins the cursor contract: Next returns false
+// exactly at the limit and Err stays nil.
+func TestIterLimitStopsEarly(t *testing.T) {
+	r := NewMem()
+	defer r.Close()
+	rng := rand.New(rand.NewSource(5))
+	fillRepo(t, r, rng, 500)
+	it, err := r.QueryIter("frame >= 0", QueryOpts{Limit: 3, Order: OrderID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var ids []uint64
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		ids = append(ids, rec.ID)
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if len(ids) != 3 {
+		t.Fatalf("limit 3 yielded %d rows", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("OrderID not ascending: %v", ids)
+		}
+	}
+	// Next after exhaustion keeps returning false.
+	if _, ok := it.Next(); ok {
+		t.Fatal("Next after limit returned a record")
+	}
+}

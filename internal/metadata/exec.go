@@ -1,0 +1,459 @@
+package metadata
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel execution (DESIGN.md §4): the candidate set of a queryPlan is
+// partitioned into fixed-size segments scanned by a worker pool; each
+// worker emits its segment's matches pre-sorted for the requested order,
+// and the Iter k-way-merges segment outputs on demand, so results stream
+// to the caller without materialising the merged set and a Limit stops
+// the merge early.
+
+// Order selects the result ordering of a planned query.
+type Order uint8
+
+const (
+	// OrderFrame sorts by (Frame, ID) ascending — Query's order, with
+	// time-invariant (frame −1) records first.
+	OrderFrame Order = iota
+	// OrderID yields append (ID) order.
+	OrderID
+	// OrderFrameDesc sorts by (Frame, ID) descending — latest first.
+	OrderFrameDesc
+
+	numOrders
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case OrderFrame:
+		return "frame"
+	case OrderID:
+		return "id"
+	case OrderFrameDesc:
+		return "frame-desc"
+	}
+	return fmt.Sprintf("order(%d)", uint8(o))
+}
+
+// QueryOpts tunes planned query execution.
+type QueryOpts struct {
+	// Limit caps the number of records yielded; 0 means unlimited.
+	Limit int
+	// Order selects the result ordering (default OrderFrame).
+	Order Order
+	// Project names the record fields to retain ("id", "kind", "frame",
+	// "frameend", "time", "person", "other", "label", "value", "tags");
+	// nil keeps full records. Unprojected fields are zeroed to their
+	// absent sentinels (−1 for frame/person fields).
+	Project []string
+}
+
+func (o QueryOpts) validate() error {
+	if o.Order >= numOrders {
+		return fmt.Errorf("metadata: unknown order %d: %w", o.Order, ErrBadQuery)
+	}
+	if o.Limit < 0 {
+		return fmt.Errorf("metadata: negative limit %d: %w", o.Limit, ErrBadQuery)
+	}
+	return nil
+}
+
+// --- projection ---
+
+type projMask uint16
+
+const (
+	projID projMask = 1 << iota
+	projKind
+	projFrame
+	projFrameEnd
+	projTime
+	projPerson
+	projOther
+	projLabel
+	projValue
+	projTags
+)
+
+var projFields = map[string]projMask{
+	"id": projID, "kind": projKind, "frame": projFrame,
+	"frameend": projFrameEnd, "time": projTime, "person": projPerson,
+	"other": projOther, "label": projLabel, "value": projValue,
+	"tags": projTags,
+}
+
+// projMaskOf compiles a projection field list (0 = keep everything).
+func projMaskOf(fields []string) (projMask, error) {
+	var m projMask
+	for _, f := range fields {
+		bit, ok := projFields[strings.ToLower(f)]
+		if !ok {
+			return 0, fmt.Errorf("metadata: unknown projection field %q: %w", f, ErrBadQuery)
+		}
+		m |= bit
+	}
+	return m, nil
+}
+
+// projectRecord keeps only the masked fields; the rest reset to absent
+// sentinels so a projected record never fabricates P1 or frame 0.
+func projectRecord(rec Record, m projMask) Record {
+	if m == 0 {
+		return rec
+	}
+	out := Record{Frame: -1, FrameEnd: -1, Person: -1, Other: -1}
+	if m&projID != 0 {
+		out.ID = rec.ID
+	}
+	if m&projKind != 0 {
+		out.Kind = rec.Kind
+	}
+	if m&projFrame != 0 {
+		out.Frame = rec.Frame
+	}
+	if m&projFrameEnd != 0 {
+		out.FrameEnd = rec.FrameEnd
+	}
+	if m&projTime != 0 {
+		out.Time = rec.Time
+	}
+	if m&projPerson != 0 {
+		out.Person = rec.Person
+	}
+	if m&projOther != 0 {
+		out.Other = rec.Other
+	}
+	if m&projLabel != 0 {
+		out.Label = rec.Label
+	}
+	if m&projValue != 0 {
+		out.Value = rec.Value
+	}
+	if m&projTags != 0 {
+		out.Tags = rec.Tags
+	}
+	return out
+}
+
+// orderLess compares candidate *positions*. Positions ascend in ID
+// order, so the position itself is the ID tiebreak (and the whole key
+// for OrderID).
+func orderLess(o Order, recs []Record) func(a, b int) bool {
+	switch o {
+	case OrderID:
+		return func(a, b int) bool { return a < b }
+	case OrderFrameDesc:
+		return func(a, b int) bool {
+			if recs[a].Frame != recs[b].Frame {
+				return recs[a].Frame > recs[b].Frame
+			}
+			return a > b
+		}
+	default:
+		return func(a, b int) bool {
+			if recs[a].Frame != recs[b].Frame {
+				return recs[a].Frame < recs[b].Frame
+			}
+			return a < b
+		}
+	}
+}
+
+// --- segment layout ---
+
+// querySegmentSize is the number of candidate positions per scan
+// segment; single-segment queries run inline with no goroutines.
+const querySegmentSize = 8192
+
+// segmentLayout sizes the worker pool for n candidates.
+func segmentLayout(n int) (nseg, workers int) {
+	nseg = (n + querySegmentSize - 1) / querySegmentSize
+	if nseg == 0 {
+		nseg = 1
+	}
+	workers = runtime.GOMAXPROCS(0)
+	if workers > nseg {
+		workers = nseg
+	}
+	return nseg, workers
+}
+
+// --- iterator ---
+
+// Iter streams the results of a planned query. It is a single-consumer
+// cursor: Next/Err/Close must be called from one goroutine, but many
+// Iters may run concurrently with appends and compaction (each executes
+// over an immutable snapshot taken at creation). Close releases the
+// worker pool early; abandoning an Iter without Close leaks no resources
+// once its workers finish their segments.
+type Iter struct {
+	p     *queryPlan
+	limit int
+	mask  projMask
+	less  func(a, b int) bool
+	sortS bool // segments need an in-segment sort (order ≠ OrderID)
+
+	// Segments hold matched *positions*, not records: 8-byte pointers
+	// into the snapshot instead of 112-byte copies, so a scan's working
+	// set stays small and each record is copied exactly once, on yield.
+	segs   [][]int
+	errs   []error
+	nseg   int
+	wg     sync.WaitGroup
+	cancel atomic.Bool
+
+	waited  bool
+	err     error
+	heads   []int // per-segment read cursor
+	heap    []int // segment indexes, min-heap by current head position
+	yielded int
+	closed  bool
+}
+
+func newIter(p *queryPlan, opts QueryOpts, mask projMask) *Iter {
+	it := &Iter{
+		p:     p,
+		limit: opts.Limit,
+		mask:  mask,
+		less:  orderLess(opts.Order, p.recs),
+		sortS: opts.Order != OrderID,
+	}
+	it.start()
+	return it
+}
+
+// start partitions the candidate set and launches the worker pool.
+// Single-segment plans evaluate inline: no goroutine, no latency.
+func (it *Iter) start() {
+	n := it.p.scanCount()
+	nseg, workers := segmentLayout(n)
+	it.nseg = nseg
+	it.segs = make([][]int, nseg)
+	it.errs = make([]error, nseg)
+	if nseg == 1 {
+		it.evalSegment(0)
+		it.waited = true
+		it.finishWait()
+		return
+	}
+	var next atomic.Int64
+	it.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer it.wg.Done()
+			for {
+				si := int(next.Add(1) - 1)
+				if si >= nseg || it.cancel.Load() {
+					return
+				}
+				it.evalSegment(si)
+			}
+		}()
+	}
+}
+
+// evalSegment scans candidate positions [si*seg, (si+1)*seg), applying
+// the plan's bound filters and residual predicate, and leaves the
+// segment's matches sorted for the merge.
+func (it *Iter) evalSegment(si int) {
+	lo := si * querySegmentSize
+	hi := lo + querySegmentSize
+	if n := it.p.scanCount(); hi > n {
+		hi = n
+	}
+	cj := &it.p.cj
+	var out []int
+	for i := lo; i < hi; i++ {
+		if i&1023 == 0 && it.cancel.Load() {
+			return
+		}
+		pos := i
+		if !it.p.full {
+			pos = it.p.cand[i]
+		}
+		rec := &it.p.recs[pos]
+		if !cj.boundsOK(*rec) {
+			continue
+		}
+		if it.p.residual != nil {
+			ok, err := it.p.residual.Eval(*rec)
+			if err != nil {
+				it.errs[si] = err
+				return
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, pos)
+	}
+	// Candidate positions ascend, so OrderID segments are born sorted.
+	if it.sortS && len(out) > 1 {
+		sort.Slice(out, func(i, j int) bool { return it.less(out[i], out[j]) })
+	}
+	it.segs[si] = out
+}
+
+// wait blocks until every segment is evaluated, then seeds the merge
+// heap. Errors surface in segment order (deterministic).
+func (it *Iter) wait() {
+	if it.waited {
+		return
+	}
+	it.wg.Wait()
+	it.waited = true
+	it.finishWait()
+}
+
+func (it *Iter) finishWait() {
+	for _, e := range it.errs {
+		if e != nil {
+			it.err = e
+			return
+		}
+	}
+	it.heads = make([]int, it.nseg)
+	for si := 0; si < it.nseg; si++ {
+		if len(it.segs[si]) > 0 {
+			it.heap = append(it.heap, si)
+		}
+	}
+	for i := len(it.heap)/2 - 1; i >= 0; i-- {
+		it.siftDown(i)
+	}
+}
+
+func (it *Iter) head(si int) int { return it.segs[si][it.heads[si]] }
+
+func (it *Iter) heapLess(i, j int) bool {
+	return it.less(it.head(it.heap[i]), it.head(it.heap[j]))
+}
+
+func (it *Iter) siftDown(i int) {
+	n := len(it.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && it.heapLess(l, min) {
+			min = l
+		}
+		if r < n && it.heapLess(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		it.heap[i], it.heap[min] = it.heap[min], it.heap[i]
+		i = min
+	}
+}
+
+// Next yields the next record in the requested order, with the
+// projection applied. It reports false when the results are exhausted,
+// the Limit is reached, an evaluation error occurred (see Err), or the
+// iterator was closed.
+func (it *Iter) Next() (Record, bool) {
+	if it.closed || it.err != nil {
+		return Record{}, false
+	}
+	it.wait()
+	if it.err != nil || len(it.heap) == 0 {
+		return Record{}, false
+	}
+	if it.limit > 0 && it.yielded >= it.limit {
+		return Record{}, false
+	}
+	si := it.heap[0]
+	pos := it.head(si)
+	it.heads[si]++
+	if it.heads[si] >= len(it.segs[si]) {
+		last := len(it.heap) - 1
+		it.heap[0] = it.heap[last]
+		it.heap = it.heap[:last]
+	}
+	if len(it.heap) > 0 {
+		it.siftDown(0)
+	}
+	it.yielded++
+	return projectRecord(it.p.recs[pos], it.mask), true
+}
+
+// Err returns the first evaluation error, if any. It is meaningful after
+// Next has returned false (or after Close).
+func (it *Iter) Err() error { return it.err }
+
+// Close cancels outstanding segment scans and waits for the worker pool
+// to drain. Idempotent; returns Err().
+func (it *Iter) Close() error {
+	if it.closed {
+		return it.err
+	}
+	it.cancel.Store(true)
+	if !it.waited {
+		it.wg.Wait()
+		it.waited = true
+		// Cancelled segments are incomplete; keep any error for Err but
+		// do not seed the merge heap.
+		for _, e := range it.errs {
+			if e != nil {
+				it.err = e
+				break
+			}
+		}
+	}
+	it.closed = true
+	return it.err
+}
+
+// Collect drains the iterator into an exactly-sized slice.
+func (it *Iter) Collect() ([]Record, error) {
+	var out []Record
+	if n := it.remaining(); n > 0 {
+		out = make([]Record, 0, n)
+	}
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+	}
+	if it.err != nil {
+		return nil, it.err
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// remaining counts the records Next will still yield (0 on error/close).
+func (it *Iter) remaining() int {
+	if it.closed || it.err != nil {
+		return 0
+	}
+	it.wait()
+	if it.err != nil {
+		return 0
+	}
+	n := 0
+	for si := range it.segs {
+		n += len(it.segs[si]) - it.heads[si]
+	}
+	if it.limit > 0 && n > it.limit-it.yielded {
+		n = it.limit - it.yielded
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

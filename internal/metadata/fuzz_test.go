@@ -1,0 +1,138 @@
+package metadata
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fuzzSampleRecords exercise Eval across the field space: context
+// records without frames, intervals, partner pairs, tags, negative and
+// NaN-free extreme values.
+var fuzzSampleRecords = []Record{
+	{ID: 1, Kind: KindContext, Frame: -1, FrameEnd: -1, Person: -1, Other: -1,
+		Label: "location", Tags: map[string]string{"value": "meeting room"}},
+	{ID: 2, Kind: KindObservation, Frame: 0, FrameEnd: 1, Person: 0, Other: -1,
+		Label: "happy", Value: 0.83, Time: 40 * time.Millisecond},
+	{ID: 3, Kind: KindEvent, Frame: 100, FrameEnd: 160, Person: 1, Other: 3,
+		Label: "eye-contact", Value: 1, Time: 4 * time.Second,
+		Tags: map[string]string{"camera": "C2"}},
+	{ID: 4, Kind: KindAnnotation, Frame: 999999, FrameEnd: 999999, Person: 7, Other: 7,
+		Label: "note", Value: -1e300},
+}
+
+// renderable reports whether e survives the grammar's one rendering gap:
+// string operands containing a single quote cannot be re-quoted (the
+// language has no escape sequence), so String() for them is lossy.
+func renderable(e Expr) bool {
+	switch v := e.(type) {
+	case andExpr:
+		return renderable(v.l) && renderable(v.r)
+	case orExpr:
+		return renderable(v.l) && renderable(v.r)
+	case notExpr:
+		return renderable(v.inner)
+	case cmpExpr:
+		return v.isNum || !strings.Contains(v.str, "'")
+	}
+	return false
+}
+
+// FuzzParseQuery drives the lexer/parser with arbitrary input: parsing
+// must never panic, accepted queries must evaluate panic-free, and the
+// canonical rendering must round-trip (parse → String → parse → String
+// is a fixed point) whenever the expression is renderable.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		// Documented examples and grammar basics.
+		"kind = event AND label = 'eye-contact' AND person = 1",
+		"label = 'happy' AND frame >= 250 AND frame < 500",
+		"tag.camera = 'C2' OR value > 0.9",
+		"(frame < 5 OR frame >= 15) AND value != 3",
+		"NOT frame < 18",
+		"NOT NOT NOT value > 0",
+		"other != 2 AND frameend <= 60",
+		"time >= 1.5 AND time < 24e0",
+		// Numbers: signs, exponents, floats, extremes.
+		"frame >= 1e3 AND frame < 1e+4",
+		"value <= -3.25e-2",
+		"value = -0",
+		"frame = 010",
+		"value = 9007199254740993",
+		"id > 0",
+		// Person edge cases (1-based; 0 addresses absent participants).
+		"person = 0",
+		"person = -1",
+		"person = 1.5",
+		// Bareword values, dotted tag keys, whitespace soup.
+		"label = happy",
+		"kind = observation",
+		"tag.a.b-c_d = 'x'",
+		"  label\t=\n'x'  ",
+		"label='x'AND person=1",
+		// Unicode content.
+		"label = 'héllo wörld'",
+		"tag.caméra = 'C1'",
+		// Malformed: each should error cleanly, never panic.
+		"",
+		"label =",
+		"= 'x'",
+		"label = 'unterminated",
+		"bogusfield = 3",
+		"frame = 'str'",
+		"label < 'x'",
+		"kind = 99",
+		"kind = nosuchkind",
+		"(((frame = 1",
+		"frame = 1 extra",
+		"tag. = 'x'",
+		"value < 1e999",
+		"1 = frame",
+		"AND AND AND",
+		"NOT",
+		"()",
+		"frame != != 1",
+		"'lone string'",
+		"frame = 1 OR",
+		"-",
+		"--1 = value",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		e, err := Parse(q)
+		if err != nil {
+			if e != nil {
+				t.Fatalf("Parse(%q) returned expr AND error %v", q, err)
+			}
+			return
+		}
+		// Accepted queries evaluate without panicking on every record
+		// shape (built-in exprs never error either).
+		for _, rec := range fuzzSampleRecords {
+			if _, err := e.Eval(rec); err != nil {
+				t.Fatalf("Eval(%q, #%d): %v", q, rec.ID, err)
+			}
+		}
+		if !renderable(e) {
+			return
+		}
+		s := e.String()
+		e2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("reparse of %q (rendered from %q) failed: %v", s, q, err)
+		}
+		if s2 := e2.String(); s2 != s {
+			t.Fatalf("canonical round-trip diverged:\n  in:  %q\n  1st: %q\n  2nd: %q", q, s, s2)
+		}
+		// The rendering must also mean the same thing.
+		for _, rec := range fuzzSampleRecords {
+			got1, _ := e.Eval(rec)
+			got2, _ := e2.Eval(rec)
+			if got1 != got2 {
+				t.Fatalf("rendering changed semantics for %q on #%d: %v vs %v", q, rec.ID, got1, got2)
+			}
+		}
+	})
+}

@@ -1,0 +1,395 @@
+package metadata
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Query planning (DESIGN.md §4): a compiled Expr is decomposed into
+// sargable conjuncts — label/kind/person equalities and frame/time range
+// bounds pulled off the top-level AND chain — plus a residual predicate.
+// The equalities probe the secondary indexes and are intersected; range
+// bounds either carve a window out of a sorted index (when no equality
+// narrowed the search) or ride along as cheap per-record filters. The
+// resulting candidate set is a superset of the true matches, and the
+// executor re-checks bounds and residual on every candidate, so planned
+// results are byte-identical to the naive interpreter's.
+
+// bound is one side of a numeric range constraint.
+type bound struct {
+	val  float64
+	incl bool
+	set  bool
+}
+
+// tightenLo narrows a lower bound (keep the larger / stricter one).
+func (b *bound) tightenLo(v float64, incl bool) {
+	if !b.set || v > b.val || (v == b.val && b.incl && !incl) {
+		b.val, b.incl, b.set = v, incl, true
+	}
+}
+
+// tightenHi narrows an upper bound (keep the smaller / stricter one).
+func (b *bound) tightenHi(v float64, incl bool) {
+	if !b.set || v < b.val || (v == b.val && b.incl && !incl) {
+		b.val, b.incl, b.set = v, incl, true
+	}
+}
+
+func (b bound) okLo(x float64) bool {
+	if !b.set {
+		return true
+	}
+	if b.incl {
+		return x >= b.val
+	}
+	return x > b.val
+}
+
+func (b bound) okHi(x float64) bool {
+	if !b.set {
+		return true
+	}
+	if b.incl {
+		return x <= b.val
+	}
+	return x < b.val
+}
+
+// conjuncts is the sargable decomposition of a query expression.
+type conjuncts struct {
+	labels           []string
+	kinds            []Kind
+	persons          []int // 0-based IDs usable as byPerson probes
+	frameLo, frameHi bound
+	timeLo, timeHi   bound
+	residual         []Expr // conjuncts the indexes cannot enforce
+}
+
+// analyze flattens the top-level AND chain of e into conjuncts. OR and
+// NOT subtrees are opaque (their matches may fall outside any index
+// bucket) and land in the residual wholesale.
+func analyze(e Expr) conjuncts {
+	var c conjuncts
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case andExpr:
+			walk(v.l)
+			walk(v.r)
+		case cmpExpr:
+			if !c.absorb(v) {
+				c.residual = append(c.residual, v)
+			}
+		default:
+			c.residual = append(c.residual, e)
+		}
+	}
+	walk(e)
+	return c
+}
+
+// absorb records what the indexes can enforce about one comparison and
+// reports whether they enforce it *exactly* (true = the conjunct can be
+// dropped from the residual). Person probes are supersets — byPerson
+// also indexes eye-contact partners — so person equalities stay in the
+// residual even when probed.
+func (c *conjuncts) absorb(v cmpExpr) bool {
+	switch v.field {
+	case "label":
+		if v.op == "=" {
+			c.labels = append(c.labels, v.str)
+			return true
+		}
+	case "kind":
+		if v.op == "=" {
+			if k, err := ParseKind(v.str); err == nil {
+				c.kinds = append(c.kinds, k)
+				return true
+			}
+		}
+	case "person":
+		// Queries are 1-based; only integral IDs ≥ 1 have index buckets.
+		if v.op == "=" && v.num == math.Trunc(v.num) && v.num >= 1 && v.num <= 1e9 {
+			c.persons = append(c.persons, int(v.num)-1)
+		}
+		return false
+	case "frame":
+		return absorbRange(&c.frameLo, &c.frameHi, v.op, v.num)
+	case "time":
+		return absorbRange(&c.timeLo, &c.timeHi, v.op, v.num)
+	}
+	return false
+}
+
+func absorbRange(lo, hi *bound, op string, v float64) bool {
+	switch op {
+	case "=":
+		lo.tightenLo(v, true)
+		hi.tightenHi(v, true)
+	case ">":
+		lo.tightenLo(v, false)
+	case ">=":
+		lo.tightenLo(v, true)
+	case "<":
+		hi.tightenHi(v, false)
+	case "<=":
+		hi.tightenHi(v, true)
+	default: // != is not a range
+		return false
+	}
+	return true
+}
+
+// boundsOK applies the combined frame/time range checks to one record,
+// using the exact same float comparisons as cmpExpr.Eval.
+func (c *conjuncts) boundsOK(rec Record) bool {
+	if c.frameLo.set || c.frameHi.set {
+		f := float64(rec.Frame)
+		if !c.frameLo.okLo(f) || !c.frameHi.okHi(f) {
+			return false
+		}
+	}
+	if c.timeLo.set || c.timeHi.set {
+		s := rec.Time.Seconds()
+		if !c.timeLo.okLo(s) || !c.timeHi.okHi(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// conjoin rebuilds an AND chain from residual conjuncts (nil when empty).
+func conjoin(list []Expr) Expr {
+	if len(list) == 0 {
+		return nil
+	}
+	e := list[0]
+	for _, next := range list[1:] {
+		e = andExpr{e, next}
+	}
+	return e
+}
+
+func rangeString(name string, lo, hi bound) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(" ∈ ")
+	if lo.set {
+		if lo.incl {
+			b.WriteByte('[')
+		} else {
+			b.WriteByte('(')
+		}
+		fmt.Fprintf(&b, "%g", lo.val)
+	} else {
+		b.WriteString("(-∞")
+	}
+	b.WriteString(", ")
+	if hi.set {
+		fmt.Fprintf(&b, "%g", hi.val)
+		if hi.incl {
+			b.WriteByte(']')
+		} else {
+			b.WriteByte(')')
+		}
+	} else {
+		b.WriteString("+∞)")
+	}
+	return b.String()
+}
+
+// --- plan construction ---
+
+// queryPlan is an executable plan over an immutable snapshot of the
+// store. Everything it references — the records slice prefix and the
+// candidate positions — stays valid and unchanged after the repository
+// lock is released, because records are append-only and candidate lists
+// are copied (or taken from append-only index slices) at plan time.
+type queryPlan struct {
+	recs     []Record // snapshot; positions index into this
+	cand     []int    // ascending positions to scan; nil when full
+	full     bool     // scan every record (no index narrowed the search)
+	cj       conjuncts
+	residual Expr
+	steps    []string // explain lines, in plan order
+}
+
+// scanCount is the number of candidate positions the executor will visit.
+func (p *queryPlan) scanCount() int {
+	if p.full {
+		return len(p.recs)
+	}
+	return len(p.cand)
+}
+
+// planLocked builds a plan for expr. Caller holds at least a read lock.
+func (r *Repository) planLocked(expr Expr) *queryPlan {
+	cj := analyze(expr)
+	p := &queryPlan{recs: r.records, cj: cj, residual: conjoin(cj.residual)}
+
+	type idxList struct {
+		desc string
+		list []int
+	}
+	var lists []idxList
+	for _, l := range cj.labels {
+		lists = append(lists, idxList{fmt.Sprintf("index label=%q", l), r.byLabel[l]})
+	}
+	for _, k := range cj.kinds {
+		lists = append(lists, idxList{fmt.Sprintf("index kind=%v", k), r.byKind[k]})
+	}
+	for _, pid := range cj.persons {
+		lists = append(lists, idxList{fmt.Sprintf("index person P%d (superset: includes partners)", pid+1), r.byPerson[pid]})
+	}
+
+	switch {
+	case len(lists) > 0:
+		// Equality probes: intersect all lists, smallest first. Range
+		// bounds ride along as per-record filters in the executor.
+		sort.SliceStable(lists, func(i, j int) bool { return len(lists[i].list) < len(lists[j].list) })
+		for _, l := range lists {
+			p.steps = append(p.steps, fmt.Sprintf("%s: %d positions", l.desc, len(l.list)))
+		}
+		cand := append([]int(nil), lists[0].list...)
+		for _, l := range lists[1:] {
+			cand = intersect(cand, l.list)
+		}
+		if len(lists) > 1 {
+			p.steps = append(p.steps, fmt.Sprintf("intersect: %d candidates", len(cand)))
+		}
+		p.cand = cand
+		p.boundSteps()
+	case cj.frameLo.set || cj.frameHi.set || cj.timeLo.set || cj.timeHi.set:
+		// No equality probe: carve the narrower sorted-index window. The
+		// index's unsorted tail (recent out-of-order inserts, bounded)
+		// rides along wholesale — the executor re-checks bounds anyway.
+		fLo, fHi := window(r.byFrame.sorted, r.frameKeyFn, cj.frameLo, cj.frameHi)
+		fN := fHi - fLo + len(r.byFrame.tail)
+		tLo, tHi := window(r.byTime.sorted, r.timeKeyFn, cj.timeLo, cj.timeHi)
+		tN := tHi - tLo + len(r.byTime.tail)
+		useTime := (cj.timeLo.set || cj.timeHi.set) &&
+			(!(cj.frameLo.set || cj.frameHi.set) || tN < fN)
+		var win, tail []int
+		if useTime {
+			win, tail = r.byTime.sorted[tLo:tHi], r.byTime.tail
+			p.steps = append(p.steps, fmt.Sprintf("range %s via time index: %d positions (+%d unsorted tail)",
+				rangeString("time", cj.timeLo, cj.timeHi), len(win), len(tail)))
+		} else {
+			win, tail = r.byFrame.sorted[fLo:fHi], r.byFrame.tail
+			p.steps = append(p.steps, fmt.Sprintf("range %s via frame index: %d positions (+%d unsorted tail)",
+				rangeString("frame", cj.frameLo, cj.frameHi), len(win), len(tail)))
+		}
+		// Copy under the lock: compaction rewrites these slices. Restore
+		// position (== ID) order for the segment scan.
+		cand := make([]int, 0, len(win)+len(tail))
+		cand = append(append(cand, win...), tail...)
+		sort.Ints(cand)
+		p.cand = cand
+		p.boundSteps()
+	default:
+		p.full = true
+		p.steps = append(p.steps, fmt.Sprintf("full scan: %d records", len(r.records)))
+	}
+	if p.residual != nil {
+		p.steps = append(p.steps, "residual: "+p.residual.String())
+	}
+	return p
+}
+
+// boundSteps records the bound-filter explain lines (bounds are always
+// re-checked by the executor, whatever narrowed the candidates).
+func (p *queryPlan) boundSteps() {
+	cj := &p.cj
+	if cj.frameLo.set || cj.frameHi.set {
+		p.steps = append(p.steps, "filter "+rangeString("frame", cj.frameLo, cj.frameHi))
+	}
+	if cj.timeLo.set || cj.timeHi.set {
+		p.steps = append(p.steps, "filter "+rangeString("time", cj.timeLo, cj.timeHi))
+	}
+}
+
+// intersect merges two ascending position lists.
+func intersect(a, b []int) []int {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// window locates the half-open index range [lo, hi) of a sorted position
+// index whose keys satisfy the bounds. Keys are ascending, so both
+// predicates are monotone.
+func window(idx []int, key func(int) float64, lo, hi bound) (int, int) {
+	n := len(idx)
+	loI := 0
+	if lo.set {
+		loI = sort.Search(n, func(i int) bool { return lo.okLo(key(idx[i])) })
+	}
+	hiI := n
+	if hi.set {
+		hiI = sort.Search(n, func(i int) bool { return !hi.okHi(key(idx[i])) })
+	}
+	if hiI < loI {
+		hiI = loI
+	}
+	return loI, hiI
+}
+
+// Explain parses q, plans it, and renders the plan without executing it
+// — the REPL's EXPLAIN mode. opts contributes the order/limit/projection
+// and execution-layout lines.
+func (r *Repository) Explain(q string, opts QueryOpts) (string, error) {
+	expr, err := Parse(q)
+	if err != nil {
+		return "", err
+	}
+	if _, err := projMaskOf(opts.Project); err != nil {
+		return "", err
+	}
+	if err := opts.validate(); err != nil {
+		return "", err
+	}
+	r.mu.RLock()
+	if r.closed {
+		r.mu.RUnlock()
+		return "", ErrClosed
+	}
+	p := r.planLocked(expr)
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\nplan:\n", expr)
+	for _, s := range p.steps {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	if p.residual == nil {
+		b.WriteString("  residual: none\n")
+	}
+	n := p.scanCount()
+	nseg, workers := segmentLayout(n)
+	fmt.Fprintf(&b, "  exec: %d of %d records, %d segment(s) × %d, %d worker(s)\n",
+		n, len(p.recs), nseg, querySegmentSize, workers)
+	fmt.Fprintf(&b, "  order: %v", opts.Order)
+	if opts.Limit > 0 {
+		fmt.Fprintf(&b, ", limit: %d", opts.Limit)
+	}
+	if len(opts.Project) > 0 {
+		fmt.Fprintf(&b, ", project: %s", strings.Join(opts.Project, ","))
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}

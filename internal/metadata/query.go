@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Query language: boolean filter expressions over record fields, giving
@@ -33,6 +34,11 @@ import (
 type Expr interface {
 	// Eval reports whether a record matches.
 	Eval(Record) (bool, error)
+	// String renders the expression back in query syntax. The rendering
+	// is canonical: Parse(e.String()) succeeds and renders identically,
+	// provided no string operand embeds a single quote (the grammar has
+	// no escape sequence for it).
+	String() string
 }
 
 // --- lexer ---
@@ -111,16 +117,21 @@ func (l *lexer) next() (token, error) {
 	case c == '-' || c == '+' || unicode.IsDigit(rune(c)):
 		l.pos++
 		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) ||
-			l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == '-') {
+			l.src[l.pos] == '.' || l.src[l.pos] == 'e' ||
+			l.src[l.pos] == '-' || l.src[l.pos] == '+') {
 			l.pos++
 		}
 		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
-	case unicode.IsLetter(rune(c)) || c == '_':
-		l.pos++
+	}
+	// Identifiers decode as UTF-8 runes (not bytes): ToLower and String
+	// re-rendering operate on runes, so byte-wise scanning would admit
+	// invalid sequences that cannot round-trip.
+	if r, size := utf8.DecodeRuneInString(l.src[l.pos:]); r != utf8.RuneError && (unicode.IsLetter(r) || r == '_') {
+		l.pos += size
 		for l.pos < len(l.src) {
-			r := rune(l.src[l.pos])
-			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '-' {
-				l.pos++
+			r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+			if r != utf8.RuneError && (unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '-') {
+				l.pos += size
 				continue
 			}
 			break
@@ -274,6 +285,19 @@ func (e andExpr) Eval(rec Record) (bool, error) {
 	return e.r.Eval(rec)
 }
 
+func (e andExpr) String() string {
+	return andSide(e.l) + " AND " + andSide(e.r)
+}
+
+// andSide renders an AND operand, parenthesising OR children (OR binds
+// looser than AND).
+func andSide(e Expr) string {
+	if _, ok := e.(orExpr); ok {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
 type orExpr struct{ l, r Expr }
 
 func (e orExpr) Eval(rec Record) (bool, error) {
@@ -287,11 +311,23 @@ func (e orExpr) Eval(rec Record) (bool, error) {
 	return e.r.Eval(rec)
 }
 
+func (e orExpr) String() string {
+	return e.l.String() + " OR " + e.r.String()
+}
+
 type notExpr struct{ inner Expr }
 
 func (e notExpr) Eval(rec Record) (bool, error) {
 	ok, err := e.inner.Eval(rec)
 	return !ok, err
+}
+
+func (e notExpr) String() string {
+	switch e.inner.(type) {
+	case andExpr, orExpr:
+		return "NOT (" + e.inner.String() + ")"
+	}
+	return "NOT " + e.inner.String()
 }
 
 // cmpExpr compares one field.
@@ -397,6 +433,18 @@ func (e cmpExpr) Eval(rec Record) (bool, error) {
 	return false, fmt.Errorf("metadata: unreachable field %q: %w", e.field, ErrBadQuery)
 }
 
+func (e cmpExpr) String() string {
+	field := e.field
+	if e.field == "tag" {
+		field = "tag." + e.key
+	}
+	val := "'" + e.str + "'"
+	if e.isNum {
+		val = strconv.FormatFloat(e.num, 'g', -1, 64)
+	}
+	return field + " " + e.op + " " + val
+}
+
 func cmpNum(a float64, op string, b float64) bool {
 	switch op {
 	case "=":
@@ -413,47 +461,4 @@ func cmpNum(a float64, op string, b float64) bool {
 		return a >= b
 	}
 	return false
-}
-
-// --- planner hints ---
-
-// hints captures top-level AND equality constraints usable as index
-// lookups.
-type hintSet struct {
-	label  *string
-	person *int
-	kind   *Kind
-}
-
-// indexHints walks top-level AND chains collecting equality constraints.
-// OR and NOT nodes stop the walk (their matches may fall outside any
-// single index bucket).
-func indexHints(e Expr) hintSet {
-	var h hintSet
-	var walk func(Expr)
-	walk = func(e Expr) {
-		switch v := e.(type) {
-		case andExpr:
-			walk(v.l)
-			walk(v.r)
-		case cmpExpr:
-			if v.op != "=" {
-				return
-			}
-			switch v.field {
-			case "label":
-				s := v.str
-				h.label = &s
-			case "person":
-				p := int(v.num) - 1
-				h.person = &p
-			case "kind":
-				if k, err := ParseKind(v.str); err == nil {
-					h.kind = &k
-				}
-			}
-		}
-	}
-	walk(e)
-	return h
 }

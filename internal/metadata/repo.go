@@ -27,6 +27,17 @@ type Repository struct {
 	byLabel  map[string][]int
 	byPerson map[int][]int
 	byKind   [numKinds][]int
+	// Sorted range indexes over frame and time keys. In-order appends
+	// extend the sorted run in O(1); out-of-order positions collect in a
+	// bounded unsorted tail merged geometrically, so ingest never pays a
+	// per-record O(n) shift (the planner scans the tail as extra
+	// candidates and the executor's bound re-check keeps that exact).
+	byFrame rangeIdx
+	byTime  rangeIdx
+	// frameKeyFn/timeKeyFn are the range-index sort keys, bound once so
+	// the hot append path allocates no method-value closures.
+	frameKeyFn func(int) float64
+	timeKeyFn  func(int) float64
 
 	nextID uint64
 	closed bool
@@ -75,11 +86,14 @@ func Open(dir string) (*Repository, error) {
 func NewMem() *Repository { return newMem() }
 
 func newMem() *Repository {
-	return &Repository{
+	r := &Repository{
 		byLabel:  make(map[string][]int),
 		byPerson: make(map[int][]int),
 		nextID:   1,
 	}
+	r.frameKeyFn = func(pos int) float64 { return float64(r.records[pos].Frame) }
+	r.timeKeyFn = func(pos int) float64 { return r.records[pos].Time.Seconds() }
+	return r
 }
 
 // replay loads records from the log, returning the byte offset of the
@@ -139,6 +153,69 @@ func (r *Repository) index(rec Record) {
 		r.byPerson[rec.Other] = append(r.byPerson[rec.Other], pos)
 	}
 	r.byKind[rec.Kind] = append(r.byKind[rec.Kind], pos)
+	r.byFrame.insert(pos, r.frameKeyFn)
+	r.byTime.insert(pos, r.timeKeyFn)
+}
+
+// rangeIdx is a position index ordered by (key, position): a sorted run
+// plus a bounded unsorted tail of recent out-of-order inserts. Mutated
+// only under the repository write lock.
+type rangeIdx struct {
+	sorted []int
+	tail   []int
+}
+
+// insert adds pos. In-order keys extend the sorted run directly (the
+// common case: video ingest arrives frame-ordered); anything else lands
+// in the tail, which merges once it outgrows max(1024, len/8) — O(1)
+// amortized, never a per-record O(n) shift.
+func (ri *rangeIdx) insert(pos int, key func(int) float64) {
+	if len(ri.tail) == 0 {
+		if n := len(ri.sorted); n == 0 || key(ri.sorted[n-1]) <= key(pos) {
+			ri.sorted = append(ri.sorted, pos)
+			return
+		}
+	}
+	ri.tail = append(ri.tail, pos)
+	limit := len(ri.sorted) / 8
+	if limit < 1024 {
+		limit = 1024
+	}
+	if len(ri.tail) > limit {
+		ri.compact(key)
+	}
+}
+
+// compact merges the tail into the sorted run: O(t log t + n).
+func (ri *rangeIdx) compact(key func(int) float64) {
+	t := ri.tail
+	if len(t) == 0 {
+		return
+	}
+	sort.Slice(t, func(i, j int) bool {
+		ki, kj := key(t[i]), key(t[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return t[i] < t[j]
+	})
+	merged := make([]int, 0, len(ri.sorted)+len(t))
+	i, j := 0, 0
+	for i < len(ri.sorted) && j < len(t) {
+		a, b := ri.sorted[i], t[j]
+		ka, kb := key(a), key(b)
+		if ka < kb || (ka == kb && a < b) {
+			merged = append(merged, a)
+			i++
+		} else {
+			merged = append(merged, b)
+			j++
+		}
+	}
+	merged = append(merged, ri.sorted[i:]...)
+	merged = append(merged, t[j:]...)
+	ri.sorted = merged
+	ri.tail = ri.tail[:0]
 }
 
 // Append validates, assigns an ID, persists and indexes a record,
@@ -272,8 +349,9 @@ func (r *Repository) Get(id uint64) (Record, bool) {
 	return Record{}, false
 }
 
-// Query parses and executes a query, returning matching records in
-// frame order (time-invariant records first).
+// Query parses and executes a query on the planner, returning matching
+// records in frame order (time-invariant records first). Results are
+// byte-identical to NaiveQueryExpr's.
 func (r *Repository) Query(q string) ([]Record, error) {
 	expr, err := Parse(q)
 	if err != nil {
@@ -282,20 +360,61 @@ func (r *Repository) Query(q string) ([]Record, error) {
 	return r.QueryExpr(expr)
 }
 
-// QueryExpr executes a parsed expression.
+// QueryExpr executes a parsed expression through the planner and
+// collects the full result set in frame order.
 func (r *Repository) QueryExpr(expr Expr) ([]Record, error) {
+	it, err := r.QueryExprIter(expr, QueryOpts{})
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	return it.Collect()
+}
+
+// QueryIter parses q and returns a streaming cursor over the planned
+// execution (see QueryOpts for limit, order and projection).
+func (r *Repository) QueryIter(q string, opts QueryOpts) (*Iter, error) {
+	expr, err := Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return r.QueryExprIter(expr, opts)
+}
+
+// QueryExprIter plans expr against the current snapshot and returns a
+// streaming cursor. Planning happens under the read lock; execution runs
+// lock-free over the immutable snapshot, so the cursor may be consumed
+// at leisure while appends and compaction proceed concurrently.
+func (r *Repository) QueryExprIter(expr Expr, opts QueryOpts) (*Iter, error) {
+	mask, err := projMaskOf(opts.Project)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	if r.closed {
+		r.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	p := r.planLocked(expr)
+	r.mu.RUnlock()
+	return newIter(p, opts, mask), nil
+}
+
+// NaiveQueryExpr is the reference interpreter: a sequential full scan
+// evaluating expr on every record, sorted like QueryExpr. It is the
+// oracle the planner is tested against (equivalence suite, benchmarks);
+// planned execution must return byte-identical results.
+func (r *Repository) NaiveQueryExpr(expr Expr) ([]Record, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if r.closed {
 		return nil, ErrClosed
 	}
-
-	// Planner: extract an index hint from top-level AND equalities.
-	cand := r.candidates(expr)
-
 	var out []Record
-	for _, pos := range cand {
-		rec := r.records[pos]
+	for _, rec := range r.records {
 		ok, err := expr.Eval(rec)
 		if err != nil {
 			return nil, err
@@ -314,52 +433,21 @@ func (r *Repository) QueryExpr(expr Expr) ([]Record, error) {
 	return out, nil
 }
 
-// candidates returns the index positions to scan: the smallest
-// applicable index, or everything.
-func (r *Repository) candidates(expr Expr) []int {
-	hints := indexHints(expr)
-	best := -1
-	var bestList []int
-	consider := func(list []int, ok bool) {
-		if !ok {
-			return
-		}
-		if best == -1 || len(list) < best {
-			best = len(list)
-			bestList = list
-		}
-	}
-	if hints.label != nil {
-		consider(r.byLabel[*hints.label], true)
-	}
-	// person = 0 queries address "no participant" records, which the
-	// person index does not cover — only positive IDs may use it.
-	if hints.person != nil && *hints.person >= 0 {
-		consider(r.byPerson[*hints.person], true)
-	}
-	if hints.kind != nil && int(*hints.kind) < int(numKinds) {
-		consider(r.byKind[*hints.kind], true)
-	}
-	if best >= 0 {
-		return bestList
-	}
-	all := make([]int, len(r.records))
-	for i := range all {
-		all[i] = i
-	}
-	return all
-}
-
 // Scan iterates all records in append order, stopping when fn returns
-// false. The callback must not call back into the repository.
-func (r *Repository) Scan(fn func(Record) bool) {
+// false. The callback must not call back into the repository. Returns
+// ErrClosed on a closed repository.
+func (r *Repository) Scan(fn func(Record) bool) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if r.closed {
+		return ErrClosed
+	}
 	for _, rec := range r.records {
 		if !fn(rec) {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // Compact rewrites the log with the current records only (dropping any

@@ -3,6 +3,11 @@
 #
 #   scripts/check.sh         vet + build + short-mode tests (fast)
 #   scripts/check.sh -full   vet + build + full tier-1 test suite
+#
+# Both modes additionally run the metadata engine under the race
+# detector (concurrent AppendBatch/QueryIter/Compact stress) and a short
+# fuzz smoke of the query parser so the checked-in corpus executes on
+# every check.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,7 +15,10 @@ go vet ./...
 go build ./...
 if [ "${1:-}" = "-full" ]; then
 	go test ./...
+	go test -race ./internal/metadata ./internal/core
 else
 	go test -short ./...
+	go test -race -short ./internal/metadata
 fi
+go test -run '^$' -fuzz FuzzParseQuery -fuzztime 5s ./internal/metadata
 echo "check.sh: OK"
