@@ -561,6 +561,96 @@ func BenchmarkQueryNaive1M(b *testing.B) {
 	}
 }
 
+// BenchmarkMetadataIngestSegmented measures batched durable ingest
+// through the segmented store with a small roll threshold, so the
+// steady state includes segment seals and manifest swaps — the
+// worst-case ingest overhead of the segmented engine vs the old
+// single-file log.
+func BenchmarkMetadataIngestSegmented(b *testing.B) {
+	dir := b.TempDir()
+	repo, err := metadata.Open(dir, metadata.WithSegmentSize(1<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	const batch = 256
+	recs := make([]metadata.Record, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := range recs {
+			f := i + j
+			recs[j] = metadata.Record{
+				Kind: metadata.KindObservation, Frame: f, FrameEnd: f + 1,
+				Time:   time.Duration(f) * 40 * time.Millisecond,
+				Person: f % 4, Other: -1, Label: "happy", Value: 0.9,
+			}
+		}
+		if err := repo.AppendBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetadataAppendDuringCompact measures append latency while a
+// compaction loop continuously merges sealed segments — the tentpole
+// claim that compaction no longer blocks appends for the duration of
+// the rewrite (it holds the write lock only to seal and to swap the
+// manifest).
+func BenchmarkMetadataAppendDuringCompact(b *testing.B) {
+	dir := b.TempDir()
+	repo, err := metadata.Open(dir, metadata.WithSegmentSize(256<<10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	// Preload sealed segments worth of data so each Compact has a real
+	// rewrite to do.
+	seed := make([]metadata.Record, 50000)
+	for i := range seed {
+		seed[i] = metadata.Record{
+			Kind: metadata.KindObservation, Frame: i, FrameEnd: i + 1,
+			Person: i % 4, Other: -1, Label: "happy", Value: 0.9,
+		}
+	}
+	if err := repo.AppendBatch(seed); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	compactErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				compactErr <- nil
+				return
+			default:
+			}
+			if err := repo.Compact(); err != nil {
+				compactErr <- err
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := 50000 + i
+		_, err := repo.Append(metadata.Record{
+			Kind: metadata.KindObservation, Frame: f, FrameEnd: f + 1,
+			Person: f % 4, Other: -1, Label: "sad", Value: 0.5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	if err := <-compactErr; err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkMetadataParse measures query compilation alone.
 func BenchmarkMetadataParse(b *testing.B) {
 	const q = "(label = 'sad' OR label = 'shot') AND frame < 10000 AND tag.camera != 'C2'"

@@ -7,14 +7,25 @@
 //	dieventql -repo DIR "label = 'eye-contact' AND person = 1"
 //	dieventql -repo DIR "EXPLAIN label = 'happy' AND frame < 500"
 //	dieventql -repo DIR -i          # interactive REPL
-//	dieventql -repo DIR -stats
+//	dieventql -repo DIR -stats     # records + on-disk segment layout
+//	dieventql -repo DIR -compact   # merge sealed segments, reclaim space
 //
 // In the REPL, prefix any query with EXPLAIN to print its plan instead
-// of executing it; "stats" prints repository statistics; "quit" exits.
+// of executing it; STATS prints repository and segment statistics;
+// COMPACT merges the sealed segments of the store; "quit" exits.
+//
+// Queries, -stats and the REPL take the repository's shared read-only
+// lease, so any number of them coexist (and none of them can wedge a
+// later writer the way an idle exclusive lease would); -compact
+// mutates the store and takes the exclusive writer lease. A repository
+// currently held by a writer — e.g. a live ingesting pipeline —
+// rejects both lease kinds with "repository locked" until the writer
+// closes.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +38,7 @@ func main() {
 	var (
 		dir         = flag.String("repo", "", "repository directory (required)")
 		stats       = flag.Bool("stats", false, "print repository statistics instead of querying")
+		compact     = flag.Bool("compact", false, "compact the repository (merge sealed segments) and print stats")
 		limit       = flag.Int("limit", 50, "maximum rows to print (0 = all)")
 		interactive = flag.Bool("i", false, "interactive REPL")
 	)
@@ -35,13 +47,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dieventql: -repo is required")
 		os.Exit(2)
 	}
-	repo, err := metadata.Open(*dir)
+	// Queries, stats and the REPL only read: take the shared lease so
+	// any number of them coexist and an idle REPL never wedges a
+	// later writer. Only -compact mutates the store and needs the
+	// exclusive writer lease.
+	var opts []metadata.Option
+	if !*compact {
+		opts = append(opts, metadata.WithReadOnly())
+	}
+	repo, err := metadata.Open(*dir, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer repo.Close()
 
 	switch {
+	case *compact:
+		if err := runCompact(repo); err != nil {
+			fatal(err)
+		}
 	case *stats:
 		if err := printStats(repo); err != nil {
 			fatal(err)
@@ -110,7 +134,7 @@ func cutExplain(q string) (string, bool) {
 
 // repl reads queries from stdin until EOF or "quit".
 func repl(repo *metadata.Repository, limit int) {
-	fmt.Printf("dieventql REPL — %d records. EXPLAIN <query> shows the plan; quit exits.\n", repo.Len())
+	fmt.Printf("dieventql REPL — %d records. EXPLAIN <query> shows a plan; STATS, COMPACT, quit.\n", repo.Len())
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for {
@@ -126,11 +150,19 @@ func repl(repo *metadata.Repository, limit int) {
 		switch {
 		case line == "":
 			continue
-		case line == "quit" || line == "exit":
+		case strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit"):
 			return
-		case line == "stats":
+		case strings.EqualFold(line, "stats"):
 			if err := printStats(repo); err != nil {
 				fmt.Fprintln(os.Stderr, "dieventql:", err)
+			}
+		case strings.EqualFold(line, "compact"):
+			if err := runCompact(repo); err != nil {
+				if errors.Is(err, metadata.ErrReadOnly) {
+					fmt.Fprintln(os.Stderr, "dieventql: the REPL holds a shared read-only lease; run `dieventql -repo DIR -compact` instead")
+				} else {
+					fmt.Fprintln(os.Stderr, "dieventql:", err)
+				}
 			}
 		default:
 			if err := runQuery(os.Stdout, repo, line, limit); err != nil {
@@ -141,7 +173,10 @@ func repl(repo *metadata.Repository, limit int) {
 }
 
 func printStats(repo *metadata.Repository) error {
-	total := repo.Len()
+	st, err := repo.Stats()
+	if err != nil {
+		return err
+	}
 	byKind := map[string]int{}
 	byLabel := map[string]int{}
 	if err := repo.Scan(func(r metadata.Record) bool {
@@ -151,7 +186,17 @@ func printStats(repo *metadata.Repository) error {
 	}); err != nil {
 		return err
 	}
-	fmt.Printf("records: %d\n", total)
+	fmt.Printf("records: %d\n", st.Records)
+	if len(st.Segments) > 0 {
+		fmt.Printf("storage: %d bytes in %d segment(s)\n", st.DiskBytes, len(st.Segments))
+		for _, s := range st.Segments {
+			state := "active"
+			if s.Sealed {
+				state = "sealed"
+			}
+			fmt.Printf("  %-12s %-6s %9d bytes  %d records\n", s.Name, state, s.Bytes, s.Records)
+		}
+	}
 	fmt.Println("by kind:")
 	for k, n := range byKind {
 		fmt.Printf("  %-14s %d\n", k, n)
@@ -165,6 +210,25 @@ func printStats(repo *metadata.Repository) error {
 		fmt.Printf("  %-22q %d\n", l, n)
 		printed++
 	}
+	return nil
+}
+
+// runCompact merges the repository's sealed segments, reporting the
+// segment layout before and after.
+func runCompact(repo *metadata.Repository) error {
+	before, err := repo.Stats()
+	if err != nil {
+		return err
+	}
+	if err := repo.Compact(); err != nil {
+		return err
+	}
+	after, err := repo.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted: %d segment(s), %d bytes → %d segment(s), %d bytes\n",
+		len(before.Segments), before.DiskBytes, len(after.Segments), after.DiskBytes)
 	return nil
 }
 

@@ -38,6 +38,13 @@
 // Query collects the full frame-ordered result set in one call, and
 // Explain renders a query's plan without executing it.
 //
+// Persistent repositories (OpenRepository, Config.RepoDir) store
+// records in a segmented append-only log — fixed-size sealed segments
+// plus a checksummed manifest — recovered by replay on open and
+// compacted in the background without blocking appends or queries
+// (DESIGN.md §5). WithSegmentSize and WithSyncPolicy tune the engine;
+// Repository.Stats and Repository.Compact expose maintenance.
+//
 // The types below are aliases into the implementation packages, so the
 // whole framework is drivable from this single import; advanced users
 // can reach the subsystem packages directly.
@@ -151,7 +158,45 @@ type (
 	QueryIter = metadata.Iter
 	// QueryOrder selects the result ordering of a planned query.
 	QueryOrder = metadata.Order
+	// RepoOption configures OpenRepository (segment size, sync policy).
+	RepoOption = metadata.Option
+	// RepoSyncPolicy selects when the repository fsyncs appended data.
+	RepoSyncPolicy = metadata.SyncPolicy
+	// RepoStats reports repository storage statistics (Repository.Stats).
+	RepoStats = metadata.Stats
+	// RepoSegmentStat describes one on-disk segment in RepoStats.
+	RepoSegmentStat = metadata.SegmentStat
 )
+
+// Storage-engine options for OpenRepository / Config.RepoOptions.
+var (
+	// WithSegmentSize sets the active-segment roll threshold in bytes.
+	WithSegmentSize = metadata.WithSegmentSize
+	// WithSyncPolicy sets the fsync policy for appended data.
+	WithSyncPolicy = metadata.WithSyncPolicy
+	// WithReadOnly opens a repository for reading under a shared lease
+	// (mutations return ErrRepoReadOnly).
+	WithReadOnly = metadata.WithReadOnly
+)
+
+// Sync policies for WithSyncPolicy.
+const (
+	// RepoSyncOnSeal (the default) fsyncs segments as they seal.
+	RepoSyncOnSeal = metadata.SyncOnSeal
+	// RepoSyncAlways fsyncs after every append — maximum durability.
+	RepoSyncAlways = metadata.SyncAlways
+	// RepoSyncNone skips per-append fsyncs (bulk loads); seals and
+	// compaction still fsync.
+	RepoSyncNone = metadata.SyncNone
+)
+
+// ErrRepoLocked reports that another process holds a conflicting
+// lease on a repository directory.
+var ErrRepoLocked = metadata.ErrLocked
+
+// ErrRepoReadOnly rejects mutations on a repository opened with
+// WithReadOnly.
+var ErrRepoReadOnly = metadata.ErrReadOnly
 
 // Result orderings for QueryOpts.Order.
 const (
@@ -163,8 +208,14 @@ const (
 	OrderFrameDesc = metadata.OrderFrameDesc
 )
 
-// OpenRepository opens (or creates) a persistent metadata repository.
-func OpenRepository(dir string) (*Repository, error) { return metadata.Open(dir) }
+// OpenRepository opens (or creates) a persistent metadata repository,
+// taking the directory's exclusive lease (ErrRepoLocked when another
+// process holds it). Storage is a segmented append-only log: see
+// WithSegmentSize and WithSyncPolicy for the tuning knobs and
+// Repository.Stats / Repository.Compact for maintenance.
+func OpenRepository(dir string, opts ...RepoOption) (*Repository, error) {
+	return metadata.Open(dir, opts...)
+}
 
 // Emotion recognition.
 type (

@@ -34,6 +34,9 @@ func main() {
 		Mode:     dievent.GeometricVision,
 		Gaze:     dievent.GazeOptions{Seed: 4242},
 		RepoDir:  dir,
+		// Small segments so a single dinner exercises the segmented
+		// store: the active segment seals and rolls as records land.
+		RepoOptions: []dievent.RepoOption{dievent.WithSegmentSize(128 << 10)},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -49,13 +52,28 @@ func main() {
 	fmt.Printf("ingested %d metadata records into %s\n\n", ingested, dir)
 
 	// Pass 2: retrieval. Reopen the repository cold — recovery replays
-	// the log — and answer the sociologist's questions.
-	repo, err := dievent.OpenRepository(dir)
+	// the sealed segments in parallel — and answer the sociologist's
+	// questions.
+	repo, err := dievent.OpenRepository(dir, dievent.WithSegmentSize(128<<10))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer repo.Close()
-	fmt.Printf("reopened repository: %d records recovered\n\n", repo.Len())
+	st, err := repo.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reopened repository: %d records recovered from %d segment(s), %d bytes\n",
+		st.Records, len(st.Segments), st.DiskBytes)
+	// Background-merge the sealed segments; appends and open cursors
+	// would keep running while this rewrites.
+	if err := repo.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	if st, err = repo.Stats(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compacted to %d segment(s), %d bytes\n\n", len(st.Segments), st.DiskBytes)
 
 	queries := []struct {
 		question string

@@ -94,6 +94,9 @@ type Config struct {
 	// RepoDir persists the metadata repository; empty keeps it in
 	// memory.
 	RepoDir string
+	// RepoOptions tune the persistent repository's storage engine
+	// (segment size, sync policy); ignored when RepoDir is empty.
+	RepoOptions []metadata.Option
 	// ParseVideo additionally runs video-composition analysis over the
 	// primary camera's rendered footage.
 	ParseVideo bool
@@ -209,13 +212,25 @@ func (p *Pipeline) Run() (*Result, error) {
 	var repo *metadata.Repository
 	var err error
 	if cfg.RepoDir != "" {
-		repo, err = metadata.Open(cfg.RepoDir)
+		repo, err = metadata.Open(cfg.RepoDir, cfg.RepoOptions...)
 		if err != nil {
 			return nil, fmt.Errorf("core: opening repository: %w", err)
 		}
 	} else {
 		repo = metadata.NewMem()
 	}
+
+	// On any error return the repository must be closed: callers never
+	// see it, and a persistent repository holds the directory's
+	// exclusive lease until closed — leaking it would wedge every
+	// retry on the same RepoDir with ErrLocked for the process
+	// lifetime.
+	finished := false
+	defer func() {
+		if !finished {
+			repo.Close()
+		}
+	}()
 
 	res := &Result{Context: ctx, Repo: repo}
 	timer := newStageTimer()
@@ -359,6 +374,7 @@ func (p *Pipeline) Run() (*Result, error) {
 	}
 
 	res.Timings = timer.report()
+	finished = true
 	return res, nil
 }
 

@@ -262,7 +262,10 @@ func Load(dir string) (*Dataset, error) {
 		}
 		ds.Footage[cam] = frames
 	}
-	repo, err := metadata.Open(filepath.Join(dir, annotationsDir))
+	// Datasets are immutable artifacts: open the annotations read-only
+	// (shared lease) so any number of consumers can load the same
+	// export concurrently.
+	repo, err := metadata.Open(filepath.Join(dir, annotationsDir), metadata.WithReadOnly())
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}

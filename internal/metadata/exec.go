@@ -147,21 +147,23 @@ func projectRecord(rec Record, m projMask) Record {
 // orderLess compares candidate *positions*. Positions ascend in ID
 // order, so the position itself is the ID tiebreak (and the whole key
 // for OrderID).
-func orderLess(o Order, recs []Record) func(a, b int) bool {
+func orderLess(o Order, recs snap) func(a, b int) bool {
 	switch o {
 	case OrderID:
 		return func(a, b int) bool { return a < b }
 	case OrderFrameDesc:
 		return func(a, b int) bool {
-			if recs[a].Frame != recs[b].Frame {
-				return recs[a].Frame > recs[b].Frame
+			fa, fb := recs.at(a).Frame, recs.at(b).Frame
+			if fa != fb {
+				return fa > fb
 			}
 			return a > b
 		}
 	default:
 		return func(a, b int) bool {
-			if recs[a].Frame != recs[b].Frame {
-				return recs[a].Frame < recs[b].Frame
+			fa, fb := recs.at(a).Frame, recs.at(b).Frame
+			if fa != fb {
+				return fa < fb
 			}
 			return a < b
 		}
@@ -280,7 +282,7 @@ func (it *Iter) evalSegment(si int) {
 		if !it.p.full {
 			pos = it.p.cand[i]
 		}
-		rec := &it.p.recs[pos]
+		rec := it.p.recs.at(pos)
 		if !cj.boundsOK(*rec) {
 			continue
 		}
@@ -384,7 +386,7 @@ func (it *Iter) Next() (Record, bool) {
 		it.siftDown(0)
 	}
 	it.yielded++
-	return projectRecord(it.p.recs[pos], it.mask), true
+	return projectRecord(*it.p.recs.at(pos), it.mask), true
 }
 
 // Err returns the first evaluation error, if any. It is meaningful after

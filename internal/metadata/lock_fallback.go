@@ -1,0 +1,44 @@
+//go:build !unix
+
+package metadata
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockDir on platforms without flock falls back to an O_EXCL lease
+// file for writers: creation fails while another holder exists. Unlike
+// flock the lease is not crash-released — a crashed process leaves a
+// stale LOCK that must be removed by hand — but it still prevents two
+// live processes from interleaving appends. Read-only opens take no
+// lease at all on these platforms (they must not create files, and an
+// O_EXCL file cannot be shared), so only writer-vs-writer exclusion is
+// enforced.
+func lockDir(dir string, shared bool) (*os.File, error) {
+	if shared {
+		return nil, nil
+	}
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if os.IsExist(err) {
+		return nil, fmt.Errorf("metadata: %s: %w", dir, ErrLocked)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("metadata: creating lock file: %w", err)
+	}
+	return f, nil
+}
+
+// unlockDir releases the lease by removing the file.
+func unlockDir(f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	name := f.Name()
+	err := f.Close()
+	if rerr := os.Remove(name); err == nil {
+		err = rerr
+	}
+	return err
+}

@@ -1,0 +1,45 @@
+//go:build unix
+
+package metadata
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes the repository directory's advisory flock — exclusive
+// for writers, shared for read-only opens (any number of readers
+// coexist; readers and a writer conflict both ways). Locking the
+// directory fd itself means read-only mode creates nothing on disk. A
+// busy lease fails fast with ErrLocked instead of interleaving appends
+// into one log; any other flock failure (e.g. a filesystem without
+// lock support) surfaces verbatim. The kernel releases the lease when
+// the handle closes, including on crash, so no stale-lock recovery is
+// needed.
+func lockDir(dir string, shared bool) (*os.File, error) {
+	f, err := os.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("metadata: opening %s for locking: %w", dir, err)
+	}
+	how := syscall.LOCK_EX
+	if shared {
+		how = syscall.LOCK_SH
+	}
+	if err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, fmt.Errorf("metadata: %s: %w", dir, ErrLocked)
+		}
+		return nil, fmt.Errorf("metadata: flock %s: %w", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases the lease (closing the handle drops the flock).
+func unlockDir(f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	return f.Close()
+}

@@ -11,6 +11,16 @@ import (
 	"time"
 )
 
+// activeSegPath locates the active segment file via the manifest.
+func activeSegPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, ok, err := readManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("reading manifest: ok=%v err=%v", ok, err)
+	}
+	return filepath.Join(dir, segs[len(segs)-1].name)
+}
+
 func obs(frame, person int, label string, v float64) Record {
 	return Record{
 		Kind: KindObservation, Frame: frame, FrameEnd: frame + 1,
@@ -372,8 +382,9 @@ func TestRecoveryTruncatesCorruptTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Corrupt the last few bytes (torn final write).
-	path := filepath.Join(dir, logName)
+	// Corrupt the last few bytes of the active segment (torn final
+	// write).
+	path := activeSegPath(t, dir)
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

@@ -204,14 +204,15 @@ func rangeString(name string, lo, hi bound) string {
 // --- plan construction ---
 
 // queryPlan is an executable plan over an immutable snapshot of the
-// store. Everything it references — the records slice prefix and the
+// store. Everything it references — the snapshot's chunk list and the
 // candidate positions — stays valid and unchanged after the repository
-// lock is released, because records are append-only and candidate lists
-// are copied (or taken from append-only index slices) at plan time.
+// lock is released, because record chunks are append-only and candidate
+// lists are copied (or taken from append-only index slices) at plan
+// time.
 type queryPlan struct {
-	recs     []Record // snapshot; positions index into this
-	cand     []int    // ascending positions to scan; nil when full
-	full     bool     // scan every record (no index narrowed the search)
+	recs     snap  // snapshot; positions index into this
+	cand     []int // ascending positions to scan; nil when full
+	full     bool  // scan every record (no index narrowed the search)
 	cj       conjuncts
 	residual Expr
 	steps    []string // explain lines, in plan order
@@ -220,7 +221,7 @@ type queryPlan struct {
 // scanCount is the number of candidate positions the executor will visit.
 func (p *queryPlan) scanCount() int {
 	if p.full {
-		return len(p.recs)
+		return p.recs.n
 	}
 	return len(p.cand)
 }
@@ -228,7 +229,7 @@ func (p *queryPlan) scanCount() int {
 // planLocked builds a plan for expr. Caller holds at least a read lock.
 func (r *Repository) planLocked(expr Expr) *queryPlan {
 	cj := analyze(expr)
-	p := &queryPlan{recs: r.records, cj: cj, residual: conjoin(cj.residual)}
+	p := &queryPlan{recs: r.store.snapshot(), cj: cj, residual: conjoin(cj.residual)}
 
 	type idxList struct {
 		desc string
@@ -266,9 +267,14 @@ func (r *Repository) planLocked(expr Expr) *queryPlan {
 		// No equality probe: carve the narrower sorted-index window. The
 		// index's unsorted tail (recent out-of-order inserts, bounded)
 		// rides along wholesale — the executor re-checks bounds anyway.
-		fLo, fHi := window(r.byFrame.sorted, r.frameKeyFn, cj.frameLo, cj.frameHi)
+		// Float query bounds convert to widened integer key bounds (see
+		// keyRange), so the window is a superset of the float-exact
+		// matches; the executor's bound re-check restores exactness.
+		fLoK, fHiK := keyRange(cj.frameLo, cj.frameHi, 1)
+		fLo, fHi := window(r.byFrame.sorted, r.frameKeyFn, fLoK, fHiK)
 		fN := fHi - fLo + len(r.byFrame.tail)
-		tLo, tHi := window(r.byTime.sorted, r.timeKeyFn, cj.timeLo, cj.timeHi)
+		tLoK, tHiK := keyRange(cj.timeLo, cj.timeHi, 1e9)
+		tLo, tHi := window(r.byTime.sorted, r.timeKeyFn, tLoK, tHiK)
 		tN := tHi - tLo + len(r.byTime.tail)
 		useTime := (cj.timeLo.set || cj.timeHi.set) &&
 			(!(cj.frameLo.set || cj.frameHi.set) || tN < fN)
@@ -291,7 +297,7 @@ func (r *Repository) planLocked(expr Expr) *queryPlan {
 		p.boundSteps()
 	default:
 		p.full = true
-		p.steps = append(p.steps, fmt.Sprintf("full scan: %d records", len(r.records)))
+		p.steps = append(p.steps, fmt.Sprintf("full scan: %d records", r.store.n))
 	}
 	if p.residual != nil {
 		p.steps = append(p.steps, "residual: "+p.residual.String())
@@ -330,18 +336,70 @@ func intersect(a, b []int) []int {
 	return out
 }
 
-// window locates the half-open index range [lo, hi) of a sorted position
-// index whose keys satisfy the bounds. Keys are ascending, so both
-// predicates are monotone.
-func window(idx []int, key func(int) float64, lo, hi bound) (int, int) {
+// keyRange converts float query bounds to inclusive int64 key bounds,
+// widened so the index window never excludes a record the executor's
+// exact float re-check would accept. The range indexes key on exact
+// integers (frame index, time in *nanoseconds* — scale maps query units
+// to key units), while query predicates evaluate in float64, where
+// nanosecond distinctions collapse at large offsets (the ulp of 10^18
+// is ~128); a naive conversion could therefore place the boundary a few
+// keys too tight. Widening by a generous relative slack (~4500 ulps,
+// still only ~1 ms of extra window per 11 days of timestamp) keeps the
+// window a strict superset, and the executor's boundsOK re-check makes
+// results byte-identical to the naive interpreter.
+func keyRange(lo, hi bound, scale float64) (loK, hiK int64) {
+	loK, hiK = math.MinInt64, math.MaxInt64
+	if lo.set {
+		loK = widenDown(lo.val * scale)
+	}
+	if hi.set {
+		hiK = widenUp(hi.val * scale)
+	}
+	return loK, hiK
+}
+
+// widenDown returns a conservative integer lower bound below x.
+func widenDown(x float64) int64 {
+	f := math.Floor(x - slackFor(x))
+	if f <= float64(math.MinInt64) {
+		return math.MinInt64
+	}
+	if f >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	return int64(f)
+}
+
+// widenUp returns a conservative integer upper bound above x.
+func widenUp(x float64) int64 {
+	c := math.Ceil(x + slackFor(x))
+	if c >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	if c <= float64(math.MinInt64) {
+		return math.MinInt64
+	}
+	return int64(c)
+}
+
+// slackFor bounds the rounding error of the unit conversion and of
+// float key comparisons: ~4500 ulps of x, at least 1.
+func slackFor(x float64) float64 {
+	return math.Abs(x)*1e-12 + 1
+}
+
+// window locates the half-open index range [lo, hi) of a sorted
+// position index whose keys fall within the inclusive [loK, hiK] key
+// bounds. Keys are ascending, so both predicates are monotone.
+func window(idx []int, key func(int) int64, loK, hiK int64) (int, int) {
 	n := len(idx)
 	loI := 0
-	if lo.set {
-		loI = sort.Search(n, func(i int) bool { return lo.okLo(key(idx[i])) })
+	if loK != math.MinInt64 {
+		loI = sort.Search(n, func(i int) bool { return key(idx[i]) >= loK })
 	}
 	hiI := n
-	if hi.set {
-		hiI = sort.Search(n, func(i int) bool { return !hi.okHi(key(idx[i])) })
+	if hiK != math.MaxInt64 {
+		hiI = sort.Search(n, func(i int) bool { return key(idx[i]) > hiK })
 	}
 	if hiI < loI {
 		hiI = loI
@@ -382,7 +440,7 @@ func (r *Repository) Explain(q string, opts QueryOpts) (string, error) {
 	n := p.scanCount()
 	nseg, workers := segmentLayout(n)
 	fmt.Fprintf(&b, "  exec: %d of %d records, %d segment(s) × %d, %d worker(s)\n",
-		n, len(p.recs), nseg, querySegmentSize, workers)
+		n, p.recs.n, nseg, querySegmentSize, workers)
 	fmt.Fprintf(&b, "  order: %v", opts.Order)
 	if opts.Limit > 0 {
 		fmt.Fprintf(&b, ", limit: %d", opts.Limit)

@@ -2,8 +2,11 @@ package metadata
 
 import (
 	"errors"
+	"reflect"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func planFixture(t *testing.T) *Repository {
@@ -263,5 +266,86 @@ func TestScanCallbackStops(t *testing.T) {
 	}
 	if n != 10 {
 		t.Errorf("scan visited %d records, want 10", n)
+	}
+}
+
+// TestTimeWindowNanosecondBoundary is the regression test for the lossy
+// float time keys: the byTime range index keys on int64 nanoseconds,
+// and at large offsets (here ~200 days, where one float64-seconds ulp
+// spans several nanoseconds) a window probe converted naively from the
+// query's float bound could exclude a record whose float re-evaluation
+// accepts it. The widened probes must keep planned results
+// byte-identical to the naive interpreter at every boundary operator.
+func TestTimeWindowNanosecondBoundary(t *testing.T) {
+	r := NewMem()
+	defer r.Close()
+	base := 200 * 24 * time.Hour // ulp of .Seconds() here ≈ 3.7 ns
+	for i := -3; i <= 3; i++ {
+		rec := Record{
+			Kind: KindObservation, Frame: 1000 + i, FrameEnd: 1001 + i,
+			Time:   base + time.Duration(i),
+			Person: 0, Other: -1, Label: "t", Value: float64(i),
+		}
+		if _, err := r.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fillers far away keep the index non-trivial.
+	for i := 0; i < 50; i++ {
+		if _, err := r.Append(obs(i, 1, "filler", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := strconv.FormatFloat(base.Seconds(), 'g', -1, 64)
+	for _, op := range []string{">=", ">", "<=", "<", "=", "!="} {
+		q := "time " + op + " " + v
+		expr, err := Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := r.NaiveQueryExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planned, err := r.QueryExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(planned, naive) {
+			t.Errorf("query %q: planned %d records, naive %d — boundary mismatch",
+				q, len(planned), len(naive))
+		}
+	}
+	// Same property for very large frame numbers, where float64 can no
+	// longer represent every integer (2^53 + k collapses pairwise).
+	huge := int64(1) << 53
+	for i := int64(0); i < 4; i++ {
+		rec := Record{
+			Kind: KindObservation, Frame: int(huge + i), FrameEnd: int(huge + i + 1),
+			Person: 0, Other: -1, Label: "h", Value: 1,
+		}
+		if _, err := r.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fv := strconv.FormatFloat(float64(huge+1), 'g', -1, 64)
+	for _, op := range []string{">=", "<", "="} {
+		q := "frame " + op + " " + fv
+		expr, err := Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := r.NaiveQueryExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planned, err := r.QueryExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(planned, naive) {
+			t.Errorf("query %q: planned %d records, naive %d — boundary mismatch",
+				q, len(planned), len(naive))
+		}
 	}
 }

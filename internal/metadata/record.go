@@ -4,9 +4,12 @@
 // inverted and temporal indexes and a small query language so scenes can
 // be retrieved "w.r.t. a particular context" with a rich vocabulary.
 //
-// The engine is an embedded append-only store: records are appended to a
-// CRC-protected segment log, kept in memory with secondary indexes, and
-// recovered by replay on open (corrupt tails are truncated, not fatal).
+// The engine is an embedded append-only store: records are appended to
+// the active segment of a CRC-protected segmented log (fixed-size
+// segments plus a checksummed MANIFEST, see DESIGN.md §5), kept in
+// memory with secondary indexes, and recovered by replay on open —
+// sealed segments in parallel, with a corrupt tail on the active
+// segment truncated rather than fatal.
 package metadata
 
 import (
@@ -117,6 +120,12 @@ var (
 	ErrBadQuery  = errors.New("metadata: bad query")
 	ErrClosed    = errors.New("metadata: repository closed")
 	ErrCorrupt   = errors.New("metadata: corrupt log")
+	// ErrLocked reports that another process holds a conflicting lease
+	// on the repository directory (see Open and WithReadOnly).
+	ErrLocked = errors.New("metadata: repository locked by another process")
+	// ErrReadOnly rejects mutations on a repository opened with
+	// WithReadOnly.
+	ErrReadOnly = errors.New("metadata: repository opened read-only")
 )
 
 // String renders a record compactly.

@@ -7,23 +7,34 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// Repository is the embedded metadata store. Appends go to an append-only
-// log on disk (when opened with a directory) and into the in-memory
-// indexes; queries run against memory. Safe for concurrent use.
+// Repository is the embedded metadata store. Appends go to the active
+// segment of an append-only segmented log on disk (when opened with a
+// directory) and into the in-memory indexes; queries run against
+// memory. Safe for concurrent use. See DESIGN.md §5 for the on-disk
+// format and crash-recovery contract.
 type Repository struct {
 	mu sync.RWMutex
 
-	dir     string   // "" for in-memory-only repositories
-	logFile *os.File // nil for in-memory
-	logBuf  *bufio.Writer
-	encBuf  []byte
+	dir      string   // "" for in-memory-only repositories
+	lockFile *os.File // exclusive dir lease; nil for in-memory
+	opts     options
 
-	records []Record // append order == ID order
-	// Secondary indexes hold positions into records.
+	segs      []segMeta // manifest order; the last entry is active
+	nextSegID uint64
+
+	active      *os.File // active-segment handle; nil for in-memory
+	activeBuf   *bufio.Writer
+	activeBytes int64 // valid bytes written to the active segment
+	encBuf      []byte
+
+	store recStore // records; position == append order == ID order
+	// Secondary indexes hold positions into the store.
 	byLabel  map[string][]int
 	byPerson map[int][]int
 	byKind   [numKinds][]int
@@ -34,50 +45,124 @@ type Repository struct {
 	// candidates and the executor's bound re-check keeps that exact).
 	byFrame rangeIdx
 	byTime  rangeIdx
-	// frameKeyFn/timeKeyFn are the range-index sort keys, bound once so
-	// the hot append path allocates no method-value closures.
-	frameKeyFn func(int) float64
-	timeKeyFn  func(int) float64
+	// frameKeyFn/timeKeyFn are the range-index sort keys — exact int64
+	// values (frame index, time in nanoseconds), bound once so the hot
+	// append path allocates no method-value closures.
+	frameKeyFn func(int) int64
+	timeKeyFn  func(int) int64
 
 	nextID uint64
 	closed bool
+	// pendingDirSync is set when a cutover's manifest rename landed but
+	// its directory fsync failed: the new manifest governs, yet a crash
+	// could still revert it and orphan the segment new appends target.
+	// Appends and Sync retry the fsync and refuse to proceed until it
+	// succeeds, so no record is acknowledged into a segment a crash
+	// could silently drop.
+	pendingDirSync bool
+
+	// compactMu serialises Compact calls; it is held across the
+	// unlocked segment rewrite while mu is free for appends and queries.
+	compactMu sync.Mutex
 }
 
-const logName = "metadata.log"
+// SyncPolicy selects when the repository fsyncs the active segment.
+// Manifest replacements and segment seals are always made durable
+// (fsync + directory fsync) regardless of policy — the recovery
+// contract depends on sealed segments being clean.
+type SyncPolicy uint8
 
-// Open opens (or creates) a repository persisted under dir. Existing log
-// entries are replayed; a corrupt tail is truncated with only valid
-// prefix records retained — the standard recovery contract for an
-// append-only store.
-func Open(dir string) (*Repository, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("metadata: creating %s: %w", dir, err)
+const (
+	// SyncOnSeal (the default) fsyncs a segment when it seals and on
+	// Sync/Close. A crash may lose buffered appends in the active
+	// segment's tail; recovery truncates to the last valid entry.
+	SyncOnSeal SyncPolicy = iota
+	// SyncAlways additionally fsyncs after every Append/AppendBatch —
+	// maximum durability, one fsync per call.
+	SyncAlways
+	// SyncNone never fsyncs appends to the active segment (only
+	// explicit Sync, seals and compaction do). Fastest for bulk loads;
+	// a crash loses only the active segment's un-synced tail, which
+	// recovery truncates — sealed segments stay clean under every
+	// policy.
+	SyncNone
+)
+
+// DefaultSegmentSize is the roll threshold for the active segment.
+const DefaultSegmentSize = 4 << 20
+
+type options struct {
+	segSize  int64
+	sync     SyncPolicy
+	readOnly bool
+}
+
+// Option configures Open.
+type Option func(*options)
+
+// WithSegmentSize sets the active-segment roll threshold in bytes;
+// n <= 0 keeps the default. Once the active segment has reached the
+// threshold it seals and a new one starts before the *next* append
+// lands, so sealed segments may exceed the threshold by up to one
+// encoded record.
+func WithSegmentSize(n int64) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.segSize = n
+		}
 	}
-	r := newMem()
-	r.dir = dir
-	path := filepath.Join(dir, logName)
+}
 
-	// Replay.
-	validBytes, err := r.replay(path)
+// WithSyncPolicy sets the fsync policy for the active segment.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(o *options) { o.sync = p }
+}
+
+// WithReadOnly opens the repository for reading only: the directory
+// lease is shared (any number of read-only opens coexist; a writer's
+// exclusive lease still conflicts both ways), nothing on disk is
+// created, repaired or deleted — a torn active tail replays as its
+// valid prefix without being truncated — and Append/AppendBatch/
+// Compact return ErrReadOnly. Read-only mode also opens
+// pre-segmentation metadata.log directories in place, without
+// migrating them. Caveat: on platforms without flock (non-unix
+// builds), read-only opens take no lease at all, so only
+// writer-vs-writer exclusion is enforced there and a read-only open
+// racing a writer's repairs may observe a transiently inconsistent
+// directory.
+func WithReadOnly() Option {
+	return func(o *options) { o.readOnly = true }
+}
+
+// Open opens (or creates) a repository persisted under dir, taking an
+// exclusive directory lease (ErrLocked if another process holds it).
+// Sealed segments are replayed in parallel and must be intact; a
+// corrupt tail on the active segment is truncated with only valid
+// prefix records retained — the standard recovery contract for an
+// append-only store. A pre-segmentation metadata.log is migrated in
+// place on first open.
+func Open(dir string, opts ...Option) (*Repository, error) {
+	o := options{segSize: DefaultSegmentSize, sync: SyncOnSeal}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.readOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("metadata: creating %s: %w", dir, err)
+		}
+	}
+	lock, err := lockDir(dir, o.readOnly)
 	if err != nil {
 		return nil, err
 	}
-
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("metadata: opening log: %w", err)
+	r := newMem()
+	r.dir = dir
+	r.lockFile = lock
+	r.opts = o
+	if err := r.load(); err != nil {
+		unlockDir(lock)
+		return nil, err
 	}
-	// Drop any corrupt tail before appending.
-	if err := f.Truncate(validBytes); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("metadata: truncating corrupt tail: %w", err)
-	}
-	if _, err := f.Seek(validBytes, io.SeekStart); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("metadata: seeking log end: %w", err)
-	}
-	r.logFile = f
-	r.logBuf = bufio.NewWriter(f)
 	return r, nil
 }
 
@@ -91,41 +176,236 @@ func newMem() *Repository {
 		byPerson: make(map[int][]int),
 		nextID:   1,
 	}
-	r.frameKeyFn = func(pos int) float64 { return float64(r.records[pos].Frame) }
-	r.timeKeyFn = func(pos int) float64 { return r.records[pos].Time.Seconds() }
+	r.frameKeyFn = func(pos int) int64 { return int64(r.store.at(pos).Frame) }
+	r.timeKeyFn = func(pos int) int64 { return r.store.at(pos).Time.Nanoseconds() }
 	return r
 }
 
-// replay loads records from the log, returning the byte offset of the
-// last fully valid entry.
-func (r *Repository) replay(path string) (int64, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil
-	}
+// load reads the manifest, removes orphaned files, replays every
+// segment (sealed ones in parallel) and opens the active segment for
+// appending.
+func (r *Repository) load() error {
+	segs, haveManifest, err := readManifest(r.dir)
 	if err != nil {
-		return 0, fmt.Errorf("metadata: opening log for replay: %w", err)
+		return err
 	}
-	defer f.Close()
-
-	cr := &countingReader{r: bufio.NewReader(f)}
-	var valid int64
-	for {
-		rec, err := readRecord(cr)
-		if err == io.EOF {
-			break
+	if !haveManifest {
+		if r.opts.readOnly {
+			return r.loadNoManifestReadOnly()
 		}
+		if err := ensureInitSafe(r.dir); err != nil {
+			return err
+		}
+		segs, err = r.initLayout()
 		if err != nil {
-			// Corrupt tail: keep the valid prefix, stop replaying.
-			break
+			return err
 		}
-		r.index(rec)
-		if rec.ID >= r.nextID {
-			r.nextID = rec.ID + 1
-		}
-		valid = cr.n
 	}
-	return valid, nil
+	if !r.opts.readOnly {
+		if err := removeOrphans(r.dir, segs); err != nil {
+			return err
+		}
+	}
+	r.segs = segs
+	r.nextSegID = nextSegIDAfter(segs)
+
+	// Replay sealed segments in parallel: decoding (CRC checks, payload
+	// parsing, allocation) is the expensive part and is embarrassingly
+	// parallel per segment; indexing stays sequential in manifest order
+	// so positions equal append order. Decode and indexing pipeline —
+	// segment i is indexed (and its decode buffer released) as soon as
+	// it completes, so peak memory is the store plus the few segments
+	// in flight, not a second decoded copy of the whole dataset.
+	sealed := segs[:len(segs)-1]
+	if len(sealed) > 0 {
+		loads := make([]struct {
+			recs []Record
+			err  error
+		}, len(sealed))
+		done := make([]chan struct{}, len(sealed))
+		for i := range done {
+			done[i] = make(chan struct{})
+		}
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(sealed) {
+			workers = len(sealed)
+		}
+		// Backpressure: a worker claims a decode ticket per segment and
+		// the indexer returns it once that segment is consumed, so at
+		// most maxAhead decoded-but-unindexed segments exist at any
+		// moment — peak memory is the store plus a bounded in-flight
+		// window, never a second decoded copy of the dataset.
+		maxAhead := 2 * workers
+		tickets := make(chan struct{}, maxAhead)
+		for i := 0; i < maxAhead; i++ {
+			tickets <- struct{}{}
+		}
+		abort := make(chan struct{})
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			go func() {
+				for {
+					select {
+					case <-tickets:
+					case <-abort:
+						return
+					}
+					i := int(next.Add(1) - 1)
+					if i >= len(sealed) {
+						return
+					}
+					select {
+					case <-abort:
+						return
+					default:
+					}
+					recs, n, err := decodeSegment(filepath.Join(r.dir, sealed[i].name), true)
+					if err == nil && (n != sealed[i].bytes || len(recs) != sealed[i].count) {
+						err = fmt.Errorf("metadata: sealed segment %s: %d bytes/%d records, manifest says %d/%d: %w",
+							sealed[i].name, n, len(recs), sealed[i].bytes, sealed[i].count, ErrCorrupt)
+					}
+					loads[i].recs, loads[i].err = recs, err
+					close(done[i])
+				}
+			}()
+		}
+		for i := range sealed {
+			<-done[i]
+			if loads[i].err != nil {
+				close(abort)
+				return loads[i].err
+			}
+			r.segs[i].first = r.store.n
+			for _, rec := range loads[i].recs {
+				r.indexReplayed(rec)
+			}
+			loads[i].recs = nil
+			tickets <- struct{}{}
+		}
+		close(abort) // release workers parked on the ticket select
+	}
+
+	// Active segment: lenient replay, then truncate the torn tail (if
+	// any) and make the truncation durable before appending over it.
+	act := &r.segs[len(r.segs)-1]
+	path := filepath.Join(r.dir, act.name)
+	recs, validBytes, err := decodeSegment(path, false)
+	if err != nil {
+		return err
+	}
+	act.first = r.store.n
+	for _, rec := range recs {
+		r.indexReplayed(rec)
+	}
+	act.count = len(recs)
+	act.bytes = validBytes
+
+	if r.opts.readOnly {
+		// No append handle, no tail repair: a torn tail simply replays
+		// as its valid prefix on every read-only open.
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("metadata: opening active segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("metadata: active segment stat: %w", err)
+	}
+	if st.Size() != validBytes {
+		if err := f.Truncate(validBytes); err != nil {
+			f.Close()
+			return fmt.Errorf("metadata: truncating corrupt tail: %w", err)
+		}
+		// Make the repair durable: fsync the file and its directory so a
+		// crash cannot resurrect the severed tail under future appends.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("metadata: syncing truncated segment: %w", err)
+		}
+		if err := syncDir(r.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(validBytes, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("metadata: seeking segment end: %w", err)
+	}
+	r.active = f
+	r.activeBuf = bufio.NewWriter(f)
+	r.activeBytes = validBytes
+
+	if !haveManifest {
+		if _, err := writeManifest(r.dir, r.segs); err != nil {
+			// Open fails wholesale here; whether or not the rename
+			// landed, the on-disk state (fresh segment or migrated
+			// legacy log, manifest or none) reopens consistently.
+			f.Close()
+			r.active = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// loadNoManifestReadOnly opens a manifest-less directory for reading:
+// a pre-segmentation metadata.log, or a lone first segment from an
+// interrupted first open, replays in place (lenient, nothing written);
+// an empty directory reads as an empty repository. Segments beyond
+// 000001.seg without a manifest still refuse (see ensureInitSafe).
+func (r *Repository) loadNoManifestReadOnly() error {
+	if err := ensureInitSafe(r.dir); err != nil {
+		return err
+	}
+	for _, name := range []string{segFileName(1), legacyLogName} {
+		path := filepath.Join(r.dir, name)
+		if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+			continue
+		} else if err != nil {
+			return fmt.Errorf("metadata: probing %s: %w", name, err)
+		}
+		recs, valid, err := decodeSegment(path, false)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			r.indexReplayed(rec)
+		}
+		r.segs = []segMeta{{name: name, bytes: valid, count: len(recs)}}
+		return nil
+	}
+	return nil
+}
+
+// initLayout builds the segment list for a directory with no manifest:
+// either a fresh repository (one empty active segment) or a
+// pre-segmentation metadata.log, which becomes the first — still
+// active, so its tail remains truncatable — segment in place.
+func (r *Repository) initLayout() ([]segMeta, error) {
+	first := segFileName(1)
+	legacy := filepath.Join(r.dir, legacyLogName)
+	if _, err := os.Stat(legacy); err == nil {
+		if err := osRename(legacy, filepath.Join(r.dir, first)); err != nil {
+			return nil, fmt.Errorf("metadata: migrating legacy log: %w", err)
+		}
+		if err := syncDir(r.dir); err != nil {
+			return nil, err
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("metadata: probing legacy log: %w", err)
+	}
+	return []segMeta{{name: first}}, nil
+}
+
+// indexReplayed indexes one replayed record and advances the ID counter.
+func (r *Repository) indexReplayed(rec Record) {
+	r.index(rec)
+	if rec.ID >= r.nextID {
+		r.nextID = rec.ID + 1
+	}
 }
 
 // countingReader tracks consumed bytes for tail truncation.
@@ -143,8 +423,8 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // index inserts a record into memory structures. Caller holds the lock
 // (or is constructing the repository).
 func (r *Repository) index(rec Record) {
-	pos := len(r.records)
-	r.records = append(r.records, rec)
+	pos := r.store.n
+	r.store.append(rec)
 	r.byLabel[rec.Label] = append(r.byLabel[rec.Label], pos)
 	if rec.Person >= 0 {
 		r.byPerson[rec.Person] = append(r.byPerson[rec.Person], pos)
@@ -169,7 +449,7 @@ type rangeIdx struct {
 // common case: video ingest arrives frame-ordered); anything else lands
 // in the tail, which merges once it outgrows max(1024, len/8) — O(1)
 // amortized, never a per-record O(n) shift.
-func (ri *rangeIdx) insert(pos int, key func(int) float64) {
+func (ri *rangeIdx) insert(pos int, key func(int) int64) {
 	if len(ri.tail) == 0 {
 		if n := len(ri.sorted); n == 0 || key(ri.sorted[n-1]) <= key(pos) {
 			ri.sorted = append(ri.sorted, pos)
@@ -187,7 +467,7 @@ func (ri *rangeIdx) insert(pos int, key func(int) float64) {
 }
 
 // compact merges the tail into the sorted run: O(t log t + n).
-func (ri *rangeIdx) compact(key func(int) float64) {
+func (ri *rangeIdx) compact(key func(int) int64) {
 	t := ri.tail
 	if len(t) == 0 {
 		return
@@ -219,7 +499,11 @@ func (ri *rangeIdx) compact(key func(int) float64) {
 }
 
 // Append validates, assigns an ID, persists and indexes a record,
-// returning the assigned ID.
+// returning the assigned ID. When the returned ID is non-zero the
+// record was appended and is visible to queries even if err is
+// non-nil: under SyncAlways a flush/fsync failure reports a
+// *durability* problem with an already-appended record, not a
+// rejection — retrying the Append would store the record twice.
 func (r *Repository) Append(rec Record) (uint64, error) {
 	if err := rec.Validate(); err != nil {
 		return 0, err
@@ -229,22 +513,118 @@ func (r *Repository) Append(rec Record) (uint64, error) {
 	if r.closed {
 		return 0, ErrClosed
 	}
-	return r.appendLocked(rec)
-}
-
-// appendLocked assigns an ID, persists and indexes one validated record.
-// Caller holds the write lock.
-func (r *Repository) appendLocked(rec Record) (uint64, error) {
-	rec.ID = r.nextID
-	r.nextID++
-	if r.logBuf != nil {
-		r.encBuf = appendRecord(r.encBuf[:0], rec)
-		if _, err := r.logBuf.Write(r.encBuf); err != nil {
-			return 0, fmt.Errorf("metadata: appending record: %w", err)
+	if r.opts.readOnly {
+		return 0, ErrReadOnly
+	}
+	id, err := r.appendLocked(rec)
+	if err != nil {
+		return 0, err
+	}
+	if r.opts.sync == SyncAlways {
+		if err := r.flushLocked(true); err != nil {
+			return id, err
 		}
 	}
+	return id, nil
+}
+
+// appendLocked assigns an ID, persists and indexes one validated
+// record. The active segment rolls *before* the write when it is
+// already past the threshold, so a roll failure rejects the append
+// cleanly with nothing written. Caller holds the write lock.
+func (r *Repository) appendLocked(rec Record) (uint64, error) {
+	if err := r.retryDirSyncLocked(); err != nil {
+		return 0, err
+	}
+	if r.active != nil && r.activeBytes >= r.opts.segSize {
+		if err := r.rollLocked(); err != nil {
+			return 0, err
+		}
+	}
+	rec.ID = r.nextID
+	if r.active != nil {
+		r.encBuf = appendRecord(r.encBuf[:0], rec)
+		if _, err := r.activeBuf.Write(r.encBuf); err != nil {
+			return 0, fmt.Errorf("metadata: appending record: %w", err)
+		}
+		r.activeBytes += int64(len(r.encBuf))
+		act := &r.segs[len(r.segs)-1]
+		act.bytes = r.activeBytes
+		act.count++
+	}
+	r.nextID++
 	r.index(rec)
 	return rec.ID, nil
+}
+
+// rollLocked seals the active segment and starts a new one. Ordering is
+// crash-safe: the old segment is flushed and fsynced first (sealed
+// segments must be clean), the new file is created and made durable,
+// and only then does the manifest swap in — a crash between any two
+// steps reopens consistently (at worst an orphan file, removed at
+// Open). On error the repository keeps appending to the old active
+// segment; the old handle is never closed until cutover succeeded.
+func (r *Repository) rollLocked() error {
+	if err := r.activeBuf.Flush(); err != nil {
+		return fmt.Errorf("metadata: flushing before seal: %w", err)
+	}
+	// Seals fsync under every policy: strict sealed replay (and the
+	// manifest's exact byte/record counts) depend on sealed segments
+	// being clean after any crash.
+	if err := r.active.Sync(); err != nil {
+		return fmt.Errorf("metadata: syncing sealing segment: %w", err)
+	}
+	newName := segFileName(r.nextSegID)
+	f, err := os.OpenFile(filepath.Join(r.dir, newName), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("metadata: creating segment: %w", err)
+	}
+	if err := syncDir(r.dir); err != nil {
+		f.Close()
+		os.Remove(filepath.Join(r.dir, newName))
+		return err
+	}
+	segs := make([]segMeta, len(r.segs)+1)
+	copy(segs, r.segs)
+	segs[len(segs)-2].sealed = true
+	segs[len(segs)-1] = segMeta{name: newName, first: r.store.n}
+	installed, err := writeManifest(r.dir, segs)
+	if err != nil && !installed {
+		f.Close()
+		os.Remove(filepath.Join(r.dir, newName))
+		return err
+	}
+	// The new manifest governs (even if its directory fsync failed —
+	// a crash may revert to the old manifest, which is also consistent
+	// since the now-sealed segment stays in place); commit and retire
+	// the old handle. A non-nil err still rejects the triggering
+	// append, and pendingDirSync keeps rejecting appends until the
+	// fsync lands — otherwise acknowledged records would accumulate in
+	// a segment a crash-reverted manifest knows nothing about.
+	r.active.Close()
+	r.segs = segs
+	r.nextSegID++
+	r.active = f
+	r.activeBuf.Reset(f)
+	r.activeBytes = 0
+	if err != nil {
+		r.pendingDirSync = true
+		return fmt.Errorf("metadata: sealing cutover not durable: %w", err)
+	}
+	return nil
+}
+
+// retryDirSyncLocked re-attempts a cutover's failed directory fsync
+// (see pendingDirSync). Caller holds the write lock.
+func (r *Repository) retryDirSyncLocked() error {
+	if !r.pendingDirSync {
+		return nil
+	}
+	if err := syncDir(r.dir); err != nil {
+		return fmt.Errorf("metadata: cutover still not durable: %w", err)
+	}
+	r.pendingDirSync = false
+	return nil
 }
 
 // AppendBatch appends many records under a single write-lock
@@ -265,14 +645,36 @@ func (r *Repository) AppendBatch(recs []Record) error {
 		r.mu.Unlock()
 		return ErrClosed
 	}
+	if r.opts.readOnly {
+		r.mu.Unlock()
+		return ErrReadOnly
+	}
 	for i := range recs {
 		if _, err := r.appendLocked(recs[i]); err != nil {
 			r.mu.Unlock()
 			return fmt.Errorf("metadata: batch record %d: %w", i, err)
 		}
 	}
+	err := r.flushLocked(r.opts.sync == SyncAlways)
 	r.mu.Unlock()
-	return r.Flush()
+	return err
+}
+
+// flushLocked pushes buffered writes to the OS, fsyncing too when
+// fsync is set. Caller holds the write lock.
+func (r *Repository) flushLocked(fsync bool) error {
+	if r.activeBuf == nil {
+		return nil
+	}
+	if err := r.activeBuf.Flush(); err != nil {
+		return fmt.Errorf("metadata: flushing segment: %w", err)
+	}
+	if fsync {
+		if err := r.active.Sync(); err != nil {
+			return fmt.Errorf("metadata: syncing segment: %w", err)
+		}
+	}
+	return nil
 }
 
 // Flush forces buffered log writes to the OS.
@@ -282,32 +684,27 @@ func (r *Repository) Flush() error {
 	if r.closed {
 		return ErrClosed
 	}
-	if r.logBuf == nil {
-		return nil
-	}
-	if err := r.logBuf.Flush(); err != nil {
-		return fmt.Errorf("metadata: flushing log: %w", err)
-	}
-	return nil
+	return r.flushLocked(false)
 }
 
-// Sync flushes and fsyncs the log.
+// Sync flushes and fsyncs the active segment.
 func (r *Repository) Sync() error {
-	if err := r.Flush(); err != nil {
-		return err
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.logFile == nil {
+	if r.closed {
+		return ErrClosed
+	}
+	if r.active == nil {
 		return nil
 	}
-	if err := r.logFile.Sync(); err != nil {
-		return fmt.Errorf("metadata: syncing log: %w", err)
+	if err := r.retryDirSyncLocked(); err != nil {
+		return err
 	}
-	return nil
+	return r.flushLocked(true)
 }
 
-// Close flushes and closes the repository.
+// Close flushes and closes the repository, releasing the directory
+// lease.
 func (r *Repository) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -315,38 +712,80 @@ func (r *Repository) Close() error {
 		return nil
 	}
 	r.closed = true
-	if r.logBuf != nil {
-		if err := r.logBuf.Flush(); err != nil {
-			r.logFile.Close()
-			return fmt.Errorf("metadata: flushing on close: %w", err)
+	var err error
+	if r.activeBuf != nil {
+		err = r.flushLocked(r.opts.sync != SyncNone)
+	}
+	if r.active != nil {
+		if cerr := r.active.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("metadata: closing segment: %w", cerr)
 		}
 	}
-	if r.logFile != nil {
-		if err := r.logFile.Close(); err != nil {
-			return fmt.Errorf("metadata: closing log: %w", err)
-		}
+	if uerr := unlockDir(r.lockFile); err == nil && uerr != nil {
+		err = fmt.Errorf("metadata: releasing lock: %w", uerr)
 	}
-	return nil
+	r.lockFile = nil
+	return err
 }
 
 // Len returns the number of stored records.
 func (r *Repository) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.records)
+	return r.store.n
 }
 
 // Get returns a record by ID.
 func (r *Repository) Get(id uint64) (Record, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	// IDs are dense and start at 1 unless the log was compacted; a
-	// binary search over the ordered records handles both.
-	i := sort.Search(len(r.records), func(i int) bool { return r.records[i].ID >= id })
-	if i < len(r.records) && r.records[i].ID == id {
-		return r.records[i], true
+	// IDs ascend with position but need not be dense; binary search.
+	i := sort.Search(r.store.n, func(i int) bool { return r.store.at(i).ID >= id })
+	if i < r.store.n && r.store.at(i).ID == id {
+		return *r.store.at(i), true
 	}
 	return Record{}, false
+}
+
+// SegmentStat describes one on-disk segment for Stats.
+type SegmentStat struct {
+	// Name is the segment's file name within the repository directory.
+	Name string
+	// Records is the number of records the segment holds.
+	Records int
+	// Bytes is the segment's encoded size.
+	Bytes int64
+	// Sealed reports whether the segment is immutable (fsynced, only
+	// the last, active segment accepts appends).
+	Sealed bool
+}
+
+// Stats reports repository storage statistics. Segments is nil for
+// in-memory repositories.
+type Stats struct {
+	// Records is the total record count.
+	Records int
+	// Segments lists on-disk segments in manifest (append) order.
+	Segments []SegmentStat
+	// DiskBytes sums the encoded size of every segment.
+	DiskBytes int64
+}
+
+// Stats returns storage statistics for the repository.
+func (r *Repository) Stats() (Stats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return Stats{}, ErrClosed
+	}
+	st := Stats{Records: r.store.n}
+	for _, s := range r.segs {
+		st.Segments = append(st.Segments, SegmentStat{
+			Name: s.name, Records: s.count, Bytes: s.bytes, Sealed: s.sealed,
+		})
+		st.DiskBytes += s.bytes
+	}
+	return st, nil
 }
 
 // Query parses and executes a query on the planner, returning matching
@@ -414,7 +853,8 @@ func (r *Repository) NaiveQueryExpr(expr Expr) ([]Record, error) {
 		return nil, ErrClosed
 	}
 	var out []Record
-	for _, rec := range r.records {
+	for i := 0; i < r.store.n; i++ {
+		rec := *r.store.at(i)
 		ok, err := expr.Eval(rec)
 		if err != nil {
 			return nil, err
@@ -442,69 +882,172 @@ func (r *Repository) Scan(fn func(Record) bool) error {
 	if r.closed {
 		return ErrClosed
 	}
-	for _, rec := range r.records {
-		if !fn(rec) {
+	for i := 0; i < r.store.n; i++ {
+		if !fn(*r.store.at(i)) {
 			return nil
 		}
 	}
 	return nil
 }
 
-// Compact rewrites the log with the current records only (dropping any
-// previously truncated garbage and reclaiming buffering slack), then
-// reopens it for appending. In-memory repositories are a no-op.
+// Compact merges the sealed segments into one, reclaiming garbage and
+// per-segment overhead. The merge is incremental and mostly unlocked:
+// the repository write lock is held only to seal the current active
+// segment (brief) and to swap the manifest at cutover (brief) — the
+// segment rewrite itself runs against an immutable snapshot while
+// appends and query cursors proceed concurrently. Concurrent Compact
+// calls serialise. In-memory repositories are a no-op.
 func (r *Repository) Compact() error {
+	r.compactMu.Lock()
+	defer r.compactMu.Unlock()
+
+	// Phase 1 (write lock, brief): roll the active segment if it holds
+	// records, so everything current becomes sealed and mergeable, and
+	// snapshot the sealed prefix.
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return ErrClosed
 	}
-	if r.logFile == nil {
+	if r.opts.readOnly {
+		r.mu.Unlock()
+		return ErrReadOnly
+	}
+	if r.active == nil {
+		r.mu.Unlock()
 		return nil
 	}
-	if err := r.logBuf.Flush(); err != nil {
-		return fmt.Errorf("metadata: flush before compact: %w", err)
+	if len(r.segs) == 1 {
+		// Only the active segment exists — there is nothing sealed to
+		// merge it with; rolling here would just grow the layout by an
+		// empty segment.
+		r.mu.Unlock()
+		return nil
 	}
-	tmp := filepath.Join(r.dir, logName+".tmp")
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("metadata: creating compact file: %w", err)
-	}
-	w := bufio.NewWriter(f)
-	buf := make([]byte, 0, 4096)
-	for _, rec := range r.records {
-		buf = appendRecord(buf[:0], rec)
-		if _, err := w.Write(buf); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return fmt.Errorf("metadata: writing compact file: %w", err)
+	if r.segs[len(r.segs)-1].count > 0 {
+		if err := r.rollLocked(); err != nil {
+			r.mu.Unlock()
+			return err
 		}
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("metadata: flushing compact file: %w", err)
+	nSealed := len(r.segs) - 1
+	view := r.store.snapshot()
+	mergeCount := 0 // records covered by the sealed prefix
+	if nSealed > 0 {
+		last := r.segs[nSealed-1]
+		mergeCount = last.first + last.count
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("metadata: syncing compact file: %w", err)
+	mergeID := r.nextSegID
+	dir := r.dir
+	if nSealed > 1 {
+		r.nextSegID++ // reserve the merged segment's number
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("metadata: closing compact file: %w", err)
+	r.mu.Unlock()
+	if nSealed <= 1 {
+		return nil // nothing to merge
 	}
-	// Swap.
-	r.logFile.Close()
-	final := filepath.Join(r.dir, logName)
-	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("metadata: swapping compact file: %w", err)
-	}
-	nf, err := os.OpenFile(final, os.O_WRONLY|os.O_APPEND, 0o644)
+
+	// Phase 2 (no lock): write the merged segment from the snapshot.
+	// Sealed records are immutable, so the snapshot prefix re-encodes
+	// byte-identically to the original entries.
+	mergedName := segFileName(mergeID)
+	tmp := filepath.Join(dir, mergedName+".tmp")
+	mergedBytes, err := writeSegmentFile(tmp, view, mergeCount)
 	if err != nil {
-		return fmt.Errorf("metadata: reopening log: %w", err)
+		os.Remove(tmp)
+		return err
 	}
-	r.logFile = nf
-	r.logBuf = bufio.NewWriter(nf)
+
+	// Phase 3 (write lock, brief): cutover. Rename the merged segment
+	// into place, fsync the directory, swap the manifest, fsync again.
+	// The active segment's handle is never touched: any failure here
+	// leaves the repository exactly as it was, still appending.
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		os.Remove(tmp)
+		return ErrClosed
+	}
+	old := make([]string, nSealed)
+	for i := 0; i < nSealed; i++ {
+		old[i] = r.segs[i].name
+	}
+	if err := osRename(tmp, filepath.Join(dir, mergedName)); err != nil {
+		r.mu.Unlock()
+		os.Remove(tmp)
+		return fmt.Errorf("metadata: installing merged segment: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		r.mu.Unlock()
+		os.Remove(filepath.Join(dir, mergedName))
+		return err
+	}
+	segs := make([]segMeta, 0, len(r.segs)-nSealed+1)
+	segs = append(segs, segMeta{
+		name: mergedName, bytes: mergedBytes, count: mergeCount, sealed: true,
+	})
+	segs = append(segs, r.segs[nSealed:]...)
+	installed, err := writeManifest(dir, segs)
+	if err != nil && !installed {
+		// Old manifest still reigns; the merged file is an orphan (also
+		// cleaned at next Open if this remove fails).
+		r.mu.Unlock()
+		os.Remove(filepath.Join(dir, mergedName))
+		return err
+	}
+	r.segs = segs
+	if err != nil {
+		// The rename landed, so the new manifest governs and memory
+		// committed to it — but its directory fsync failed, so a crash
+		// could still revert to the old manifest. Keep the replaced
+		// segment files in place (a revert needs them; a later
+		// successful swap or the next Open's orphan sweep removes
+		// them), make appends retry the fsync before acknowledging
+		// anything more, and surface the durability error.
+		r.pendingDirSync = true
+		r.mu.Unlock()
+		return fmt.Errorf("metadata: compaction cutover not durable: %w", err)
+	}
+	r.mu.Unlock()
+
+	// The old segments are no longer referenced; remove them outside
+	// the lock (failures are harmless — Open removes orphans).
+	for _, name := range old {
+		os.Remove(filepath.Join(dir, name))
+	}
 	return nil
+}
+
+// writeSegmentFile encodes the first n snapshot records into path,
+// flushed and fsynced before returning its size. The fsync is
+// unconditional — whatever the repository's sync policy, the cutover
+// deletes the originals, so the merged segment must be durable before
+// the manifest can reference it.
+func writeSegmentFile(path string, s snap, n int) (int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("metadata: creating merged segment: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var size int64
+	buf := make([]byte, 0, 4096)
+	for i := 0; i < n; i++ {
+		buf = appendRecord(buf[:0], *s.at(i))
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("metadata: writing merged segment: %w", err)
+		}
+		size += int64(len(buf))
+	}
+	err = w.Flush()
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, fmt.Errorf("metadata: finishing merged segment: %w", err)
+	}
+	return size, nil
 }

@@ -1,0 +1,314 @@
+package metadata
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// On-disk layout (DESIGN.md §5): the repository directory holds
+// numbered segment files plus a checksummed MANIFEST naming them in
+// order. All segments but the last are sealed — fsynced, immutable,
+// replayed strictly (any corruption is an error, never silently
+// truncated). The last segment is active: appends go there, and only
+// its tail may legitimately be torn by a crash, so corrupt-tail
+// truncation applies to it alone.
+//
+//	000001.seg   sealed
+//	000002.seg   sealed
+//	000003.seg   active
+//	MANIFEST     segment list + CRC, replaced atomically
+//
+// The directory itself is flock'd while open — exclusively by writers,
+// shared by read-only opens (LOCK is the non-unix fallback lease file).
+//
+// Every manifest replacement and segment creation is followed by a
+// parent-directory fsync, so a crash can neither resurrect a
+// pre-compaction segment set nor lose a just-created segment.
+
+const (
+	manifestName  = "MANIFEST"
+	manifestTmp   = "MANIFEST.tmp"
+	lockName      = "LOCK"
+	segSuffix     = ".seg"
+	legacyLogName = "metadata.log" // pre-segmentation single-file log
+)
+
+// segMeta describes one segment: its file, the contiguous run of
+// in-memory positions it covers, and whether it is sealed.
+type segMeta struct {
+	name   string // file name within the repository dir ("000001.seg")
+	bytes  int64  // encoded size; exact for sealed segments
+	count  int    // records stored; exact for sealed segments
+	first  int    // first in-memory position (derived at open, not persisted)
+	sealed bool
+}
+
+// segFileName renders the numbered segment file name.
+func segFileName(id uint64) string {
+	return fmt.Sprintf("%06d%s", id, segSuffix)
+}
+
+// segFileID parses the numeric part of a segment file name.
+func segFileID(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, segSuffix)
+	if !ok || base == "" {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// osRename indirects os.Rename so tests can inject cutover failures.
+var osRename = os.Rename
+
+// syncDir fsyncs a directory, making preceding renames and file
+// creations within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("metadata: opening dir for fsync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("metadata: fsyncing dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// --- manifest ---
+
+const manifestHeader = "dievent-manifest v1"
+
+// encodeManifest renders the segment list:
+//
+//	dievent-manifest v1
+//	seg 000001.seg sealed 12345 678
+//	seg 000002.seg active 90 12
+//	crc32 deadbeef
+//
+// The trailing CRC covers every preceding byte; sealed byte/record
+// counts are validated against the files at open.
+func encodeManifest(segs []segMeta) []byte {
+	var b strings.Builder
+	b.WriteString(manifestHeader)
+	b.WriteByte('\n')
+	for _, s := range segs {
+		state := "active"
+		if s.sealed {
+			state = "sealed"
+		}
+		fmt.Fprintf(&b, "seg %s %s %d %d\n", s.name, state, s.bytes, s.count)
+	}
+	body := b.String()
+	return []byte(fmt.Sprintf("%scrc32 %08x\n", body, crc32.ChecksumIEEE([]byte(body))))
+}
+
+// parseManifest validates and decodes a manifest: header, CRC trailer,
+// at least one segment, exactly one active segment in last position.
+func parseManifest(data []byte) ([]segMeta, error) {
+	text := string(data)
+	crcAt := strings.LastIndex(text, "crc32 ")
+	if crcAt < 0 || !strings.HasSuffix(text, "\n") {
+		return nil, fmt.Errorf("metadata: manifest missing crc trailer: %w", ErrCorrupt)
+	}
+	wantCRC, err := strconv.ParseUint(strings.TrimSpace(text[crcAt+len("crc32 "):]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("metadata: manifest crc trailer: %w", ErrCorrupt)
+	}
+	body := text[:crcAt]
+	if crc32.ChecksumIEEE([]byte(body)) != uint32(wantCRC) {
+		return nil, fmt.Errorf("metadata: manifest checksum mismatch: %w", ErrCorrupt)
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) == 0 || lines[0] != manifestHeader {
+		return nil, fmt.Errorf("metadata: manifest header: %w", ErrCorrupt)
+	}
+	var segs []segMeta
+	for _, line := range lines[1:] {
+		var name, state string
+		var bytes int64
+		var count int
+		if _, err := fmt.Sscanf(line, "seg %s %s %d %d", &name, &state, &bytes, &count); err != nil {
+			return nil, fmt.Errorf("metadata: manifest entry %q: %w", line, ErrCorrupt)
+		}
+		if _, ok := segFileID(name); !ok {
+			return nil, fmt.Errorf("metadata: manifest segment name %q: %w", name, ErrCorrupt)
+		}
+		if state != "sealed" && state != "active" {
+			return nil, fmt.Errorf("metadata: manifest segment state %q: %w", state, ErrCorrupt)
+		}
+		segs = append(segs, segMeta{name: name, bytes: bytes, count: count, sealed: state == "sealed"})
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("metadata: manifest lists no segments: %w", ErrCorrupt)
+	}
+	for i, s := range segs {
+		if s.sealed != (i < len(segs)-1) {
+			return nil, fmt.Errorf("metadata: manifest active segment misplaced: %w", ErrCorrupt)
+		}
+	}
+	return segs, nil
+}
+
+// writeManifest atomically replaces the manifest: write a temp file,
+// fsync it, rename over MANIFEST, fsync the directory. A crash leaves
+// either the old or the new manifest, never a torn one. installed
+// reports whether the rename happened: from that point the new
+// manifest governs the live filesystem even if the trailing directory
+// fsync failed, so on (installed, err) callers must commit to the new
+// segment list — and in particular must NOT delete files it references
+// — rather than rolling back; only a crash can revert to the old
+// manifest, whose own files callers keep in place until a fully
+// successful swap.
+func writeManifest(dir string, segs []segMeta) (installed bool, err error) {
+	tmp := filepath.Join(dir, manifestTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return false, fmt.Errorf("metadata: creating manifest temp: %w", err)
+	}
+	_, werr := f.Write(encodeManifest(segs))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return false, fmt.Errorf("metadata: writing manifest: %w", werr)
+	}
+	if err := osRename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return false, fmt.Errorf("metadata: installing manifest: %w", err)
+	}
+	return true, syncDir(dir)
+}
+
+// readManifest loads the manifest; ok is false when none exists yet.
+func readManifest(dir string) (segs []segMeta, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("metadata: reading manifest: %w", err)
+	}
+	segs, err = parseManifest(data)
+	if err != nil {
+		return nil, false, err
+	}
+	return segs, true, nil
+}
+
+// --- segment decoding ---
+
+// decodeSegment replays one segment file. In strict mode (sealed
+// segments) any malformed entry is an error — sealed segments were
+// fsynced before the manifest referenced them, so corruption there is
+// real damage, not a torn tail. In lenient mode (the active segment)
+// decoding stops at the first bad entry and validBytes reports the end
+// of the valid prefix, which the caller truncates to. A missing file
+// decodes as empty.
+func decodeSegment(path string, strict bool) (recs []Record, validBytes int64, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("metadata: opening segment for replay: %w", err)
+	}
+	defer f.Close()
+	cr := &countingReader{r: bufio.NewReaderSize(f, 1<<16)}
+	for {
+		rec, rerr := readRecord(cr)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			if strict {
+				return nil, 0, fmt.Errorf("metadata: sealed segment %s: %w", filepath.Base(path), rerr)
+			}
+			break // torn active tail: keep the valid prefix
+		}
+		recs = append(recs, rec)
+		validBytes = cr.n
+	}
+	return recs, validBytes, nil
+}
+
+// removeOrphans deletes files a crash may have stranded: segment files
+// the manifest does not reference (created before a manifest write that
+// never landed, or left behind by an interrupted compaction cutover)
+// and stale temporaries. Runs after the manifest is loaded, before
+// replay.
+func removeOrphans(dir string, segs []segMeta) error {
+	known := make(map[string]bool, len(segs))
+	for _, s := range segs {
+		known[s.name] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("metadata: listing repository dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stray := strings.HasSuffix(name, ".tmp")
+		if _, isSeg := segFileID(name); isSeg && !known[name] {
+			stray = true
+		}
+		if stray {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("metadata: removing orphan %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ensureInitSafe refuses to initialise a manifest-less directory that
+// contains segment files beyond 000001.seg. A crash can never produce
+// that state — the manifest exists before any roll can create
+// 000002.seg, and manifest replacement is an atomic rename — so it
+// means the MANIFEST was lost out-of-band (partial restore, stray
+// deletion) while the data survived; initialising fresh would let the
+// orphan sweep silently destroy every segment the lost manifest
+// referenced. (A lone 000001.seg is the legitimate crash window of a
+// first open or legacy migration and replays as the active segment.)
+func ensureInitSafe(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("metadata: listing repository dir: %w", err)
+	}
+	for _, e := range entries {
+		if id, ok := segFileID(e.Name()); ok && id != 1 {
+			return fmt.Errorf("metadata: segment %s present but MANIFEST missing (restore the manifest or move the segments aside): %w",
+				e.Name(), ErrCorrupt)
+		}
+	}
+	return nil
+}
+
+// nextSegIDAfter derives the next unused segment number from a
+// manifest's segment list.
+func nextSegIDAfter(segs []segMeta) uint64 {
+	var max uint64
+	for _, s := range segs {
+		if id, ok := segFileID(s.name); ok && id > max {
+			max = id
+		}
+	}
+	return max + 1
+}

@@ -38,6 +38,9 @@ func checkStressRecord(t *testing.T, rec Record) {
 // never observe torn records, and an OrderID cursor must never yield
 // out-of-order or duplicate IDs.
 func TestStressConcurrentAppendQueryCompact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: check.sh runs the stress in its own -race pass")
+	}
 	dir := t.TempDir()
 	r, err := Open(dir)
 	if err != nil {

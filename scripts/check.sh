@@ -5,20 +5,30 @@
 #   scripts/check.sh -full   vet + build + full tier-1 test suite
 #
 # Both modes additionally run the metadata engine under the race
-# detector (concurrent AppendBatch/QueryIter/Compact stress) and a short
-# fuzz smoke of the query parser so the checked-in corpus executes on
-# every check.
+# detector (concurrent AppendBatch/QueryIter/Compact stress plus the
+# compact-under-load oracle check), the torn-write recovery matrix, and
+# a short fuzz smoke of the query parser so the checked-in corpus
+# executes on every check.
 set -eu
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
 if [ "${1:-}" = "-full" ]; then
+	# The full (non-short) suites already include the torn-write
+	# recovery matrix and the raced compact-under-load stress.
 	go test ./...
 	go test -race ./internal/metadata ./internal/core
 else
+	# The heavy durability tests skip under -short; run them once,
+	# explicitly, so every quick check still exercises them.
 	go test -short ./...
 	go test -race -short ./internal/metadata
+	# Crash-recovery matrix: every torn-final-write offset must reopen
+	# to exactly the valid prefix.
+	go test -run 'TestTornWriteRecoveryMatrix' ./internal/metadata
+	# Compaction under load, raced: appends/cursors while segments merge.
+	go test -race -run 'TestStressConcurrentAppendQueryCompact|TestCompactUnderLoadMatchesOracle' ./internal/metadata
 fi
 go test -run '^$' -fuzz FuzzParseQuery -fuzztime 5s ./internal/metadata
 echo "check.sh: OK"
