@@ -18,6 +18,7 @@ import (
 	"repro/internal/face"
 	"repro/internal/gaze"
 	"repro/internal/hmm"
+	"repro/internal/img"
 	"repro/internal/layers"
 	"repro/internal/lbp"
 	"repro/internal/metadata"
@@ -391,7 +392,9 @@ func BenchmarkPipelineParallel(b *testing.B) {
 }
 
 // BenchmarkFaceDetect measures one full-frame multi-scale face
-// detection pass (PixelVision's dominant cost).
+// detection pass (PixelVision's dominant cost) on the fused
+// template-matching engine (DESIGN.md §6), reporting coarse-grid
+// windows scanned per second alongside ns/op.
 func BenchmarkFaceDetect(b *testing.B) {
 	sim := mustSim(b)
 	rig := mustRig(b)
@@ -405,6 +408,33 @@ func BenchmarkFaceDetect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = det.Detect(frame)
+	}
+	b.StopTimer()
+	windows := float64(det.GridWindows(frame.W, frame.H))
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(windows/perOp, "windows/s")
+}
+
+// BenchmarkFaceDetectShared measures the engine's steady-state path:
+// DetectIntegrals over caller-built summed-area tables, the form the
+// extraction engine drives once per (camera, frame) with pooled
+// buffers.
+func BenchmarkFaceDetectShared(b *testing.B) {
+	sim := mustSim(b)
+	rig := mustRig(b)
+	r := video.NewRenderer(sim, rig.Cameras[0], video.RenderOptions{})
+	frame := r.Render(250).Pixels
+	det, err := face.NewDetector(face.DetectorOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var in *img.Integral
+	var sq *img.IntegralSq
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, sq = img.BuildIntegrals(frame, in, sq)
+		_ = det.DetectIntegrals(frame, in, sq)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/camera"
 	"repro/internal/core"
 	"repro/internal/emotion"
+	"repro/internal/face"
 	"repro/internal/gaze"
 	"repro/internal/geom"
 	"repro/internal/hmm"
@@ -533,6 +534,31 @@ func tableThroughput() error {
 	fmt.Printf("pixel vision: %v for %d frames → %.1f fps\n",
 		ptotal.Round(time.Millisecond), pres.FramesAnalyzed,
 		float64(pres.FramesAnalyzed)/ptotal.Seconds())
+
+	// Raw detection throughput on the fused template-matching engine
+	// (DESIGN.md §6): full-frame multi-scale scans of one rendered
+	// prototype frame.
+	sim, rig, _, err := protoSetup()
+	if err != nil {
+		return err
+	}
+	frame := video.NewRenderer(sim, rig.Cameras[0], video.RenderOptions{}).Render(250).Pixels
+	det, err := face.NewDetector(face.DetectorOptions{})
+	if err != nil {
+		return err
+	}
+	const runs = 50
+	start = time.Now()
+	for i := 0; i < runs; i++ {
+		det.Detect(frame)
+	}
+	dtotal := time.Since(start)
+	perFrame := dtotal / runs
+	windows := det.GridWindows(frame.W, frame.H)
+	fmt.Printf("detection: %d coarse windows/frame in %v → %.2fM windows/s, %.1f detection frames/s\n",
+		windows, perFrame.Round(time.Microsecond),
+		float64(windows)/perFrame.Seconds()/1e6,
+		float64(runs)/dtotal.Seconds())
 	return nil
 }
 

@@ -506,7 +506,10 @@ type geoPrep struct {
 
 func (g *geometricVision) streams() int { return 1 }
 
-func (g *geometricVision) prepare(_ int, fs scene.FrameState) any {
+// newScratch: the geometric path has no per-frame buffers to reuse.
+func (g *geometricVision) newScratch() any { return nil }
+
+func (g *geometricVision) prepare(_ int, fs scene.FrameState, _ any) any {
 	obs, emotions, err := g.extract(fs)
 	return geoPrep{obs: obs, emotions: emotions, err: err}
 }
@@ -579,6 +582,19 @@ type pixelVision struct {
 	classifier *emotion.Classifier
 	est        *gaze.Estimator
 	nameToID   map[string]int
+	// seq is the sequential path's stateless-stage scratch; the
+	// concurrent engine gives each worker its own via newScratch.
+	seq *pixelScratch
+}
+
+// pixelScratch holds one worker's reusable per-frame detection tables:
+// the plain and squared summed-area tables of the rendered frame,
+// built once per (camera, frame) on detection-cadence frames and
+// shared by the detector's pre-filters and the fused matching kernel
+// (DESIGN.md §6).
+type pixelScratch struct {
+	in *img.Integral
+	sq *img.IntegralSq
 }
 
 func newPixelVision(cfg Config, sim *scene.Simulator, rig *camera.Rig) (frameVision, error) {
@@ -608,6 +624,7 @@ func newPixelVision(cfg Config, sim *scene.Simulator, rig *camera.Rig) (frameVis
 		classifier: clf,
 		est:        gaze.NewEstimator(cfg.Gaze),
 		nameToID:   make(map[string]int),
+		seq:        &pixelScratch{},
 	}
 	for c := 0; c < nCams; c++ {
 		pv.cams = append(pv.cams, pixelCam{
@@ -651,7 +668,7 @@ func trainDefaultClassifier() (*emotion.Classifier, error) {
 func (pv *pixelVision) extract(fs scene.FrameState) ([]gaze.Observation, map[int]layers.EmotionObs, error) {
 	perCam := make([]any, len(pv.cams))
 	for ci := range pv.cams {
-		res, err := pv.step(ci, fs, pv.prepare(ci, fs))
+		res, err := pv.step(ci, fs, pv.prepare(ci, fs, pv.seq))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -663,6 +680,9 @@ func (pv *pixelVision) extract(fs scene.FrameState) ([]gaze.Observation, map[int
 // streams: one ordered lane per camera.
 func (pv *pixelVision) streams() int { return len(pv.cams) }
 
+// newScratch allocates one worker's detection-table scratch.
+func (pv *pixelVision) newScratch() any { return &pixelScratch{} }
+
 // pixelPrep is the stateless stage's output for one (camera, frame).
 type pixelPrep struct {
 	frame *img.Gray // pooled; released by step
@@ -671,13 +691,18 @@ type pixelPrep struct {
 
 // prepare renders the camera's view and runs detection on cadence —
 // the two heavy stateless stages. Cameras stagger their detection
-// frames so the per-frame cost stays flat.
-func (pv *pixelVision) prepare(ci int, fs scene.FrameState) any {
+// frames so the per-frame cost stays flat. On cadence frames the
+// frame's summed-area tables are built once, into the worker's
+// scratch, and shared across the detector's pre-filters and the fused
+// matching kernel.
+func (pv *pixelVision) prepare(ci int, fs scene.FrameState, scratch any) any {
 	pc := &pv.cams[ci]
 	frame := pc.renderer.RenderStateInto(fs, pc.renderer.AcquireFrame())
 	pp := &pixelPrep{frame: frame}
 	if (fs.Index+ci)%pv.cfg.DetectEvery == 0 {
-		pp.dets = pv.detector.Detect(frame)
+		ps := scratch.(*pixelScratch)
+		ps.in, ps.sq = img.BuildIntegrals(frame, ps.in, ps.sq)
+		pp.dets = pv.detector.DetectIntegrals(frame, ps.in, ps.sq)
 	}
 	return pp
 }

@@ -26,9 +26,16 @@ type streamedVision interface {
 	frameVision
 	// streams returns the number of independent ordered lanes.
 	streams() int
-	// prepare runs the heavy stateless stage for one (stream, frame).
-	// It must not touch mutable per-stream state.
-	prepare(stream int, fs scene.FrameState) any
+	// newScratch allocates one worker's reusable stateless-stage
+	// scratch (per-frame integral tables and the like). Each engine
+	// worker owns one scratch for its lifetime, so heavy per-frame
+	// buffers are built once per (camera, frame) and reused across
+	// frames instead of reallocated per call.
+	newScratch() any
+	// prepare runs the heavy stateless stage for one (stream, frame),
+	// with exclusive use of the calling worker's scratch. It must not
+	// touch mutable per-stream state.
+	prepare(stream int, fs scene.FrameState, scratch any) any
 	// step consumes prepare's output for one stream in strict frame
 	// order, advancing per-stream state (trackers).
 	step(stream int, fs scene.FrameState, prep any) (any, error)
@@ -111,9 +118,12 @@ func runStreamed(sim *scene.Simulator, numFrames, workers int, sv streamedVision
 	cancel := func() { once.Do(func() { close(done) }) }
 	defer cancel()
 
-	// Worker pool: stateless prepare, any stream, any order.
+	// Worker pool: stateless prepare, any stream, any order. Each
+	// worker owns one scratch so per-frame tables (detection integrals)
+	// are built into reused buffers, never reallocated.
 	for w := 0; w < workers; w++ {
 		go func() {
+			scratch := sv.newScratch()
 			for {
 				select {
 				case <-done:
@@ -123,7 +133,7 @@ func runStreamed(sim *scene.Simulator, numFrames, workers int, sv streamedVision
 						return
 					}
 					t0 := time.Now()
-					prep := sv.prepare(t.stream, t.fs)
+					prep := sv.prepare(t.stream, t.fs, scratch)
 					timer.add("feature-extraction", time.Since(t0))
 					// Never blocks: the window semaphore guarantees the
 					// slot was drained before this frame was enqueued.

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/emotion"
 	"repro/internal/img"
@@ -72,11 +73,32 @@ var ErrBadOptions = errors.New("face: bad options")
 // against a canonical face template — the classical pre-CNN approach,
 // adequate because the synthetic renderer and the template share the
 // same face geometry (see DESIGN.md §1 on substitutions).
+//
+// Scanning runs on the fused template-matching engine (DESIGN.md §6):
+// each scale's zero-mean template is precomputed once here, window
+// mean/variance come from per-frame summed-area tables in O(1), and
+// the NCC numerator is a single in-place dot product over the frame —
+// no per-window crop or mean pass. The pre-engine crop-and-img.NCC
+// scan is retained as detectOracle, the tested reference the fused
+// path must match box-for-box.
 type Detector struct {
 	opt DetectorOptions
 	// templates holds the canonical face resized per scale, wider
-	// aspect matching the renderer's 1:1.2 face boxes.
+	// aspect matching the renderer's 1:1.2 face boxes. Retained for
+	// the oracle path.
 	templates map[int]*img.Gray
+	// matchers holds each scale's precomputed zero-mean template.
+	matchers map[int]*img.TemplateMatcher
+	// tables pools per-frame summed-area table pairs for Detect
+	// callers that don't supply their own, keeping concurrent Detect
+	// calls allocation-free in steady state.
+	tables sync.Pool
+}
+
+// integralPair is one pooled (plain, squared) table pair.
+type integralPair struct {
+	in *img.Integral
+	sq *img.IntegralSq
 }
 
 // NewDetector builds a detector.
@@ -92,41 +114,63 @@ func NewDetector(opt DetectorOptions) (*Detector, error) {
 	}
 	// Canonical neutral face, mid tone, no jitter.
 	base := emotion.GenerateFace(emotion.Neutral, 0, 180)
-	d := &Detector{opt: opt, templates: make(map[int]*img.Gray, len(opt.Scales))}
+	d := &Detector{
+		opt:       opt,
+		templates: make(map[int]*img.Gray, len(opt.Scales)),
+		matchers:  make(map[int]*img.TemplateMatcher, len(opt.Scales)),
+	}
 	for _, h := range opt.Scales {
 		w := h * 5 / 6 // renderer draws faces slightly taller than wide
-		d.templates[h] = base.Resize(w, h)
+		tpl := base.Resize(w, h)
+		d.templates[h] = tpl
+		d.matchers[h] = img.NewTemplateMatcher(tpl)
 	}
 	return d, nil
 }
 
 // Detect scans the frame and returns non-overlapping face detections,
 // strongest first. Scanning is coarse-to-fine: a strided grid pass
-// promotes promising windows (score ≥ CoarseScore) to a local sub-stride
-// refinement, and only refined scores are thresholded at MinScore.
+// promotes promising windows (score ≥ CoarseScore) to a local
+// sub-stride refinement, and only refined scores are thresholded at
+// MinScore. Both passes run on the fused matching kernel over
+// frame-wide summed-area tables built here; callers that already hold
+// the tables (the extraction engine builds them once per
+// (camera, frame)) should use DetectIntegrals.
 func (d *Detector) Detect(g *img.Gray) []Detection {
-	integral := img.NewIntegral(g)
+	p, _ := d.tables.Get().(*integralPair)
+	if p == nil {
+		p = &integralPair{}
+	}
+	p.in, p.sq = img.BuildIntegrals(g, p.in, p.sq)
+	dets := d.DetectIntegrals(g, p.in, p.sq)
+	d.tables.Put(p)
+	return dets
+}
+
+// DetectIntegrals is Detect with caller-supplied summed-area tables of
+// g (plain and squared), sharing one table build across every consumer
+// of the frame. in and sq must have been built from exactly g.
+func (d *Detector) DetectIntegrals(g *img.Gray, in *img.Integral, sq *img.IntegralSq) []Detection {
 	var raw []Detection
-	// One crop buffer serves every candidate window of the scan —
+	// visited is the refinement memo scratch, reused across candidates —
 	// function-local, so concurrent Detect calls stay independent.
-	var crop *img.Gray
+	var visited []img.Rect
 	for _, h := range d.opt.Scales {
-		tpl := d.templates[h]
-		w := tpl.W
+		m := d.matchers[h]
+		w := m.W
 		if w > g.W || h > g.H {
 			continue
 		}
-		stride := int(float64(h) * d.opt.StrideFrac)
-		if stride < 1 {
-			stride = 1
-		}
+		stride := d.scanStride(h)
 		for y := 0; y+h <= g.H; y += stride {
 			for x := 0; x+w <= g.W; x += stride {
 				win := img.Rect{X: x, Y: y, W: w, H: h}
 				// Cheap integral-image pre-filter: faces have a
-				// bright centre against a darker surround.
-				centre := integral.RegionMean(img.Rect{X: x + w/4, Y: y + h/4, W: w / 2, H: h / 2})
-				border := integral.RegionMean(win)
+				// bright centre against a darker surround. Scan
+				// windows are in-bounds by construction, so the
+				// unclipped lookups apply.
+				centre := in.RegionMeanUnclipped(img.Rect{X: x + w/4, Y: y + h/4, W: w / 2, H: h / 2})
+				border := in.RegionMeanUnclipped(win)
 				diff := centre - border
 				if diff < 0 {
 					diff = -diff
@@ -134,21 +178,15 @@ func (d *Detector) Detect(g *img.Gray) []Detection {
 				if diff*diff < d.opt.MinVariance/4 {
 					continue
 				}
-				c, err := g.CropInto(win, crop)
-				if err != nil {
-					continue
-				}
-				crop = c
-				if crop.Variance() < d.opt.MinVariance {
-					continue
-				}
-				score := img.NCC(crop, tpl)
-				if score < d.opt.CoarseScore {
+				// Variance gate + coarse score in one fused call: the
+				// matcher derives the gate, the prescreen and the
+				// kernel denominator from one corner-grid sample.
+				score, ok := m.ScoreVarBounded(g, in, sq, x, y, d.opt.CoarseScore, d.opt.MinVariance)
+				if !ok || score < d.opt.CoarseScore {
 					continue
 				}
 				var best Detection
-				var ok bool
-				if best, ok, crop = d.refine(g, tpl, win, stride, score, crop); ok {
+				if best, ok, visited = d.refine(g, m, in, sq, win, stride, score, visited); ok {
 					raw = append(raw, best)
 				}
 			}
@@ -157,24 +195,35 @@ func (d *Detector) Detect(g *img.Gray) []Detection {
 	return nms(raw, d.opt.NMSIoU)
 }
 
-// refine hill-climbs the window position at progressively finer steps to
-// undo the coarse grid's localisation loss, returning the best detection
-// if it clears MinScore. The crop scratch is threaded through and
-// returned so the caller keeps reusing one buffer.
-func (d *Detector) refine(g *img.Gray, tpl *img.Gray, win img.Rect, stride int, score float64, crop *img.Gray) (Detection, bool, *img.Gray) {
+// refine hill-climbs the window position at progressively finer steps
+// to undo the coarse grid's localisation loss, returning the best
+// detection if it clears MinScore. Candidates score through the fused
+// kernel with the current best as the early-out bound, and every
+// position visited is memoized so the climb never rescores a window:
+// a revisited position either was the best (and cannot strictly beat
+// itself) or already failed against an older, lower bound — best only
+// grows, so skipping is exact. The memo scratch is threaded through
+// and returned so one Detect call keeps reusing a single buffer.
+func (d *Detector) refine(g *img.Gray, m *img.TemplateMatcher, in *img.Integral, sq *img.IntegralSq, win img.Rect, stride int, score float64, visited []img.Rect) (Detection, bool, []img.Rect) {
 	best := Detection{Box: win, Score: score}
+	visited = append(visited[:0], win)
 	for step := stride / 2; step >= 1; step /= 2 {
 		improved := true
 		for improved {
 			improved = false
+		offsets:
 			for _, off := range [4][2]int{{-step, 0}, {step, 0}, {0, -step}, {0, step}} {
 				cand := img.Rect{X: best.Box.X + off[0], Y: best.Box.Y + off[1], W: win.W, H: win.H}
-				c, err := g.CropInto(cand, crop)
-				if err != nil {
+				if cand.X < 0 || cand.Y < 0 || cand.X+cand.W > g.W || cand.Y+cand.H > g.H {
 					continue
 				}
-				crop = c
-				if s := img.NCC(crop, tpl); s > best.Score {
+				for _, v := range visited {
+					if v == cand {
+						continue offsets
+					}
+				}
+				visited = append(visited, cand)
+				if s, ok := m.ScoreBounded(g, in, sq, cand.X, cand.Y, best.Score); ok && s > best.Score {
 					best = Detection{Box: cand, Score: s}
 					improved = true
 				}
@@ -182,9 +231,36 @@ func (d *Detector) refine(g *img.Gray, tpl *img.Gray, win img.Rect, stride int, 
 		}
 	}
 	if best.Score < d.opt.MinScore {
-		return Detection{}, false, crop
+		return Detection{}, false, visited
 	}
-	return best, true, crop
+	return best, true, visited
+}
+
+// scanStride is the coarse-grid step for one scale — shared by the
+// scan loops and GridWindows so the two can't drift.
+func (d *Detector) scanStride(h int) int {
+	stride := int(float64(h) * d.opt.StrideFrac)
+	if stride < 1 {
+		stride = 1
+	}
+	return stride
+}
+
+// GridWindows returns the number of coarse-grid windows one Detect
+// pass evaluates over a w×h frame, summed across scales — the
+// denominator of windows/second throughput reporting. Geometry comes
+// from the built matchers, so it always matches the scan.
+func (d *Detector) GridWindows(w, h int) int {
+	var total int
+	for _, sh := range d.opt.Scales {
+		sw := d.matchers[sh].W
+		if sw > w || sh > h {
+			continue
+		}
+		stride := d.scanStride(sh)
+		total += ((h-sh)/stride + 1) * ((w-sw)/stride + 1)
+	}
+	return total
 }
 
 // nms performs greedy non-maximum suppression by IoU.

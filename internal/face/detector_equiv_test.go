@@ -1,0 +1,163 @@
+package face
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/camera"
+	"repro/internal/emotion"
+	"repro/internal/img"
+	"repro/internal/scene"
+	"repro/internal/video"
+)
+
+// assertDetectionsMatch enforces the engine's correctness bar: boxes
+// byte-identical to the oracle, scores within 1e-9.
+func assertDetectionsMatch(t *testing.T, name string, fused, oracle []Detection) {
+	t.Helper()
+	if len(fused) != len(oracle) {
+		t.Fatalf("%s: fused found %d detections, oracle %d\nfused:  %v\noracle: %v",
+			name, len(fused), len(oracle), fused, oracle)
+	}
+	for i := range fused {
+		if fused[i].Box != oracle[i].Box {
+			t.Errorf("%s: box %d differs: fused %v, oracle %v", name, i, fused[i].Box, oracle[i].Box)
+		}
+		if d := math.Abs(fused[i].Score - oracle[i].Score); d > 1e-9 {
+			t.Errorf("%s: score %d differs by %g (fused %v, oracle %v)",
+				name, i, d, fused[i].Score, oracle[i].Score)
+		}
+	}
+}
+
+// TestDetectMatchesOracleScenario runs the fused engine against the
+// retained crop-and-NCC oracle on rendered prototype-scenario frames —
+// multiple cameras, multiple timestamps, with and without sensor
+// noise.
+func TestDetectMatchesOracleScenario(t *testing.T) {
+	sim, err := scene.NewSimulator(scene.PrototypeScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig, err := camera.PrototypeRig(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(DetectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, noise := range []float64{0, 1.5} {
+		for _, cam := range []int{0, 2} {
+			r := video.NewRenderer(sim, rig.Cameras[cam], video.RenderOptions{NoiseSigma: noise})
+			for _, frame := range []int{0, 100, 250, 400, 609} {
+				g := r.Render(frame).Pixels
+				assertDetectionsMatch(t, "scenario frame",
+					det.Detect(g), det.detectOracle(g))
+			}
+		}
+	}
+}
+
+// TestDetectMatchesOracleSynthetic sweeps seeded synthetic frames:
+// faces at random positions and scales over noisy backgrounds, plus a
+// flat frame and a no-face clutter frame.
+func TestDetectMatchesOracleSynthetic(t *testing.T) {
+	det, err := NewDetector(DetectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := img.New(320, 240)
+		g.Fill(uint8(40 + rng.Intn(30)))
+		for i := range g.Pix {
+			if rng.Intn(4) == 0 {
+				g.Pix[i] = uint8(int(g.Pix[i]) + rng.Intn(12))
+			}
+		}
+		for f := 0; f < 1+rng.Intn(3); f++ {
+			h := 24 + rng.Intn(60)
+			w := h * 5 / 6
+			x := rng.Intn(g.W - w)
+			y := rng.Intn(g.H - h)
+			tone := uint8(120 + rng.Intn(120))
+			emotion.RenderFaceInto(g, img.Rect{X: x, Y: y, W: w, H: h}, tone, emotion.Neutral, uint64(seed))
+		}
+		assertDetectionsMatch(t, "synthetic frame", det.Detect(g), det.detectOracle(g))
+	}
+
+	flat := img.New(200, 160)
+	flat.Fill(45)
+	assertDetectionsMatch(t, "flat frame", det.Detect(flat), det.detectOracle(flat))
+}
+
+// TestDetectConcurrentSharedDetector drives concurrent Detect calls
+// through one shared detector (the engine does exactly this from its
+// worker pool) and checks every goroutine gets results identical to a
+// serial run. Run under -race this is the matcher's thread-safety
+// gate.
+func TestDetectConcurrentSharedDetector(t *testing.T) {
+	sim, err := scene.NewSimulator(scene.PrototypeScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig, err := camera.PrototypeRig(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(DetectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([]*img.Gray, 4)
+	serial := make([][]Detection, len(frames))
+	for i := range frames {
+		r := video.NewRenderer(sim, rig.Cameras[i%len(rig.Cameras)], video.RenderOptions{})
+		frames[i] = r.Render(100 * i).Pixels
+		serial[i] = det.Detect(frames[i])
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				i := (gi + rep) % len(frames)
+				if got := det.Detect(frames[i]); !reflect.DeepEqual(got, serial[i]) {
+					errs <- "concurrent Detect diverged from serial result"
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestGridWindows sanity-checks the throughput denominator.
+func TestGridWindows(t *testing.T) {
+	det, err := NewDetector(DetectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := det.GridWindows(640, 480)
+	if n <= 0 {
+		t.Fatalf("GridWindows = %d", n)
+	}
+	// Smallest scale alone contributes ((480-24)/6+1)*((640-20)/6+1).
+	if min := ((480 - 24) / 6) * ((640 - 20) / 6); n < min {
+		t.Errorf("GridWindows = %d, want ≥ %d", n, min)
+	}
+	if det.GridWindows(10, 10) != 0 {
+		t.Error("tiny frame should fit no windows")
+	}
+}

@@ -1,6 +1,9 @@
 package img
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Histogram is a 256-bin intensity histogram.
 type Histogram [256]uint32
@@ -96,24 +99,127 @@ func MeanAbsDiff(a, b *Gray) float64 {
 
 // Integral is a summed-area table: Sum[y][x] holds the sum of all pixels
 // strictly above and left of (x,y), so region sums are four lookups.
+// Sums are stored as uint32 — any 8-bit image up to 16.8M pixels fits,
+// and halving the table's footprint matters on the detection hot path,
+// where building and probing the tables is bandwidth-bound. The
+// constructors reject images whose total intensity could overflow.
 type Integral struct {
 	W, H int
-	Sum  []uint64 // (W+1)*(H+1)
+	Sum  []uint32 // (W+1)*(H+1)
 }
+
+// maxIntegralPixels bounds W*H so that W*H*255 fits in uint32.
+const maxIntegralPixels = (1<<32 - 1) / 255
 
 // NewIntegral builds the summed-area table of g.
 func NewIntegral(g *Gray) *Integral {
+	return BuildIntegral(g, nil)
+}
+
+// BuildIntegral is NewIntegral reusing in's buffer when the capacity
+// allows (nil in allocates) — the steady-state form for per-frame
+// tables. It panics for images larger than 16.8M pixels, whose sums
+// could overflow the uint32 table.
+func BuildIntegral(g *Gray, in *Integral) *Integral {
 	w, h := g.W, g.H
-	in := &Integral{W: w, H: h, Sum: make([]uint64, (w+1)*(h+1))}
+	if w*h > maxIntegralPixels {
+		panic(fmt.Sprintf("img: %dx%d image too large for integral table", w, h))
+	}
+	if in == nil {
+		in = &Integral{}
+	}
+	in.W, in.H = w, h
+	in.Sum = ensureU32(in.Sum, (w+1)*(h+1))
 	stride := w + 1
+	clear(in.Sum[:stride]) // row 0 may hold stale data when reused
 	for y := 0; y < h; y++ {
-		var rowSum uint64
+		var rowSum uint32
+		in.Sum[(y+1)*stride] = 0
 		for x := 0; x < w; x++ {
-			rowSum += uint64(g.Pix[y*w+x])
+			rowSum += uint32(g.Pix[y*w+x])
 			in.Sum[(y+1)*stride+x+1] = in.Sum[y*stride+x+1] + rowSum
 		}
 	}
 	return in
+}
+
+// IntegralSq is a summed-area table of squared intensities: region
+// sums of p² in four lookups. Together with Integral it gives any
+// window's mean and variance in O(1), which is what lets the template
+// matcher and the detector's variance gate skip per-window pixel
+// passes entirely.
+type IntegralSq struct {
+	W, H int
+	Sum  []uint64 // (W+1)*(H+1)
+}
+
+// NewIntegralSq builds the squared summed-area table of g.
+func NewIntegralSq(g *Gray) *IntegralSq {
+	_, sq := BuildIntegrals(g, nil, nil)
+	return sq
+}
+
+// BuildIntegrals builds the plain and squared summed-area tables of g
+// in one pass over the pixels, reusing in and sq (and their buffers)
+// when non-nil. This is the per-frame entry point of the detection hot
+// path: the extraction engine builds both tables once per
+// (camera, frame) and shares them across the detector's pre-filters
+// and the fused matching kernel.
+func BuildIntegrals(g *Gray, in *Integral, sq *IntegralSq) (*Integral, *IntegralSq) {
+	w, h := g.W, g.H
+	if w*h > maxIntegralPixels {
+		panic(fmt.Sprintf("img: %dx%d image too large for integral table", w, h))
+	}
+	if in == nil {
+		in = &Integral{}
+	}
+	if sq == nil {
+		sq = &IntegralSq{}
+	}
+	in.W, in.H = w, h
+	sq.W, sq.H = w, h
+	n := (w + 1) * (h + 1)
+	in.Sum = ensureU32(in.Sum, n)
+	sq.Sum = ensureU64(sq.Sum, n)
+	stride := w + 1
+	clear(in.Sum[:stride])
+	clear(sq.Sum[:stride])
+	for y := 0; y < h; y++ {
+		var rowSum uint32
+		var rowSq uint64
+		row := g.Pix[y*w : (y+1)*w]
+		// Shifted equal-length views so the inner loop indexes all four
+		// streams by x with no bounds checks.
+		prevIn := in.Sum[y*stride+1 : (y+1)*stride][:len(row)]
+		curIn := in.Sum[(y+1)*stride+1 : (y+2)*stride][:len(row)]
+		prevSq := sq.Sum[y*stride+1 : (y+1)*stride][:len(row)]
+		curSq := sq.Sum[(y+1)*stride+1 : (y+2)*stride][:len(row)]
+		in.Sum[(y+1)*stride], sq.Sum[(y+1)*stride] = 0, 0
+		for x, pi := range prevIn {
+			pv := uint64(row[x])
+			rowSum += uint32(pv)
+			rowSq += pv * pv
+			curIn[x] = pi + rowSum
+			curSq[x] = prevSq[x] + rowSq
+		}
+	}
+	return in, sq
+}
+
+// ensureU64 returns s resized to n, reusing capacity when possible.
+func ensureU64(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+// ensureU32 is ensureU64 for uint32 buffers.
+func ensureU32(s []uint32, n int) []uint32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint32, n)
 }
 
 // RegionSum returns the sum of pixels in the rectangle (clipped to the
@@ -123,32 +229,105 @@ func (in *Integral) RegionSum(r Rect) uint64 {
 	if c.Area() == 0 {
 		return 0
 	}
-	stride := in.W + 1
-	x0, y0, x1, y1 := c.X, c.Y, c.X+c.W, c.Y+c.H
-	return in.Sum[y1*stride+x1] - in.Sum[y0*stride+x1] - in.Sum[y1*stride+x0] + in.Sum[y0*stride+x0]
+	return in.RegionSumUnclipped(c)
 }
 
-// RegionMean returns the mean intensity over the rectangle (0 when empty).
+// RegionSumUnclipped is RegionSum without the clip: r must lie fully
+// inside the image. It is the fast path for interior windows — the
+// detector's scan windows and BoxBlur's interior pixels are in-bounds
+// by construction, so they skip the two Intersect calls per lookup.
+// The four-corner combination is exact in uint32 modular arithmetic
+// because the true region sum always fits.
+func (in *Integral) RegionSumUnclipped(r Rect) uint64 {
+	stride := in.W + 1
+	x0, y0, x1, y1 := r.X, r.Y, r.X+r.W, r.Y+r.H
+	return uint64(in.Sum[y1*stride+x1] - in.Sum[y0*stride+x1] - in.Sum[y1*stride+x0] + in.Sum[y0*stride+x0])
+}
+
+// RegionMean returns the mean intensity over the rectangle (0 when
+// empty). The rectangle is clipped once; the sum lookup reuses the
+// clipped rect instead of re-intersecting.
 func (in *Integral) RegionMean(r Rect) float64 {
-	a := r.Intersect(Rect{0, 0, in.W, in.H}).Area()
+	c := r.Intersect(Rect{0, 0, in.W, in.H})
+	a := c.Area()
 	if a == 0 {
 		return 0
 	}
-	return float64(in.RegionSum(r)) / float64(a)
+	return float64(in.RegionSumUnclipped(c)) / float64(a)
+}
+
+// RegionMeanUnclipped is RegionMean for rectangles known to lie fully
+// inside the image (no clipping, no emptiness check).
+func (in *Integral) RegionMeanUnclipped(r Rect) float64 {
+	return float64(in.RegionSumUnclipped(r)) / float64(r.Area())
+}
+
+// RegionSum returns the sum of squared pixels in the rectangle
+// (clipped to the image).
+func (sq *IntegralSq) RegionSum(r Rect) uint64 {
+	c := r.Intersect(Rect{0, 0, sq.W, sq.H})
+	if c.Area() == 0 {
+		return 0
+	}
+	return sq.RegionSumUnclipped(c)
+}
+
+// RegionSumUnclipped is RegionSum without the clip: r must lie fully
+// inside the image.
+func (sq *IntegralSq) RegionSumUnclipped(r Rect) uint64 {
+	stride := sq.W + 1
+	x0, y0, x1, y1 := r.X, r.Y, r.X+r.W, r.Y+r.H
+	return sq.Sum[y1*stride+x1] - sq.Sum[y0*stride+x1] - sq.Sum[y1*stride+x0] + sq.Sum[y0*stride+x0]
+}
+
+// RegionVariance returns the intensity variance over r, which must lie
+// fully inside both tables: (n·Σp² − (Σp)²)/n², with the numerator
+// exact in integer arithmetic (it is non-negative by Cauchy–Schwarz)
+// before a single float division. This replaces the detector's
+// per-window crop-and-Variance() pass with four lookups.
+func RegionVariance(in *Integral, sq *IntegralSq, r Rect) float64 {
+	n := uint64(r.Area())
+	s := in.RegionSumUnclipped(r)
+	q := sq.RegionSumUnclipped(r)
+	return float64(n*q-s*s) / float64(n*n)
 }
 
 // BoxBlur returns the image smoothed with a (2r+1)×(2r+1) box filter using
 // the integral image (O(1) per pixel).
 func (g *Gray) BoxBlur(r int) *Gray {
+	return g.BoxBlurInto(r, nil, nil)
+}
+
+// BoxBlurInto is BoxBlur reusing dst's pixels and in's table when
+// possible (nil allocates; in is rebuilt from g either way). Interior
+// pixels — where the window is fully inside the image — take the
+// unclipped lookup fast path; only the r-wide border pays clipping.
+func (g *Gray) BoxBlurInto(r int, dst *Gray, in *Integral) *Gray {
 	if r <= 0 {
-		return g.Clone()
+		out := Ensure(dst, g.W, g.H)
+		copy(out.Pix, g.Pix)
+		return out
 	}
-	in := NewIntegral(g)
-	out := New(g.W, g.H)
+	in = BuildIntegral(g, in)
+	out := Ensure(dst, g.W, g.H)
+	side := 2*r + 1
 	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			win := Rect{X: x - r, Y: y - r, W: 2*r + 1, H: 2*r + 1}
-			out.Pix[y*g.W+x] = uint8(math.Round(in.RegionMean(win)))
+		row := out.Pix[y*g.W : (y+1)*g.W]
+		if y < r || y+r >= g.H {
+			for x := range row {
+				row[x] = uint8(math.Round(in.RegionMean(Rect{X: x - r, Y: y - r, W: side, H: side})))
+			}
+			continue
+		}
+		x := 0
+		for ; x < r && x < g.W; x++ {
+			row[x] = uint8(math.Round(in.RegionMean(Rect{X: x - r, Y: y - r, W: side, H: side})))
+		}
+		for ; x+r < g.W; x++ {
+			row[x] = uint8(math.Round(in.RegionMeanUnclipped(Rect{X: x - r, Y: y - r, W: side, H: side})))
+		}
+		for ; x < g.W; x++ {
+			row[x] = uint8(math.Round(in.RegionMean(Rect{X: x - r, Y: y - r, W: side, H: side})))
 		}
 	}
 	return out
@@ -176,8 +355,10 @@ func (g *Gray) SobelMag() *Gray {
 }
 
 // NCC returns the normalised cross-correlation between two equally-sized
-// images in [-1, 1]; flat images correlate as 0 against anything non-flat
-// and 1 against each other. Used for template-based face recognition.
+// images in [-1, 1]; a flat image correlates as 0 against anything it
+// doesn't match exactly — two flat images correlate 1 only when their
+// means agree (all-50 vs all-200 is a mismatch, not a perfect match).
+// Used for template-based face recognition.
 func NCC(a, b *Gray) float64 {
 	if a.W != b.W || a.H != b.H {
 		b = b.Resize(a.W, a.H)
@@ -192,7 +373,10 @@ func NCC(a, b *Gray) float64 {
 		db += y * y
 	}
 	if da == 0 && db == 0 {
-		return 1
+		if ma == mb {
+			return 1
+		}
+		return 0
 	}
 	if da == 0 || db == 0 {
 		return 0

@@ -184,3 +184,154 @@ func TestNCC(t *testing.T) {
 		t.Errorf("flat-random NCC = %v, want 0", c)
 	}
 }
+
+// TestNCCFlatMismatch is the degenerate-flat regression: two flat
+// images with different means used to "correlate 1"; they must only
+// correlate 1 when the means match too.
+func TestNCCFlatMismatch(t *testing.T) {
+	dark := New(8, 8)
+	dark.Fill(50)
+	bright := New(8, 8)
+	bright.Fill(200)
+	if c := NCC(dark, bright); c != 0 {
+		t.Errorf("flat-50 vs flat-200 NCC = %v, want 0", c)
+	}
+	same := New(8, 8)
+	same.Fill(50)
+	if c := NCC(dark, same); c != 1 {
+		t.Errorf("flat-50 vs flat-50 NCC = %v, want 1", c)
+	}
+}
+
+func TestIntegralSqMatchesBruteForce(t *testing.T) {
+	g := randomImage(23, 17, 8)
+	sq := NewIntegralSq(g)
+	rects := []Rect{
+		{0, 0, 23, 17}, {0, 0, 1, 1}, {5, 3, 7, 9}, {22, 16, 1, 1}, {-3, -3, 10, 10},
+	}
+	for _, r := range rects {
+		var want uint64
+		c := r.Intersect(Rect{0, 0, g.W, g.H})
+		for y := c.Y; y < c.Y+c.H; y++ {
+			for x := c.X; x < c.X+c.W; x++ {
+				p := uint64(g.At(x, y))
+				want += p * p
+			}
+		}
+		if got := sq.RegionSum(r); got != want {
+			t.Errorf("IntegralSq.RegionSum(%v) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+// TestUnclippedFastPaths checks the unclipped lookups agree exactly
+// with the clipped ones for in-bounds rectangles.
+func TestUnclippedFastPaths(t *testing.T) {
+	g := randomImage(31, 29, 9)
+	in, sq := BuildIntegrals(g, nil, nil)
+	rects := []Rect{
+		{0, 0, 31, 29}, {0, 0, 1, 1}, {4, 7, 12, 9}, {30, 28, 1, 1}, {10, 0, 21, 5},
+	}
+	for _, r := range rects {
+		if a, b := in.RegionSum(r), in.RegionSumUnclipped(r); a != b {
+			t.Errorf("Integral clipped %d != unclipped %d for %v", a, b, r)
+		}
+		if a, b := sq.RegionSum(r), sq.RegionSumUnclipped(r); a != b {
+			t.Errorf("IntegralSq clipped %d != unclipped %d for %v", a, b, r)
+		}
+		if a, b := in.RegionMean(r), in.RegionMeanUnclipped(r); a != b {
+			t.Errorf("RegionMean clipped %v != unclipped %v for %v", a, b, r)
+		}
+	}
+}
+
+// TestRegionVariance checks the O(1) variance against Gray.Variance on
+// crops (the detector's gate equivalence).
+func TestRegionVariance(t *testing.T) {
+	g := randomImage(40, 36, 10)
+	in, sq := BuildIntegrals(g, nil, nil)
+	for _, r := range []Rect{{0, 0, 40, 36}, {3, 5, 10, 12}, {20, 20, 20, 16}} {
+		crop, err := g.Crop(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := crop.Variance()
+		if got := RegionVariance(in, sq, r); math.Abs(got-want) > 1e-9 {
+			t.Errorf("RegionVariance(%v) = %v, crop.Variance() = %v", r, got, want)
+		}
+	}
+	flat := New(10, 10)
+	flat.Fill(42)
+	fin, fsq := BuildIntegrals(flat, nil, nil)
+	if v := RegionVariance(fin, fsq, Rect{0, 0, 10, 10}); v != 0 {
+		t.Errorf("flat variance = %v, want 0", v)
+	}
+}
+
+// TestBuildIntegralsReuse checks that reused buffers produce identical
+// tables, including across size changes (stale prefixes must clear).
+func TestBuildIntegralsReuse(t *testing.T) {
+	big := randomImage(40, 30, 11)
+	in, sq := BuildIntegrals(big, nil, nil)
+	small := randomImage(17, 13, 12)
+	in, sq = BuildIntegrals(small, in, sq)
+	fresh, freshSq := BuildIntegrals(small, nil, nil)
+	for i := range fresh.Sum {
+		if in.Sum[i] != fresh.Sum[i] {
+			t.Fatalf("reused Integral differs at %d: %d vs %d", i, in.Sum[i], fresh.Sum[i])
+		}
+	}
+	for i := range freshSq.Sum {
+		if sq.Sum[i] != freshSq.Sum[i] {
+			t.Fatalf("reused IntegralSq differs at %d: %d vs %d", i, sq.Sum[i], freshSq.Sum[i])
+		}
+	}
+}
+
+// TestBoxBlurInto checks the buffer-reusing blur matches BoxBlur and
+// that the unclipped interior fast path didn't change border handling.
+func TestBoxBlurInto(t *testing.T) {
+	g := randomImage(33, 27, 13)
+	want := g.BoxBlur(3)
+	var dst *Gray
+	var in *Integral
+	dst = g.BoxBlurInto(3, dst, in)
+	if dst.W != want.W || dst.H != want.H {
+		t.Fatalf("BoxBlurInto size %dx%d, want %dx%d", dst.W, dst.H, want.W, want.H)
+	}
+	for i := range want.Pix {
+		if dst.Pix[i] != want.Pix[i] {
+			t.Fatalf("BoxBlurInto differs at %d: %d vs %d", i, dst.Pix[i], want.Pix[i])
+		}
+	}
+	// Reuse both buffers for a second image; result must match fresh.
+	g2 := randomImage(33, 27, 14)
+	in = NewIntegral(g2) // pre-populated scratch gets rebuilt inside
+	dst = g2.BoxBlurInto(2, dst, in)
+	want2 := g2.BoxBlur(2)
+	for i := range want2.Pix {
+		if dst.Pix[i] != want2.Pix[i] {
+			t.Fatalf("reused BoxBlurInto differs at %d", i)
+		}
+	}
+	// Brute-force spot check against direct window means (clipped).
+	r := 2
+	for _, pt := range [][2]int{{0, 0}, {1, 1}, {16, 13}, {32, 26}} {
+		x, y := pt[0], pt[1]
+		var sum, cnt int
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				xx, yy := x+dx, y+dy
+				if xx < 0 || yy < 0 || xx >= g2.W || yy >= g2.H {
+					continue
+				}
+				sum += int(g2.At(xx, yy))
+				cnt++
+			}
+		}
+		wantPx := uint8(math.Round(float64(sum) / float64(cnt)))
+		if got := dst.At(x, y); got != wantPx {
+			t.Errorf("blur at (%d,%d) = %d, want %d", x, y, got, wantPx)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package img
+
+import (
+	"math"
+	"sort"
+)
+
+// TemplateMatcher scores the normalised cross-correlation of one fixed
+// template against arbitrary windows of a frame, evaluated in place —
+// no window crop, no per-window mean pass. Because the zero-mean
+// template tpl′ = tpl − mean satisfies Σ tpl′ = 0, the NCC numerator
+// collapses to Σ tpl′·f = Σ tpl·f − mean·Σf: an exact uint8 integer
+// dot product plus one integral-table lookup, with the denominator's
+// window term another O(1) lookup pair. Scores are semantically
+// identical to img.NCC on a crop of the window (the retained oracle),
+// agreeing to well within 1e-9 — the integer numerator carries two
+// float roundings total where the oracle accumulates thousands.
+//
+// A matcher is immutable after construction and safe for concurrent
+// use.
+type TemplateMatcher struct {
+	// W, H are the template (and therefore window) dimensions.
+	W, H int
+	// mean is the template's mean intensity, computed exactly as
+	// Gray.Mean so the degenerate flat-vs-flat comparison matches the
+	// oracle bit for bit.
+	mean float64
+	// norm2 is Σ tpl′², accumulated in the oracle's pixel order so the
+	// denominator matches img.NCC's template term exactly.
+	norm2 float64
+	// tpl is the template's pixels, row-major — the integer half of
+	// the fused dot product.
+	tpl []uint8
+	// order visits template rows by decreasing energy Σ tpl′², so the
+	// remaining-template mass in the early-out bound collapses after
+	// the discriminative rows instead of decaying uniformly.
+	order []int32
+	// tailSum[k] is Σ tpl′ over the rows order[k:] (exact) and
+	// tailSqrt[k] is √(Σ tpl′² over order[k:]) — the Cauchy–Schwarz
+	// factors behind the early-out bound. Both have length H+1.
+	tailSum, tailSqrt []float64
+	// The prescreen partitions the template into a grid of (at most)
+	// 4×4 blocks. gx/gy are the column/row boundaries (gw+1 and gh+1
+	// entries); blocks holds Σ tpl′, √(Σ tpl′²) and 1/area per cell in
+	// row-major grid order. Window-side block sums are read off a
+	// shared corner grid, so the prescreen costs 2·(gw+1)·(gh+1) table
+	// loads instead of 8 per block.
+	gx, gy []int32
+	blocks []tplBlock
+}
+
+// tplBlock is one prescreen cell of the template partition.
+type tplBlock struct {
+	sum   float64 // Σ tpl′ over the block
+	sqrtE float64 // √(Σ tpl′²) over the block
+	n     uint64  // block area
+	invN  float64 // 1 / block area
+}
+
+// NewTemplateMatcher precomputes the zero-mean form of tpl.
+func NewTemplateMatcher(tpl *Gray) *TemplateMatcher {
+	m := &TemplateMatcher{W: tpl.W, H: tpl.H, mean: tpl.Mean()}
+	m.tpl = append([]uint8(nil), tpl.Pix...)
+	for _, p := range tpl.Pix {
+		z := float64(p) - m.mean
+		m.norm2 += z * z
+	}
+	rowSum := make([]float64, tpl.H)
+	rowSq := make([]float64, tpl.H)
+	for j := 0; j < tpl.H; j++ {
+		var rs, rq float64
+		for _, p := range tpl.Pix[j*tpl.W : (j+1)*tpl.W] {
+			z := float64(p) - m.mean
+			rs += z
+			rq += z * z
+		}
+		rowSum[j], rowSq[j] = rs, rq
+	}
+	m.order = make([]int32, tpl.H)
+	for j := range m.order {
+		m.order[j] = int32(j)
+	}
+	sort.SliceStable(m.order, func(a, b int) bool {
+		return rowSq[m.order[a]] > rowSq[m.order[b]]
+	})
+	m.tailSum = make([]float64, tpl.H+1)
+	m.tailSqrt = make([]float64, tpl.H+1)
+	tailSq := make([]float64, tpl.H+1)
+	for k := tpl.H - 1; k >= 0; k-- {
+		j := m.order[k]
+		m.tailSum[k] = m.tailSum[k+1] + rowSum[j]
+		tailSq[k] = tailSq[k+1] + rowSq[j]
+	}
+	for k, q := range tailSq {
+		m.tailSqrt[k] = math.Sqrt(q)
+	}
+	gw, gh := 4, 4
+	if tpl.W < gw {
+		gw = tpl.W
+	}
+	if tpl.H < gh {
+		gh = tpl.H
+	}
+	for bx := 0; bx <= gw; bx++ {
+		m.gx = append(m.gx, int32(bx*tpl.W/gw))
+	}
+	for by := 0; by <= gh; by++ {
+		m.gy = append(m.gy, int32(by*tpl.H/gh))
+	}
+	for by := 0; by < gh; by++ {
+		y0, y1 := int(m.gy[by]), int(m.gy[by+1])
+		for bx := 0; bx < gw; bx++ {
+			x0, x1 := int(m.gx[bx]), int(m.gx[bx+1])
+			var bs, be float64
+			for yy := y0; yy < y1; yy++ {
+				for _, p := range tpl.Pix[yy*tpl.W+x0 : yy*tpl.W+x1] {
+					z := float64(p) - m.mean
+					bs += z
+					be += z * z
+				}
+			}
+			m.blocks = append(m.blocks, tplBlock{
+				sum:   bs,
+				sqrtE: math.Sqrt(be),
+				n:     uint64((x1 - x0) * (y1 - y0)),
+				invN:  1 / float64((x1-x0)*(y1-y0)),
+			})
+		}
+	}
+	return m
+}
+
+// Score returns NCC(window, template) for the W×H window of g anchored
+// at (x, y). The window must lie fully inside g, and in/sq must be the
+// summed-area tables of g.
+func (m *TemplateMatcher) Score(g *Gray, in *Integral, sq *IntegralSq, x, y int) float64 {
+	s, _ := m.scoreBounded(g, in, sq, x, y, -2, -1)
+	return s
+}
+
+// ScoreBounded is Score with a Cauchy–Schwarz early-out: while the dot
+// product accumulates row by row (template rows in decreasing-energy
+// order), the unseen rows' contribution is bounded by
+// mean·Σ tpl′_rem + √(Σ tpl′²_rem)·√(Σ win′²) — valid for any row
+// subset since window deviation terms are non-negative. Once even that
+// bound cannot reach the caller's threshold, scanning stops and
+// (0, false) is returned, guaranteeing score < bound without finishing
+// the window. (true, score) means score is the exact fused value. The
+// bound carries a 1e-9 safety margin so float rounding in the bound
+// arithmetic can never skip a window whose true score reaches the
+// threshold; callers comparing the result against bound therefore make
+// decisions identical to the exhaustive oracle. Pass a bound ≤ -1 to
+// disable the early-out.
+func (m *TemplateMatcher) ScoreBounded(g *Gray, in *Integral, sq *IntegralSq, x, y int, bound float64) (float64, bool) {
+	return m.scoreBounded(g, in, sq, x, y, bound, -1)
+}
+
+// ScoreVarBounded is ScoreBounded with a variance gate folded in:
+// windows whose intensity variance (the exact-integer RegionVariance
+// value) is below minVar return (0, false) before any scoring work, so
+// one corner-grid sample serves the gate, the prescreen and the
+// kernel. Pass a negative minVar to disable the gate. Note the gate
+// compares the exact-integer variance where a crop-based caller would
+// compare float-accumulated Gray.Variance — the two agree to ~1e-12
+// relative, so a window whose true variance sits within rounding
+// distance of minVar could in principle gate differently; thresholds
+// are tuning knobs, not contract boundaries, and the seeded
+// equivalence suite pins the behaviour empirically.
+func (m *TemplateMatcher) ScoreVarBounded(g *Gray, in *Integral, sq *IntegralSq, x, y int, bound, minVar float64) (float64, bool) {
+	return m.scoreBounded(g, in, sq, x, y, bound, minVar)
+}
+
+func (m *TemplateMatcher) scoreBounded(g *Gray, in *Integral, sq *IntegralSq, x, y int, bound, minVar float64) (float64, bool) {
+	w, h := m.W, m.H
+	n := uint64(w * h)
+	checkCut := bound > -1
+	gw1, gh1 := len(m.gx), len(m.gy)
+	var cin [25]uint32
+	var csq [25]uint64
+	var s, q uint64
+	if checkCut {
+		// Sample both tables once on the (gw+1)×(gh+1) block-corner
+		// grid; the window sums, the variance gate and the prescreen
+		// all read off it — exact integer arithmetic either way, so
+		// values are identical to direct RegionSumUnclipped lookups.
+		tstride := in.W + 1
+		for r := 0; r < gh1; r++ {
+			rowOff := (y + int(m.gy[r])) * tstride
+			for c := 0; c < gw1; c++ {
+				cin[r*gw1+c] = in.Sum[rowOff+x+int(m.gx[c])]
+				csq[r*gw1+c] = sq.Sum[rowOff+x+int(m.gx[c])]
+			}
+		}
+		tl, tr, bl, br := 0, gw1-1, (gh1-1)*gw1, gh1*gw1-1
+		s = uint64(cin[br] - cin[tr] - cin[bl] + cin[tl])
+		q = csq[br] - csq[tr] - csq[bl] + csq[tl]
+	} else {
+		win := Rect{X: x, Y: y, W: w, H: h}
+		s = in.RegionSumUnclipped(win)
+		q = sq.RegionSumUnclipped(win)
+	}
+	if minVar >= 0 && float64(n*q-s*s)/float64(n*n) < minVar {
+		return 0, false
+	}
+	// Window deviation mass Σ(p−mean)² = (n·Σp² − (Σp)²)/n: numerator
+	// exact in uint64 (non-negative by Cauchy–Schwarz), one rounding.
+	da := float64(n*q-s*s) / float64(n)
+	db := m.norm2
+	if da == 0 && db == 0 {
+		// Flat window, flat template: match only when the means agree
+		// (the oracle's degenerate rule).
+		if float64(s)/float64(n) == m.mean {
+			return 1, true
+		}
+		return 0, true
+	}
+	if da == 0 || db == 0 {
+		return 0, true
+	}
+	den := math.Sqrt(da * db)
+	sqrtDa := math.Sqrt(da)
+	mw := float64(s) / float64(n)
+	// Early-out threshold in numerator units, with the safety margin.
+	cut := (bound - 1e-9) * den
+	if checkCut {
+		// O(1) prescreen before any pixel is read: per template block,
+		// Σ_B tpl′·f ≤ m_B·Σ_B tpl′ + √(Σ_B tpl′²)·√(Σ_B (f−m_B)²) by
+		// Cauchy–Schwarz about the block's own mean, each block's
+		// deviation mass exact-integer corner-grid arithmetic. Clutter
+		// whose deviation concentrates in a few blocks (edges,
+		// boundaries) — most of what survives the detector's contrast
+		// gate — bounds far below a spread-out template and rejects
+		// with zero pixel reads; genuinely face-like windows fall
+		// through to the scan.
+		var bb float64
+		for r := 0; r < gh1-1; r++ {
+			for c := 0; c < gw1-1; c++ {
+				blk := &m.blocks[r*(gw1-1)+c]
+				a, b2 := r*gw1+c, (r+1)*gw1+c
+				sB := uint64(cin[b2+1] - cin[a+1] - cin[b2] + cin[a])
+				qB := csq[b2+1] - csq[a+1] - csq[b2] + csq[a]
+				devB := float64(blk.n*qB-sB*sB) * blk.invN
+				bb += float64(sB)*blk.invN*blk.sum + blk.sqrtE*math.Sqrt(devB)
+			}
+		}
+		if bb < cut {
+			return 0, false
+		}
+	}
+	stride := g.W
+	base := y*stride + x
+	tstride := in.W + 1
+	var ip int64  // Σ tpl·f over the scanned rows — exact
+	var sf uint64 // Σ f over the scanned rows — exact, from the table
+	for k := 0; k < h; k++ {
+		j := int(m.order[k])
+		trow := m.tpl[j*w : (j+1)*w]
+		// Equal-length re-slice so the compiler drops the per-element
+		// bounds checks in the unrolled loop below.
+		frow := g.Pix[base+j*stride : base+j*stride+w]
+		frow = frow[:len(trow)]
+		// Pure integer dot product — no float conversions, and four
+		// accumulators keep the multiply pipeline busy.
+		var p0, p1, p2, p3 int64
+		i := 0
+		for ; i <= len(trow)-8; i += 8 {
+			t := trow[i : i+8 : i+8]
+			f := frow[i : i+8 : i+8]
+			p0 += int64(t[0])*int64(f[0]) + int64(t[4])*int64(f[4])
+			p1 += int64(t[1])*int64(f[1]) + int64(t[5])*int64(f[5])
+			p2 += int64(t[2])*int64(f[2]) + int64(t[6])*int64(f[6])
+			p3 += int64(t[3])*int64(f[3]) + int64(t[7])*int64(f[7])
+		}
+		for ; i < len(trow); i++ {
+			p0 += int64(trow[i]) * int64(frow[i])
+		}
+		ip += (p0 + p1) + (p2 + p3)
+		if !checkCut || k == h-1 {
+			continue
+		}
+		// Partial numerator over the scanned rows: Σ tpl′·f =
+		// Σ tpl·f − mean·Σf, the row's Σf a two-load table lookup
+		// (adjacent table rows, four corners).
+		ro := (y+j)*tstride + x
+		sf += uint64(in.Sum[ro+tstride+w] - in.Sum[ro+w] - in.Sum[ro+tstride] + in.Sum[ro])
+		num := float64(ip) - m.mean*float64(sf)
+		// Cauchy–Schwarz over the unseen rows, whichever they are:
+		// Σ_rem (f−mw)² ≤ da holds for any row subset, so the
+		// energy-ordered walk keeps a sound bound while tailSqrt
+		// collapses as fast as the template's energy allows.
+		if num+mw*m.tailSum[k+1]+m.tailSqrt[k+1]*sqrtDa < cut {
+			return 0, false
+		}
+	}
+	// Over the whole window Σf is the window sum itself, so the exact
+	// numerator needs no per-row bookkeeping.
+	num := float64(ip) - m.mean*float64(s)
+	return num / den, true
+}

@@ -1,0 +1,210 @@
+package img
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// oracleNCC is what the fused matcher must reproduce: img.NCC on a
+// plain crop of the window.
+func oracleNCC(t *testing.T, g *Gray, tpl *Gray, x, y int) float64 {
+	t.Helper()
+	crop, err := g.Crop(Rect{X: x, Y: y, W: tpl.W, H: tpl.H})
+	if err != nil {
+		t.Fatalf("crop (%d,%d) %dx%d: %v", x, y, tpl.W, tpl.H, err)
+	}
+	return NCC(crop, tpl)
+}
+
+// scenicImage builds a frame with structure the detector actually
+// sees: flat background, noise, gradient bands, and bright blobs.
+func scenicImage(w, h int, seed int64) *Gray {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(w, h)
+	g.Fill(uint8(40 + rng.Intn(40)))
+	for i := range g.Pix {
+		if rng.Intn(3) == 0 {
+			g.Pix[i] = uint8(int(g.Pix[i]) + rng.Intn(25))
+		}
+	}
+	for b := 0; b < 6; b++ {
+		v := uint8(90 + rng.Intn(160))
+		bw, bh := 10+rng.Intn(60), 10+rng.Intn(60)
+		bx, by := rng.Intn(w), rng.Intn(h)
+		g.FillRect(Rect{X: bx, Y: by, W: bw, H: bh}, v)
+	}
+	// One flat strip so some windows are exactly degenerate.
+	g.FillRect(Rect{X: 0, Y: h - 12, W: w, H: 12}, 77)
+	return g
+}
+
+// TestMatcherMatchesOracle is the fused-vs-oracle equivalence suite:
+// random structured images × the detector's template scales × stride
+// offsets including edge-hugging windows, with Score compared against
+// NCC-on-a-crop at 1e-9.
+func TestMatcherMatchesOracle(t *testing.T) {
+	scales := []struct{ w, h int }{{20, 24}, {28, 34}, {40, 48}, {80, 96}}
+	for seed := int64(1); seed <= 4; seed++ {
+		g := scenicImage(160, 140, seed)
+		in, sq := BuildIntegrals(g, nil, nil)
+		for _, sc := range scales {
+			tpl := scenicImage(sc.w, sc.h, seed*131+int64(sc.h))
+			m := NewTemplateMatcher(tpl)
+			stride := sc.h / 4
+			for y := 0; y+sc.h <= g.H; y += stride {
+				for x := 0; x+sc.w <= g.W; x += stride {
+					checkWindow(t, m, g, in, sq, tpl, x, y)
+				}
+			}
+			// Edge-hugging windows the strided grid may miss.
+			for _, pos := range [][2]int{
+				{0, 0}, {g.W - sc.w, 0}, {0, g.H - sc.h}, {g.W - sc.w, g.H - sc.h},
+				{g.W - sc.w - 1, g.H - sc.h - 1},
+			} {
+				checkWindow(t, m, g, in, sq, tpl, pos[0], pos[1])
+			}
+		}
+	}
+}
+
+func checkWindow(t *testing.T, m *TemplateMatcher, g *Gray, in *Integral, sq *IntegralSq, tpl *Gray, x, y int) {
+	t.Helper()
+	want := oracleNCC(t, g, tpl, x, y)
+	got := m.Score(g, in, sq, x, y)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Score(%d,%d) %dx%d = %v, oracle %v (diff %g)",
+			x, y, m.W, m.H, got, want, got-want)
+	}
+}
+
+// TestMatcherFlatWindows pins the degenerate cases: a flat window
+// against a textured template scores 0; a flat window against a flat
+// template scores 1 only when the means agree.
+func TestMatcherFlatWindows(t *testing.T) {
+	g := New(64, 64)
+	g.Fill(50)
+	g.FillRect(Rect{X: 32, Y: 0, W: 32, H: 64}, 200)
+	in, sq := BuildIntegrals(g, nil, nil)
+
+	textured := scenicImage(16, 16, 9)
+	m := NewTemplateMatcher(textured)
+	if s := m.Score(g, in, sq, 0, 0); s != 0 {
+		t.Errorf("flat window vs textured template = %v, want 0", s)
+	}
+	if s := oracleNCC(t, g, textured, 0, 0); s != 0 {
+		t.Errorf("oracle disagrees on flat window: %v", s)
+	}
+
+	flat50 := New(16, 16)
+	flat50.Fill(50)
+	mf := NewTemplateMatcher(flat50)
+	if s := mf.Score(g, in, sq, 0, 0); s != 1 {
+		t.Errorf("flat-50 window vs flat-50 template = %v, want 1", s)
+	}
+	if s := mf.Score(g, in, sq, 40, 0); s != 0 {
+		t.Errorf("flat-200 window vs flat-50 template = %v, want 0", s)
+	}
+}
+
+// TestScoreBoundedContract checks the early-out semantics: (true, s)
+// is bit-identical to Score, and (false, _) only ever happens when the
+// exact score is below the bound.
+func TestScoreBoundedContract(t *testing.T) {
+	g := scenicImage(160, 140, 11)
+	in, sq := BuildIntegrals(g, nil, nil)
+	tpl := scenicImage(28, 34, 12)
+	m := NewTemplateMatcher(tpl)
+	bounds := []float64{0.1, 0.33, 0.55, 0.9}
+	var outs, fulls int
+	for y := 0; y+m.H <= g.H; y += 5 {
+		for x := 0; x+m.W <= g.W; x += 5 {
+			exact := m.Score(g, in, sq, x, y)
+			for _, b := range bounds {
+				s, ok := m.ScoreBounded(g, in, sq, x, y, b)
+				if ok {
+					fulls++
+					if s != exact {
+						t.Fatalf("ScoreBounded(%d,%d,%v) = %v, Score = %v", x, y, b, s, exact)
+					}
+				} else {
+					outs++
+					if exact >= b {
+						t.Fatalf("early-out at (%d,%d) bound %v but exact score %v ≥ bound", x, y, b, exact)
+					}
+				}
+			}
+		}
+	}
+	if outs == 0 {
+		t.Error("early-out never fired — bound is not pruning")
+	}
+	if fulls == 0 {
+		t.Error("no full scores — bound fired on everything, suspicious")
+	}
+}
+
+// TestScoreVarBoundedGate checks the fused variance gate agrees with
+// RegionVariance exactly.
+func TestScoreVarBoundedGate(t *testing.T) {
+	g := scenicImage(120, 120, 21)
+	in, sq := BuildIntegrals(g, nil, nil)
+	tpl := scenicImage(20, 24, 22)
+	m := NewTemplateMatcher(tpl)
+	const minVar = 100
+	for y := 0; y+m.H <= g.H; y += 7 {
+		for x := 0; x+m.W <= g.W; x += 7 {
+			win := Rect{X: x, Y: y, W: m.W, H: m.H}
+			gated := RegionVariance(in, sq, win) < minVar
+			s, ok := m.ScoreVarBounded(g, in, sq, x, y, 0.33, minVar)
+			if gated && (ok || s != 0) {
+				t.Fatalf("window (%d,%d) var %v < %v must gate out, got (%v, %v)",
+					x, y, RegionVariance(in, sq, win), float64(minVar), s, ok)
+			}
+			if !gated {
+				want, wantOK := m.ScoreBounded(g, in, sq, x, y, 0.33)
+				if s != want || ok != wantOK {
+					t.Fatalf("window (%d,%d): gated call (%v,%v) != plain (%v,%v)",
+						x, y, s, ok, want, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// --- benchmarks for the kernel pieces ---
+
+func benchImage(w, h int, seed int64) *Gray {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.Intn(256))
+	}
+	return g
+}
+
+// BenchmarkBuildIntegrals measures the per-frame table build the
+// extraction engine pays once per (camera, frame).
+func BenchmarkBuildIntegrals(b *testing.B) {
+	g := benchImage(640, 480, 1)
+	var in *Integral
+	var sq *IntegralSq
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, sq = BuildIntegrals(g, in, sq)
+	}
+}
+
+// BenchmarkTemplateScore measures one full fused window score at the
+// detector's largest scale (96×80), the worst-case kernel invocation.
+func BenchmarkTemplateScore(b *testing.B) {
+	g := benchImage(640, 480, 1)
+	in, sq := BuildIntegrals(g, nil, nil)
+	m := NewTemplateMatcher(benchImage(80, 96, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Score(g, in, sq, (i*7)%(640-80), (i*13)%(480-96))
+	}
+}

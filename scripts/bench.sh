@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# bench.sh — record the headline benchmark numbers.
+#
+#   scripts/bench.sh [N]      run the headline benchmarks and write
+#                             BENCH_<N>.json (default N=4) at the repo
+#                             root, so the perf trajectory is recorded
+#                             PR over PR.
+#
+# Headline set: the detection hot path (FaceDetect, FaceDetectShared),
+# the end-to-end pipelines (PipelineEndToEnd, PipelineParallel) and the
+# metadata ingest path (MetadataIngestSegmented).
+set -eu
+cd "$(dirname "$0")/.."
+
+N="${1:-4}"
+OUT="BENCH_${N}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# Baseline entries (hand-recorded "…Baseline" objects, e.g. the pre-PR4
+# FaceDetect number) survive regeneration.
+KEEP=""
+if [ -f "$OUT" ]; then
+	KEEP="$(grep 'Baseline' "$OUT" | sed 's/,$//' || true)"
+fi
+
+# Redirect (not pipe) so a benchmark failure aborts under set -e
+# before the JSON is rewritten.
+go test -run '^$' \
+	-bench 'BenchmarkFaceDetect$|BenchmarkFaceDetectShared$|BenchmarkPipelineEndToEnd$|BenchmarkPipelineParallel$|BenchmarkMetadataIngestSegmented$' \
+	-benchtime 100x -count 1 . > "$RAW"
+cat "$RAW"
+
+awk -v out="$OUT" -v keep="$KEEP" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns[name] = $3
+	for (i = 4; i <= NF; i++) {
+		if ($(i+1) == "B/op")        bytes[name] = $i
+		if ($(i+1) == "allocs/op")   allocs[name] = $i
+		if ($(i+1) == "windows/s")   extra[name] = $i
+	}
+	order[n++] = name
+}
+END {
+	printf "{\n" > out
+	if (keep != "") {
+		nk = split(keep, kept, "\n")
+		for (i = 1; i <= nk; i++) printf "%s,\n", kept[i] >> out
+	}
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "  \"%s\": {\"ns_per_op\": %s", name, ns[name] >> out
+		if (name in bytes)  printf ", \"bytes_per_op\": %s", bytes[name] >> out
+		if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name] >> out
+		if (name in extra)  printf ", \"windows_per_sec\": %s", extra[name] >> out
+		printf "}%s\n", (i < n-1 ? "," : "") >> out
+	}
+	printf "}\n" >> out
+}
+' "$RAW"
+
+echo "bench.sh: wrote $OUT"

@@ -18,7 +18,7 @@ if [ "${1:-}" = "-full" ]; then
 	# The full (non-short) suites already include the torn-write
 	# recovery matrix and the raced compact-under-load stress.
 	go test ./...
-	go test -race ./internal/metadata ./internal/core
+	go test -race ./internal/metadata ./internal/core ./internal/face
 else
 	# The heavy durability tests skip under -short; run them once,
 	# explicitly, so every quick check still exercises them.
@@ -29,6 +29,13 @@ else
 	go test -run 'TestTornWriteRecoveryMatrix' ./internal/metadata
 	# Compaction under load, raced: appends/cursors while segments merge.
 	go test -race -run 'TestStressConcurrentAppendQueryCompact|TestCompactUnderLoadMatchesOracle' ./internal/metadata
+	# Concurrent detection, raced: the fused matcher's thread-safety
+	# gate (one shared detector hit from many goroutines).
+	go test -race -run 'TestDetectConcurrentSharedDetector' ./internal/face
 fi
 go test -run '^$' -fuzz FuzzParseQuery -fuzztime 5s ./internal/metadata
+# Detection-bench smoke: one iteration of the fused-matcher hot path
+# benchmarks, so a regression that breaks (not merely slows) the
+# detection engine fails the gate.
+go test -run '^$' -bench 'FaceDetect|PipelineParallel' -benchtime 1x .
 echo "check.sh: OK"
