@@ -391,6 +391,85 @@ func BenchmarkPipelineParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineIncremental measures an incremental re-run with
+// only the emotion stage stale (DESIGN.md §7): the gaze chain — the
+// geometric pipeline's dominant cost — is replayed from the previous
+// run's persisted look-at records, so the re-run must complete in
+// under 50% of a full 610-frame run (compare BenchmarkPipelineFull610
+// below, the same manifest-keeping configuration run end to end).
+func BenchmarkPipelineIncremental(b *testing.B) {
+	cfg := core.Config{
+		Scenario:    scene.PrototypeScenario(),
+		Mode:        core.GeometricVision,
+		Gaze:        gaze.EstimatorOptions{Seed: 1},
+		Incremental: true,
+	}
+	p0, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev, err := p0.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer prev.Repo.Close()
+
+	stale := cfg
+	stale.EmotionNoise = 0.07 // "retrained" emotion model
+	p, err := core.New(stale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Validity guard: the gaze chain must actually be replayed.
+	res, err := p.RunIncremental(prev.Repo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reusedGaze := false
+	for _, n := range res.ReusedStages {
+		if n == core.StageGeoGaze {
+			reusedGaze = true
+		}
+	}
+	res.Repo.Close()
+	if !reusedGaze {
+		b.Fatalf("gaze chain not reused (stale=%v) — benchmark invalid", res.StaleStages)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.RunIncremental(prev.Repo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Repo.Close()
+	}
+}
+
+// BenchmarkPipelineFull610 is BenchmarkPipelineIncremental's
+// denominator: the same manifest-keeping 610-frame geometric run,
+// executed in full.
+func BenchmarkPipelineFull610(b *testing.B) {
+	p, err := core.New(core.Config{
+		Scenario:    scene.PrototypeScenario(),
+		Mode:        core.GeometricVision,
+		Gaze:        gaze.EstimatorOptions{Seed: 1},
+		Incremental: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Repo.Close()
+	}
+}
+
 // BenchmarkFaceDetect measures one full-frame multi-scale face
 // detection pass (PixelVision's dominant cost) on the fused
 // template-matching engine (DESIGN.md §6), reporting coarse-grid

@@ -5,8 +5,16 @@
 // Usage:
 //
 //	repro              # run everything
-//	repro -fig 7       # one artefact: 2, 3, 4, 5, 7, 8, 9,
-//	                   # emotion, ec-sweep, baseline, throughput, metadata
+//	repro -fig 7       # one artefact: 2, 3, 4, 5, 7, 8, 9, emotion,
+//	                   # ec-sweep, baseline, throughput, metadata, stages
+//
+// Stage-graph controls (artefact "stages"):
+//
+//	repro -fig stages                         # per-stage timing table
+//	repro -fig stages -stages attention-span  # plug extra analyzers in
+//	repro -fig stages -rederive geo-emotion   # incremental re-run demo:
+//	                                          # force one stage stale and
+//	                                          # re-derive only its chain
 package main
 
 import (
@@ -34,6 +42,8 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "artefact to regenerate (default: all)")
+	stages := flag.String("stages", "", "comma-separated extra analyzer stages to plug into the graph (e.g. attention-span)")
+	rederive := flag.String("rederive", "", "stage to force stale for the incremental re-run demo (artefact \"stages\")")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -50,9 +60,10 @@ func main() {
 		"throughput": tableThroughput,
 		"metadata":   tableMetadata,
 		"speaker":    tableSpeaker,
+		"stages":     func() error { return tableStages(*stages, *rederive) },
 	}
 	order := []string{"2", "3", "4", "5", "7", "8", "9",
-		"emotion", "ec-sweep", "baseline", "speaker", "throughput", "metadata"}
+		"emotion", "ec-sweep", "baseline", "speaker", "throughput", "metadata", "stages"}
 
 	if *fig != "" {
 		run, ok := runners[*fig]
@@ -613,6 +624,84 @@ func tableMetadata() error {
 			time.Since(start).Round(time.Microsecond))
 	}
 	return nil
+}
+
+// tableStages surfaces the stage graph (DESIGN.md §7): the resolved
+// stage list, the per-stage timing table from the pipeline's stage
+// timer, and — with -rederive — an incremental re-run that forces one
+// stage stale and replays every fresh raw layer from the first run's
+// repository.
+func tableStages(extraStages, rederive string) error {
+	header("Stage graph — resolved stages, per-stage timing, incremental re-derivation")
+	cfg := core.Config{
+		Scenario:    scene.PrototypeScenario(),
+		Mode:        core.GeometricVision,
+		Gaze:        gaze.EstimatorOptions{Seed: 1},
+		Incremental: true,
+	}
+	if extraStages != "" {
+		for _, s := range strings.Split(extraStages, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				cfg.Stages = append(cfg.Stages, s)
+			}
+		}
+	}
+	p, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph (%s vision): %s\n", cfg.Mode, strings.Join(p.StageNames(), " → "))
+
+	start := time.Now()
+	res, err := p.Run()
+	if err != nil {
+		return err
+	}
+	defer res.Repo.Close()
+	fullWall := time.Since(start)
+	fmt.Printf("\nfull run: %v for %d frames\n", fullWall.Round(time.Millisecond), res.FramesAnalyzed)
+	printTimings(res.Timings, res.FramesAnalyzed)
+	if res.Attention != nil {
+		fmt.Println("attention spans (pluggable analyzer):")
+		for _, st := range res.Attention.Stats {
+			if st.Spans == 0 {
+				continue
+			}
+			fmt.Printf("  P%d: %d fixations, mean %.0f frames, longest %d\n",
+				st.Person+1, st.Spans, st.MeanFrames, st.LongestFrames)
+		}
+	}
+
+	if rederive == "" {
+		fmt.Println("hint: -rederive geo-emotion re-runs only the emotion chain against this run's manifest")
+		return nil
+	}
+
+	start = time.Now()
+	inc, err := p.RunIncremental(res.Repo, rederive)
+	if err != nil {
+		return err
+	}
+	defer inc.Repo.Close()
+	incWall := time.Since(start)
+	fmt.Printf("\nincremental re-run (-rederive %s): %v  (%.0f%% of the full run)\n",
+		rederive, incWall.Round(time.Millisecond), 100*incWall.Seconds()/fullWall.Seconds())
+	fmt.Printf("  stale:  %s\n", strings.Join(inc.StaleStages, ", "))
+	fmt.Printf("  reused: %s (replayed from the repository — no re-extraction)\n",
+		strings.Join(inc.ReusedStages, ", "))
+	printTimings(inc.Timings, inc.FramesAnalyzed)
+	fmt.Printf("records: full %d, incremental %d (byte-identical layers)\n",
+		res.Repo.Len(), inc.Repo.Len())
+	return nil
+}
+
+// printTimings renders a stage-timer report grouped by stage name.
+func printTimings(timings []core.StageTiming, frames int) {
+	fmt.Printf("%-20s %-14s %-12s\n", "stage", "time", "µs/frame")
+	for _, st := range timings {
+		fmt.Printf("%-20s %-14v %-12.1f\n", st.Name, st.Duration.Round(time.Microsecond),
+			float64(st.Duration.Microseconds())/float64(frames))
+	}
 }
 
 // --- shared helpers ---

@@ -45,6 +45,26 @@
 // (DESIGN.md §5). WithSegmentSize and WithSyncPolicy tune the engine;
 // Repository.Stats and Repository.Compact expose maintenance.
 //
+// The pipeline itself is a registry-driven stage graph (DESIGN.md §7):
+// extraction, analysis and derivation run as named stages over shared
+// per-(camera, frame) artifacts. Plug additional analyzers in by name:
+//
+//	pipe, err := dievent.New(dievent.Config{
+//	    Scenario: dievent.PrototypeScenario(),
+//	    Stages:   []string{dievent.StageAttention}, // per-person gaze fixations
+//	})
+//
+// and register your own with NewStageRegistry + Registry.Register +
+// Config.Registry. Runs with Config.Incremental persist a manifest of
+// every stage's version and config hash; Pipeline.RunIncremental then
+// diffs a new configuration against a previous run's repository and
+// re-runs only the stale stages, replaying fresh raw layers from the
+// stored records — re-deriving one layer without re-decoding video:
+//
+//	prev, _ := pipe.Run()                    // Config.Incremental: true
+//	tuned, _ := dievent.New(tunedCfg)        // e.g. retrained emotions
+//	res, err := tuned.RunIncremental(prev.Repo)
+//
 // The types below are aliases into the implementation packages, so the
 // whole framework is drivable from this single import; advanced users
 // can reach the subsystem packages directly.
@@ -85,6 +105,46 @@ const (
 
 // New validates a configuration and prepares a pipeline.
 func New(cfg Config) (*Pipeline, error) { return core.New(cfg) }
+
+// Stage graph (DESIGN.md §7).
+type (
+	// Stage is one unit of pipeline work over the shared artifact
+	// stores; register custom stages via Registry.
+	Stage = core.Stage
+	// StageRegistry resolves stage names (Config.Registry).
+	StageRegistry = core.Registry
+	// StageFactory builds a fresh Stage instance for one run.
+	StageFactory = core.StageFactory
+	// StageBuild is the build context handed to stage factories.
+	StageBuild = core.StageBuild
+	// StageEnv is the per-run state handed to stage callbacks.
+	StageEnv = core.Env
+	// ArtifactKey names one per-(camera, frame) artifact.
+	ArtifactKey = core.ArtifactKey
+	// Artifacts is the per-(camera, frame) artifact store.
+	Artifacts = core.Artifacts
+	// FrameArtifacts is the merged per-frame artifact store.
+	FrameArtifacts = core.FrameArtifacts
+	// AttentionResult is the attention-span analyzer's derived layer.
+	AttentionResult = core.AttentionResult
+	// AttentionSpan is one contiguous gaze fixation.
+	AttentionSpan = core.AttentionSpan
+	// AttentionStat summarises one participant's gaze persistence.
+	AttentionStat = core.AttentionStat
+)
+
+// NewStageRegistry returns a registry seeded with every built-in
+// stage; Register additions and pass it as Config.Registry.
+func NewStageRegistry() *StageRegistry { return core.NewRegistry() }
+
+// StageAttention is the built-in per-person attention-span analyzer,
+// enabled via Config.Stages.
+const StageAttention = core.StageAttention
+
+// ErrNoManifest reports that a repository holds no run manifest, so
+// RunIncremental cannot diff against it (run with Config.Incremental
+// to write one).
+var ErrNoManifest = core.ErrNoManifest
 
 // Scenario scripting.
 type (

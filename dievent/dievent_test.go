@@ -139,3 +139,56 @@ func TestPublicAPIEmotionClassifier(t *testing.T) {
 		t.Errorf("tiny classifier accuracy = %v, want above chance", m.Accuracy())
 	}
 }
+
+// TestPublicAPIStageGraph drives the stage-graph surface end to end:
+// a pluggable analyzer via Config.Stages, the run manifest via
+// Config.Incremental, and an incremental re-run that reuses the gaze
+// chain after an emotion-model change.
+func TestPublicAPIStageGraph(t *testing.T) {
+	cfg := dievent.Config{
+		Scenario:    dievent.PrototypeScenario(),
+		Mode:        dievent.GeometricVision,
+		Gaze:        dievent.GazeOptions{Seed: 7},
+		MaxFrames:   200,
+		Stages:      []string{dievent.StageAttention},
+		Incremental: true,
+	}
+	pipe, err := dievent.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := pipe.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prev.Repo.Close()
+
+	if prev.Attention == nil || len(prev.Attention.Spans) == 0 {
+		t.Fatalf("attention stage produced no spans: %+v", prev.Attention)
+	}
+	spans, err := prev.Repo.Query("label = 'attention-span'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != len(prev.Attention.Spans) {
+		t.Errorf("%d attention-span records, want %d", len(spans), len(prev.Attention.Spans))
+	}
+
+	tuned := cfg
+	tuned.EmotionNoise = 0.2 // "retrained" emotion model
+	tp, err := dievent.New(tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tp.RunIncremental(prev.Repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Repo.Close()
+	if len(res.ReusedStages) == 0 {
+		t.Errorf("incremental re-run reused nothing: stale=%v", res.StaleStages)
+	}
+	if res.Layers == nil || res.Summary == nil {
+		t.Error("incremental run missing derived outputs")
+	}
+}

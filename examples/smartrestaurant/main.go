@@ -53,6 +53,10 @@ func main() {
 			Scenario: sc,
 			Mode:     dievent.GeometricVision,
 			Gaze:     dievent.GazeOptions{Seed: 777},
+			// Keep the run manifest and raw gaze layer so tonight's
+			// footage can be re-scored without re-analysing it (see the
+			// recalibration pass below).
+			Incremental: true,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -78,6 +82,29 @@ func main() {
 			t: t, score: res.Layers.SatisfactionScore(),
 			oh: res.Layers.MeanOH(), alerts: negatives,
 		})
+
+		// Nightly recalibration: the kitchen swaps in a re-tuned
+		// emotion model and re-scores the table. RunIncremental diffs
+		// the new configuration against the run's manifest, replays
+		// the (expensive) gaze chain from the stored records, and
+		// re-derives only the emotion layer and everything downstream.
+		tuned, err := dievent.New(dievent.Config{
+			Scenario:     sc,
+			Mode:         dievent.GeometricVision,
+			Gaze:         dievent.GazeOptions{Seed: 777},
+			EmotionNoise: 0.12, // recalibrated classifier error profile
+			Incremental:  true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rescored, err := tuned.RunIncremental(res.Repo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  recalibrated score:     %.1f / 100 (re-ran %v; reused %v)\n",
+			rescored.Layers.SatisfactionScore(), rescored.StaleStages, rescored.ReusedStages)
+		rescored.Repo.Close()
 		res.Repo.Close()
 	}
 

@@ -19,6 +19,9 @@ func main() {
 		Scenario: dievent.PrototypeScenario(),
 		Mode:     dievent.GeometricVision,
 		Gaze:     dievent.GazeOptions{Seed: 20180416},
+		// Plug the attention-span analyzer into the stage graph: a
+		// derived layer of per-person gaze fixations (§5 below).
+		Stages: []string{dievent.StageAttention},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -69,7 +72,20 @@ func main() {
 			h.Reasons)
 	}
 
-	// 5. Floor-holding: who spoke, inferred purely from received gaze.
+	// 5. Attention spans: how long each participant holds a fixation —
+	//    short spans read as distraction, long ones as engagement. The
+	//    layer comes from the pluggable attention-span stage.
+	fmt.Println("\nattention spans (gaze fixations ≥ 0.5 s):")
+	for _, st := range res.Attention.Stats {
+		if st.Spans == 0 {
+			continue
+		}
+		p, _ := res.Context.Participant(st.Person)
+		fmt.Printf("  %-4s %2d fixations, mean %4.1f s, longest %4.1f s\n",
+			p.Name, st.Spans, st.MeanFrames/25, float64(st.LongestFrames)/25)
+	}
+
+	// 6. Floor-holding: who spoke, inferred purely from received gaze.
 	floor := map[int]int{}
 	for _, sp := range res.Layers.InferredSpeakers {
 		if sp >= 0 {
@@ -82,7 +98,7 @@ func main() {
 		fmt.Printf("  %-4s %5.1f s\n", p.Name, float64(floor[id])/25)
 	}
 
-	// 6. Drill-down via the metadata repository: all mutual-gaze events
+	// 7. Drill-down via the metadata repository: all mutual-gaze events
 	//    involving the dominant participant in the first half.
 	q := fmt.Sprintf("label = 'eye-contact' AND person = %d AND frame < %d",
 		sum.Dominant()+1, res.FramesAnalyzed/2)

@@ -1,0 +1,92 @@
+package core
+
+// Per-frame artifact stores (DESIGN.md §7). Artifacts is the
+// per-(camera, frame) scratch flowing prepare → ordered; FrameArtifacts
+// is the merged per-frame view flowing merge → frame stages. Both are
+// typed structs rather than maps: consumers read fields directly, and
+// the Needs/Provides declarations on stages are what the graph builder
+// checks — the store itself stays allocation-light on the hot path.
+
+import (
+	"repro/internal/face"
+	"repro/internal/gaze"
+	"repro/internal/img"
+	"repro/internal/layers"
+	"repro/internal/scene"
+)
+
+// integralsHook, when set, observes every summed-area-table build —
+// tests use it to prove the tables are built exactly once per
+// (camera, frame) however many stages consume them.
+var integralsHook func(cam, frame int)
+
+// Artifacts is the typed per-(camera, frame) artifact store.
+type Artifacts struct {
+	// Cam is the camera (stream) index.
+	Cam int
+	// FS is the frame's immutable simulator state.
+	FS scene.FrameState
+
+	// Gray is the rendered grayscale plane (ArtGray); pooled, released
+	// by the engine after the ordered phase.
+	Gray *img.Gray
+	// Dets is the detection output (ArtDetections); empty off-cadence.
+	Dets []face.Detection
+	// Tracks is the camera's live track set after this frame's tracker
+	// step (ArtTracks).
+	Tracks []*face.Track
+	// CamEmotions is the camera's person → emotion map (ArtCamEmotions).
+	CamEmotions map[int]layers.EmotionObs
+	// CamGaze is the lane's gaze observations (ArtCamGaze).
+	CamGaze []gaze.Observation
+
+	// release returns Gray to its renderer's pool.
+	release func(*img.Gray)
+	// scratch holds the owning worker's reusable integral tables.
+	scratch *integralScratch
+	// integralsBuilt guards the lazy one-build-per-frame contract.
+	integralsBuilt bool
+	// err is the first stage failure; later stages are skipped and the
+	// engine surfaces it from the ordered phase.
+	err error
+}
+
+// integralScratch is one worker's reusable summed-area-table pair.
+type integralScratch struct {
+	in *img.Integral
+	sq *img.IntegralSq
+}
+
+// Integrals returns the frame's summed-area-table pair (ArtIntegrals),
+// building it into the worker's reusable buffers on first call and
+// sharing it with every later consumer of the same (camera, frame).
+// Only valid inside PhasePrepare stages: the buffers belong to the
+// worker and are overwritten by its next frame.
+func (a *Artifacts) Integrals() (*img.Integral, *img.IntegralSq) {
+	if !a.integralsBuilt {
+		a.scratch.in, a.scratch.sq = img.BuildIntegrals(a.Gray, a.scratch.in, a.scratch.sq)
+		a.integralsBuilt = true
+		if integralsHook != nil {
+			integralsHook(a.Cam, a.FS.Index)
+		}
+	}
+	return a.scratch.in, a.scratch.sq
+}
+
+// FrameArtifacts is the merged per-frame artifact store.
+type FrameArtifacts struct {
+	// Index is the frame index.
+	Index int
+	// FS is the frame's immutable simulator state.
+	FS scene.FrameState
+	// PerCam are the camera stores in camera order (gray planes already
+	// released).
+	PerCam []*Artifacts
+	// Emotions is the cross-camera fused person → emotion map
+	// (ArtEmotions).
+	Emotions map[int]layers.EmotionObs
+	// Obs is the frame's gaze-observation set (ArtGazeObs).
+	Obs []gaze.Observation
+	// LookAt is the frame's look-at matrix (ArtLookAt).
+	LookAt gaze.Matrix
+}

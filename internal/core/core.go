@@ -13,29 +13,35 @@
 // and parameter sweeps. Both modes share the gaze math, multilayer
 // analysis, metadata store and summariser.
 //
-// Extraction runs on a concurrent engine (DESIGN.md §2): a worker pool
-// executes the stateless per-(camera, frame) stages — rendering and
-// face detection — in any order, while per-camera ordered streams
-// advance the stateful stages (tracking, recognition, classification)
-// and a merger reassembles frames in index order before the multilayer
-// analysis. Config.Workers sets the pool size (default GOMAXPROCS;
-// 1 selects the plain sequential loop); every worker count produces
-// byte-identical results. Hot-path buffers — rendered frames, face
-// crops, LBP scratch, network activations — are pooled, so steady-state
-// extraction allocates almost nothing.
+// The pipeline itself is a registry-driven stage graph (DESIGN.md §7):
+// both visions, the frame-serial analysis chain and the end-of-run
+// passes are named Stages declaring the per-(camera, frame) artifacts
+// they consume and produce. The graph is dependency-ordered and
+// scheduled onto a concurrent engine (DESIGN.md §2): a worker pool
+// executes the stateless prepare stages in any order, per-camera
+// ordered lanes advance the stateful stages, and a merger reassembles
+// frames in index order for the frame-serial stages. Config.Workers
+// sets the pool size (default GOMAXPROCS; 1 selects the plain
+// sequential loop); every worker count produces byte-identical
+// results, and the retained monolithic oracle (oracle.go) proves the
+// graph equivalent to the pre-refactor pipeline.
+//
+// Config.Stages plugs additional registered analyzers into the graph
+// (e.g. "attention-span"), and Config.Incremental persists a run
+// manifest through the metadata repository so RunIncremental can
+// re-run only stale stages — re-deriving one layer without re-decoding
+// video (manifest.go).
 package core
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/camera"
 	"repro/internal/emotion"
-	"repro/internal/face"
 	"repro/internal/gaze"
 	"repro/internal/img"
 	"repro/internal/layers"
@@ -55,6 +61,8 @@ const (
 	GeometricVision VisionMode = iota
 	// PixelVision runs the full pixel pipeline on rendered frames.
 	PixelVision
+
+	numVisionModes
 )
 
 // String names the mode.
@@ -73,7 +81,7 @@ type Config struct {
 	// Scenario is the scripted event to analyse (required).
 	Scenario scene.Scenario
 	// Rig is the camera platform; nil selects the prototype four-corner
-	// rig of §III.
+	// rig of §III (which requires positive scenario room dimensions).
 	Rig *camera.Rig
 	// Mode selects the vision path.
 	Mode VisionMode
@@ -115,13 +123,23 @@ type Config struct {
 	// forces the plain sequential loop). Results are byte-identical for
 	// every worker count — the engine reassembles frames in order.
 	Workers int
+	// Stages names additional registered analyzer stages to plug into
+	// the graph (e.g. "attention-span"); see Registry.
+	Stages []string
+	// Registry resolves stage names; nil uses the built-in set.
+	Registry *Registry
+	// Incremental persists the run manifest and the raw look-at layer
+	// through the repository, enabling RunIncremental re-runs against
+	// this run's output. Off by default: the extra records make the
+	// log a superset of a plain run's.
+	Incremental bool
 }
 
 // StageTiming reports time spent in one pipeline stage. Serial stages
 // (gaze-analysis, multilayer, metadata, summarize) report wall time;
 // under parallel extraction (Workers > 1) the feature-extraction entry
-// aggregates CPU time across workers and can exceed the run's wall
-// time.
+// and the per-stage extraction entries aggregate CPU time across
+// workers and can exceed the run's wall time.
 type StageTiming struct {
 	Name     string
 	Duration time.Duration
@@ -137,12 +155,19 @@ type Result struct {
 	Parse *parsing.Parse
 	// Summary is the event digest.
 	Summary *summarize.Summary
+	// Attention is the attention-span analyzer's derived layer (nil
+	// unless the "attention-span" stage was enabled).
+	Attention *AttentionResult
 	// Repo is the populated metadata repository. The caller owns Close.
 	Repo *metadata.Repository
 	// Timings lists per-stage wall time.
 	Timings []StageTiming
 	// FramesAnalyzed is the number of frames pushed through analysis.
 	FramesAnalyzed int
+	// StaleStages and ReusedStages report an incremental run's
+	// manifest diff: which stages re-ran and which extraction stages
+	// were replayed from the previous repository. Empty on full runs.
+	StaleStages, ReusedStages []string
 }
 
 // ErrBadConfig reports an unusable configuration.
@@ -150,9 +175,11 @@ var ErrBadConfig = errors.New("core: bad config")
 
 // Pipeline is a configured, reusable DiEvent pipeline.
 type Pipeline struct {
-	cfg Config
-	sim *scene.Simulator
-	rig *camera.Rig
+	cfg        Config
+	sim        *scene.Simulator
+	rig        *camera.Rig
+	reg        *Registry
+	stageNames []string
 }
 
 // New validates the configuration and prepares a pipeline.
@@ -161,8 +188,16 @@ func New(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if cfg.Mode >= numVisionModes {
+		return nil, fmt.Errorf("core: unknown vision mode %d (have %v, %v): %w",
+			cfg.Mode, GeometricVision, PixelVision, ErrBadConfig)
+	}
 	rig := cfg.Rig
 	if rig == nil {
+		if cfg.Scenario.RoomW <= 0 || cfg.Scenario.RoomD <= 0 {
+			return nil, fmt.Errorf("core: nil rig needs the default prototype rig, which requires positive scenario room dimensions (got %v x %v); pass Config.Rig explicitly: %w",
+				cfg.Scenario.RoomW, cfg.Scenario.RoomD, ErrBadConfig)
+		}
 		rig, err = camera.PrototypeRig(cfg.Scenario.RoomW, cfg.Scenario.RoomD)
 		if err != nil {
 			return nil, fmt.Errorf("core: default rig: %w", err)
@@ -175,22 +210,103 @@ func New(cfg Config) (*Pipeline, error) {
 		cfg.DetectEvery = 3
 	}
 	if cfg.DetectEvery < 0 {
-		return nil, fmt.Errorf("core: detect cadence %d: %w", cfg.DetectEvery, ErrBadConfig)
+		return nil, fmt.Errorf("core: detect cadence %d must be positive: %w", cfg.DetectEvery, ErrBadConfig)
 	}
 	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("core: worker count %d: %w", cfg.Workers, ErrBadConfig)
+		return nil, fmt.Errorf("core: worker count %d must be ≥ 0 (0 = GOMAXPROCS): %w", cfg.Workers, ErrBadConfig)
 	}
-	return &Pipeline{cfg: cfg, sim: sim, rig: rig}, nil
+	if cfg.MaxFrames < 0 {
+		return nil, fmt.Errorf("core: max frames %d must be ≥ 0 (0 = all frames): %w", cfg.MaxFrames, ErrBadConfig)
+	}
+	if cfg.PixelCameras < 0 {
+		return nil, fmt.Errorf("core: pixel cameras %d must be ≥ 0 (0 = primary only): %w", cfg.PixelCameras, ErrBadConfig)
+	}
+	if cfg.Mode == PixelVision {
+		for c := 0; c < pixelCamCount(cfg, rig); c++ {
+			if in := rig.Cameras[c].In; in.W <= 0 || in.H <= 0 {
+				return nil, fmt.Errorf("core: pixel vision camera %q has no intrinsics (%dx%d sensor); the renderer needs a calibrated camera: %w",
+					rig.Cameras[c].Name, in.W, in.H, ErrBadConfig)
+			}
+		}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	names, err := resolveStageNames(cfg, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{cfg: cfg, sim: sim, rig: rig, reg: reg, stageNames: names}, nil
+}
+
+// pixelCamCount is the number of rig cameras the pixel path analyses.
+func pixelCamCount(cfg Config, rig *camera.Rig) int {
+	n := cfg.PixelCameras
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(rig.Cameras) {
+		n = len(rig.Cameras)
+	}
+	return n
+}
+
+// resolveStageNames assembles the run's stage list: the mode's
+// extraction set, the frame-serial analysis chain, the requested
+// extras, and the end-of-run stages.
+func resolveStageNames(cfg Config, reg *Registry) ([]string, error) {
+	var names []string
+	switch cfg.Mode {
+	case GeometricVision:
+		names = append(names, StageGeoGaze, StageGeoEmotion, StageCollectGaze, StageFuseEmotions)
+	case PixelVision:
+		names = append(names, StageRender, StageDetect, StageTrack, StageClassify, StageFuseEmotions, StagePxGaze)
+	}
+	names = append(names, StageGazeAnalysis, StageMultilayer, StageObservations)
+	if cfg.ParseVideo {
+		names = append(names, StageVideoParsing)
+	}
+	names = append(names, StageDerived)
+	if cfg.Incremental {
+		names = append(names, StageManifest)
+	}
+	names = append(names, StageSummarize)
+	// Extras go last in request order; scheduling is by phase, so the
+	// position in this list only breaks ties within a phase. Validate
+	// against the complete base set so naming a built-in end-of-run
+	// stage fails here, at New, not mid-run.
+	for _, extra := range cfg.Stages {
+		if !reg.Has(extra) {
+			return nil, fmt.Errorf("core: unknown stage %q in Config.Stages (registered: %v): %w", extra, reg.Names(), ErrBadConfig)
+		}
+		for _, have := range names {
+			if have == extra {
+				return nil, fmt.Errorf("core: stage %q already part of the %v pipeline: %w", extra, cfg.Mode, ErrBadConfig)
+			}
+		}
+		names = append(names, extra)
+	}
+	return names, nil
+}
+
+// StageNames lists the resolved stage graph in request order.
+func (p *Pipeline) StageNames() []string {
+	return append([]string(nil), p.stageNames...)
 }
 
 // Context builds the time-invariant layer from the scenario.
 func (p *Pipeline) Context() layers.Context {
-	sc := p.cfg.Scenario
+	return contextOf(p.sim, p.cfg)
+}
+
+// contextOf derives the time-invariant layer.
+func contextOf(sim *scene.Simulator, cfg Config) layers.Context {
 	ctx := layers.Context{
 		Location: "meeting room",
-		Occasion: sc.Name,
+		Occasion: cfg.Scenario.Name,
 	}
-	for _, ps := range p.sim.Persons() {
+	for _, ps := range sim.Persons() {
 		ctx.Participants = append(ctx.Participants, layers.Participant{
 			ID: ps.ID, Name: ps.Name, Color: ps.Color,
 		})
@@ -198,17 +314,115 @@ func (p *Pipeline) Context() layers.Context {
 	return ctx
 }
 
-// Run executes the pipeline.
-func (p *Pipeline) Run() (*Result, error) {
-	cfg := p.cfg
-	ctx := p.Context()
+// metadataBatch is how many raw records buffer before one repository
+// append pays the lock and log flush.
+const metadataBatch = 256
 
+// runEnv is one run's shared mutable state, threaded through every
+// stage callback. Custom stages reach it through the exported Env
+// alias and its accessors.
+type runEnv struct {
+	graph     *stageGraph
+	res       *Result
+	repo      *metadata.Repository
+	timer     *stageTimer
+	numFrames int
+	identity  string
+	// pending is the raw-layer record batch queue (see Queue).
+	pending []metadata.Record
+}
+
+// Env is one run's shared state as seen by stage callbacks.
+type Env = runEnv
+
+// Queue buffers a raw-layer record for the next batched append (paid
+// once per metadataBatch records). End-of-run stages writing derived
+// layers should append through Repository directly instead.
+func (env *runEnv) Queue(recs ...metadata.Record) {
+	env.pending = append(env.pending, recs...)
+}
+
+// Result is the run's accumulating result (Layers is nil until the
+// multilayer stage finalizes).
+func (env *runEnv) Result() *Result { return env.res }
+
+// Repository is the run's metadata repository.
+func (env *runEnv) Repository() *metadata.Repository { return env.repo }
+
+// Frames is the number of frames this run analyses.
+func (env *runEnv) Frames() int { return env.numFrames }
+
+// flushIfFull appends the pending batch once it reaches metadataBatch
+// records, under the metadata timer.
+func (env *runEnv) flushIfFull() error {
+	if len(env.pending) < metadataBatch {
+		return nil
+	}
+	env.timer.start("metadata")
+	err := env.repo.AppendBatch(env.pending)
+	env.pending = env.pending[:0]
+	env.timer.stop("metadata")
+	if err != nil {
+		// The batch spans records from up to metadataBatch earlier
+		// frames, so don't blame the frame that triggered the flush.
+		return fmt.Errorf("core: flushing observations: %w", err)
+	}
+	return nil
+}
+
+// buildRunGraph resolves and builds the run's stage graph. The
+// incremental flag forces manifest-keeping (RunIncremental implies it).
+func (p *Pipeline) buildRunGraph(incremental bool) (*stageGraph, *stageBuild, error) {
+	cfg := p.cfg
+	if incremental {
+		cfg.Incremental = true
+	}
+	names := p.stageNames
+	if incremental && !p.cfg.Incremental {
+		var err error
+		if names, err = resolveStageNames(cfg, p.reg); err != nil {
+			return nil, nil, err
+		}
+	}
 	numFrames := p.sim.NumFrames()
 	if cfg.MaxFrames > 0 && cfg.MaxFrames < numFrames {
 		numFrames = cfg.MaxFrames
 	}
+	ctx := p.Context()
+	ids := make([]int, 0, len(ctx.Participants))
+	for _, pp := range ctx.Participants {
+		ids = append(ids, pp.ID)
+	}
+	nCams := 1
+	if cfg.Mode == PixelVision {
+		nCams = pixelCamCount(cfg, p.rig)
+	}
+	b := &stageBuild{
+		cfg: cfg, sim: p.sim, rig: p.rig,
+		ids: ids, nCams: nCams, numFrames: numFrames,
+	}
+	g, err := buildGraph(p.reg, names, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, b, nil
+}
 
-	// Metadata repository.
+// Run executes the pipeline.
+func (p *Pipeline) Run() (*Result, error) {
+	graph, b, err := p.buildRunGraph(false)
+	if err != nil {
+		return nil, err
+	}
+	return p.runGraph(graph, b, nil)
+}
+
+// runGraph drives one run of a built stage graph: full extraction
+// through the engine when rd is nil, the incremental replay loop
+// otherwise.
+func (p *Pipeline) runGraph(graph *stageGraph, b *stageBuild, rd *replayData) (*Result, error) {
+	cfg := b.cfg
+
 	var repo *metadata.Repository
 	var err error
 	if cfg.RepoDir != "" {
@@ -219,7 +433,6 @@ func (p *Pipeline) Run() (*Result, error) {
 	} else {
 		repo = metadata.NewMem()
 	}
-
 	// On any error return the repository must be closed: callers never
 	// see it, and a persistent repository holds the directory's
 	// exclusive lease until closed — leaking it would wedge every
@@ -232,146 +445,109 @@ func (p *Pipeline) Run() (*Result, error) {
 		}
 	}()
 
+	ctx := p.Context()
 	res := &Result{Context: ctx, Repo: repo}
 	timer := newStageTimer()
+	env := &runEnv{
+		graph: graph, res: res, repo: repo, timer: timer,
+		numFrames: b.numFrames, identity: p.runIdentity(b.numFrames, b.nCams),
+		pending: make([]metadata.Record, 0, metadataBatch),
+	}
+	if rd != nil {
+		res.StaleStages = rd.stale
+		res.ReusedStages = rd.reused
+	}
+
+	// Pre-register the timing entries in graph order so Timings stays
+	// deterministic even when workers race to report first.
+	if b.numFrames > 0 {
+		timer.add("feature-extraction", 0)
+		for _, ph := range []StagePhase{PhasePrepare, PhaseOrdered, PhaseMerge, PhaseFrame} {
+			for _, st := range graph.byPhase[ph] {
+				if rd == nil || rd.rerun[st.Name] || ph == PhaseFrame {
+					timer.add(st.Name, 0)
+				}
+			}
+		}
+		timer.add("metadata", 0)
+	}
 
 	// Context records first.
-	if err := p.writeContext(repo, ctx); err != nil {
+	if err := writeContext(repo, ctx); err != nil {
 		return nil, err
 	}
 
-	analyzer, err := layers.NewAnalyzer(ctx, cfg.Layers)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-
-	var vision frameVision
-	switch cfg.Mode {
-	case GeometricVision:
-		vision = newGeometricVision(cfg, p.sim, p.rig)
-	case PixelVision:
-		vision, err = newPixelVision(cfg, p.sim, p.rig)
-		if err != nil {
+	if rd == nil {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		vision := newGraphVision(graph, env, b.nCams)
+		sink := func(i int, fs scene.FrameState, out any) error {
+			fa := out.(*FrameArtifacts)
+			for _, st := range graph.byPhase[PhaseFrame] {
+				timer.start(st.Name)
+				err := st.RunFrame(env, fa)
+				timer.stop(st.Name)
+				if err != nil {
+					return fmt.Errorf("core: frame %d: stage %s: %w", i, st.Name, err)
+				}
+			}
+			return env.flushIfFull()
+		}
+		if err := p.runFrames(b.numFrames, workers, vision, timer, sink); err != nil {
 			return nil, err
 		}
-	default:
-		return nil, fmt.Errorf("core: unknown vision mode %d: %w", cfg.Mode, ErrBadConfig)
+	} else {
+		if err := p.runReplay(env, rd); err != nil {
+			return nil, err
+		}
 	}
 
-	ids := make([]int, 0, len(ctx.Participants))
-	for _, pp := range ctx.Participants {
-		ids = append(ids, pp.ID)
-	}
-	det := gaze.NewDetector()
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	// Per-frame emotion observations buffer into batches so the
-	// repository lock and log flush are paid once per metadataBatch
-	// frames, not once per record. Person IDs are sorted so the record
-	// log is byte-identical across runs and worker counts (map
-	// iteration order is not).
-	const metadataBatch = 256
-	pending := make([]metadata.Record, 0, metadataBatch)
-	pids := make([]int, 0, len(ids))
-
-	sink := func(i int, fs scene.FrameState, obs []gaze.Observation, emotions map[int]layers.EmotionObs) error {
-		timer.start("gaze-analysis")
-		lookAt, err := det.LookAt(obs, p.rig, ids)
-		timer.stop("gaze-analysis")
-		if err != nil {
-			return fmt.Errorf("core: frame %d: %w", i, err)
-		}
-
-		timer.start("multilayer")
-		err = analyzer.Push(layers.FrameInput{
-			Index: i, Time: fs.Time, LookAt: lookAt, Emotions: emotions,
-		})
-		timer.stop("multilayer")
-		if err != nil {
-			return fmt.Errorf("core: frame %d: %w", i, err)
-		}
-
-		// Per-frame observations into the repository (emotions only;
-		// gaze edges are stored as events at the end — per-edge
-		// per-frame rows would dwarf everything else).
-		timer.start("metadata")
-		pids = pids[:0]
-		for id := range emotions {
-			pids = append(pids, id)
-		}
-		sort.Ints(pids)
-		for _, id := range pids {
-			e := emotions[id]
-			pending = append(pending, metadata.Record{
-				Kind: metadata.KindObservation, Frame: i, FrameEnd: i + 1,
-				Time: fs.Time, Person: id, Other: -1,
-				Label: e.Label.String(), Value: e.Confidence,
-			})
-		}
-		var aerr error
-		if len(pending) >= metadataBatch {
-			aerr = repo.AppendBatch(pending)
-			pending = pending[:0]
-		}
-		timer.stop("metadata")
-		if aerr != nil {
-			// The batch spans records from up to metadataBatch earlier
-			// frames, so don't blame the frame that triggered the flush.
-			return fmt.Errorf("core: flushing observations: %w", aerr)
-		}
-		return nil
-	}
-
-	if err := p.runFrames(numFrames, workers, vision, timer, sink); err != nil {
-		return nil, err
-	}
-
+	// Flush the raw-layer tail before any derived records are written,
+	// keeping the record log's layer order identical to the monolith's.
 	timer.start("metadata")
-	if len(pending) > 0 {
-		if err := repo.AppendBatch(pending); err != nil {
+	if len(env.pending) > 0 {
+		if err := repo.AppendBatch(env.pending); err != nil {
 			return nil, fmt.Errorf("core: flushing observations: %w", err)
 		}
+		env.pending = env.pending[:0]
 	}
 	timer.stop("metadata")
 
-	timer.start("multilayer")
-	res.Layers = analyzer.Finalize()
-	timer.stop("multilayer")
-	res.FramesAnalyzed = numFrames
+	res.FramesAnalyzed = b.numFrames
 
-	// Optional video-composition analysis over the primary camera.
-	if cfg.ParseVideo {
-		timer.start("video-parsing")
-		renderer := video.NewRenderer(p.sim, p.rig.Cameras[0], cfg.Render)
-		src, err := video.NewSourceRange(renderer, 0, numFrames)
-		if err == nil {
-			res.Parse, err = parsing.NewAnalyzer(parsing.Options{}).Analyze(src)
+	// Frame-stage finalizers (multilayer finalize, analyzer summaries),
+	// then the end-of-run stages, in graph order.
+	for _, st := range graph.byPhase[PhaseFrame] {
+		if st.RunFinal == nil {
+			continue
 		}
-		timer.stop("video-parsing")
+		timer.start(st.Name)
+		err := st.RunFinal(env)
+		timer.stop(st.Name)
 		if err != nil {
-			return nil, fmt.Errorf("core: parsing video: %w", err)
+			return nil, fmt.Errorf("core: stage %s: %w", st.Name, err)
+		}
+	}
+	for _, st := range graph.byPhase[PhaseFinal] {
+		name := st.Name
+		if name == StageDerived || name == StageManifest {
+			name = "metadata"
+		}
+		timer.start(name)
+		err := st.RunFinal(env)
+		timer.stop(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: stage %s: %w", st.Name, err)
 		}
 	}
 
 	timer.start("metadata")
-	if err := p.writeDerived(repo, res); err != nil {
-		return nil, err
-	}
 	if err := repo.Flush(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	timer.stop("metadata")
-
-	timer.start("summarize")
-	res.Summary, err = summarize.Summarize(res.Layers, res.Parse, cfg.Summarize)
-	timer.stop("summarize")
-	if err != nil {
-		return nil, fmt.Errorf("core: summarizing: %w", err)
-	}
 
 	res.Timings = timer.report()
 	finished = true
@@ -379,7 +555,7 @@ func (p *Pipeline) Run() (*Result, error) {
 }
 
 // writeContext stores the time-invariant layer.
-func (p *Pipeline) writeContext(repo *metadata.Repository, ctx layers.Context) error {
+func writeContext(repo *metadata.Repository, ctx layers.Context) error {
 	recs := []metadata.Record{
 		{Kind: metadata.KindContext, Frame: -1, FrameEnd: -1, Person: -1, Other: -1,
 			Label: "occasion", Tags: map[string]string{"value": ctx.Occasion}},
@@ -400,7 +576,7 @@ func (p *Pipeline) writeContext(repo *metadata.Repository, ctx layers.Context) e
 }
 
 // writeDerived stores events, alerts, summary counts, shots and scenes.
-func (p *Pipeline) writeDerived(repo *metadata.Repository, res *Result) error {
+func writeDerived(repo *metadata.Repository, res *Result) error {
 	var recs []metadata.Record
 	for _, e := range res.Layers.Events {
 		recs = append(recs, metadata.Record{
@@ -446,82 +622,24 @@ func (p *Pipeline) writeDerived(repo *metadata.Repository, res *Result) error {
 		}
 	}
 	if err := repo.AppendBatch(recs); err != nil {
-		return fmt.Errorf("core: writing derived records: %w", err)
+		return fmt.Errorf("writing derived records: %w", err)
 	}
 	return nil
 }
 
-// frameVision extracts per-frame evidence.
-type frameVision interface {
-	extract(fs scene.FrameState) ([]gaze.Observation, map[int]layers.EmotionObs, error)
-}
-
-// --- geometric vision ---
-
-type geometricVision struct {
-	est   *gaze.Estimator
-	rig   *camera.Rig
-	noise float64
-	seed  int64
-}
-
-func newGeometricVision(cfg Config, _ *scene.Simulator, rig *camera.Rig) *geometricVision {
-	noise := cfg.EmotionNoise
-	if noise == 0 {
-		noise = 0.05
+// trainDefaultClassifier fits a small LBP+NN model on synthetic faces.
+func trainDefaultClassifier() (*emotion.Classifier, error) {
+	clf, err := emotion.NewClassifier(48, 1)
+	if err != nil {
+		return nil, fmt.Errorf("core: building classifier: %w", err)
 	}
-	return &geometricVision{
-		est:   gaze.NewEstimator(cfg.Gaze),
-		rig:   rig,
-		noise: noise,
-		seed:  cfg.Gaze.Seed,
+	ds := emotion.GenerateDataset(30, 7)
+	if _, err := clf.Train(ds, emotion.TrainOptions{
+		Epochs: 50, Seed: 8, LearningRate: 0.01,
+	}); err != nil {
+		return nil, fmt.Errorf("core: training classifier: %w", err)
 	}
-}
-
-func (g *geometricVision) extract(fs scene.FrameState) ([]gaze.Observation, map[int]layers.EmotionObs, error) {
-	obs := g.est.Observe(fs, g.rig)
-	emotions := make(map[int]layers.EmotionObs, len(fs.Persons))
-	for _, p := range fs.Persons {
-		r := emoRand(g.seed, fs.Index, p.ID)
-		label := p.Emotion
-		conf := 0.75 + 0.2*r.f()
-		if r.f() < g.noise {
-			// Misclassification: a plausible confusable label.
-			label = confuse(label, r)
-			conf *= 0.7
-		}
-		emotions[p.ID] = layers.EmotionObs{Label: label, Confidence: conf}
-	}
-	return obs, emotions, nil
-}
-
-// geometricVision's extract is stateless, so it streams trivially: one
-// lane whose prepare does all the work and whose step passes through.
-// This lets the engine pipeline geometric frames across workers too.
-type geoPrep struct {
-	obs      []gaze.Observation
-	emotions map[int]layers.EmotionObs
-	err      error
-}
-
-func (g *geometricVision) streams() int { return 1 }
-
-// newScratch: the geometric path has no per-frame buffers to reuse.
-func (g *geometricVision) newScratch() any { return nil }
-
-func (g *geometricVision) prepare(_ int, fs scene.FrameState, _ any) any {
-	obs, emotions, err := g.extract(fs)
-	return geoPrep{obs: obs, emotions: emotions, err: err}
-}
-
-func (g *geometricVision) step(_ int, _ scene.FrameState, prep any) (any, error) {
-	gp := prep.(geoPrep)
-	return gp, gp.err
-}
-
-func (g *geometricVision) finish(_ scene.FrameState, perStream []any) ([]gaze.Observation, map[int]layers.EmotionObs, error) {
-	gp := perStream[0].(geoPrep)
-	return gp.obs, gp.emotions, nil
+	return clf, nil
 }
 
 // confuse returns a plausible misclassification of l.
@@ -558,205 +676,6 @@ func (t *tinyRand) u() uint64 {
 }
 
 func (t *tinyRand) f() float64 { return float64(t.u()>>11) / (1 << 53) }
-
-// --- pixel vision ---
-
-// pixelCam is the per-camera pixel-path state: each camera gets its own
-// renderer, tracker and crop scratch (tracks don't transfer between
-// viewpoints) while the detector, recognizer and classifier are shared
-// and safe for concurrent use. The engine runs each camera as one
-// ordered stream, so this state is only ever touched by one goroutine
-// at a time.
-type pixelCam struct {
-	renderer *video.Renderer
-	tracker  *face.Tracker
-	crop     *img.Gray // reusable face-crop buffer for this stream
-}
-
-type pixelVision struct {
-	cfg        Config
-	rig        *camera.Rig
-	cams       []pixelCam
-	detector   *face.Detector
-	recognizer *face.Recognizer
-	classifier *emotion.Classifier
-	est        *gaze.Estimator
-	nameToID   map[string]int
-	// seq is the sequential path's stateless-stage scratch; the
-	// concurrent engine gives each worker its own via newScratch.
-	seq *pixelScratch
-}
-
-// pixelScratch holds one worker's reusable per-frame detection tables:
-// the plain and squared summed-area tables of the rendered frame,
-// built once per (camera, frame) on detection-cadence frames and
-// shared by the detector's pre-filters and the fused matching kernel
-// (DESIGN.md §6).
-type pixelScratch struct {
-	in *img.Integral
-	sq *img.IntegralSq
-}
-
-func newPixelVision(cfg Config, sim *scene.Simulator, rig *camera.Rig) (frameVision, error) {
-	det, err := face.NewDetector(face.DetectorOptions{})
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	clf := cfg.Classifier
-	if clf == nil {
-		clf, err = trainDefaultClassifier()
-		if err != nil {
-			return nil, err
-		}
-	}
-	nCams := cfg.PixelCameras
-	if nCams <= 0 {
-		nCams = 1
-	}
-	if nCams > len(rig.Cameras) {
-		nCams = len(rig.Cameras)
-	}
-	pv := &pixelVision{
-		cfg:        cfg,
-		rig:        rig,
-		detector:   det,
-		recognizer: face.NewRecognizer(),
-		classifier: clf,
-		est:        gaze.NewEstimator(cfg.Gaze),
-		nameToID:   make(map[string]int),
-		seq:        &pixelScratch{},
-	}
-	for c := 0; c < nCams; c++ {
-		pv.cams = append(pv.cams, pixelCam{
-			renderer: video.NewRenderer(sim, rig.Cameras[c], cfg.Render),
-			tracker:  face.NewTracker(face.TrackerOptions{}),
-		})
-	}
-	// Enroll every participant from the same canonical faces the
-	// renderer draws (variant key matches video.drawPerson).
-	for _, p := range sim.Persons() {
-		variant := uint64(p.ID)*7919 + 1
-		for _, l := range []emotion.Label{emotion.Neutral, emotion.Happy, emotion.Sad} {
-			crop := emotion.GenerateFace(l, variant, p.FaceTone)
-			if err := pv.recognizer.Enroll(p.Name, crop); err != nil {
-				return nil, fmt.Errorf("core: enrolling %s: %w", p.Name, err)
-			}
-		}
-		pv.nameToID[p.Name] = p.ID
-	}
-	return pv, nil
-}
-
-// trainDefaultClassifier fits a small LBP+NN model on synthetic faces.
-func trainDefaultClassifier() (*emotion.Classifier, error) {
-	clf, err := emotion.NewClassifier(48, 1)
-	if err != nil {
-		return nil, fmt.Errorf("core: building classifier: %w", err)
-	}
-	ds := emotion.GenerateDataset(30, 7)
-	if _, err := clf.Train(ds, emotion.TrainOptions{
-		Epochs: 50, Seed: 8, LearningRate: 0.01,
-	}); err != nil {
-		return nil, fmt.Errorf("core: training classifier: %w", err)
-	}
-	return clf, nil
-}
-
-// extract is the sequential path: every camera staged in order on the
-// calling goroutine. It shares prepare/step/finish with the concurrent
-// engine so both paths are the same code and produce identical results.
-func (pv *pixelVision) extract(fs scene.FrameState) ([]gaze.Observation, map[int]layers.EmotionObs, error) {
-	perCam := make([]any, len(pv.cams))
-	for ci := range pv.cams {
-		res, err := pv.step(ci, fs, pv.prepare(ci, fs, pv.seq))
-		if err != nil {
-			return nil, nil, err
-		}
-		perCam[ci] = res
-	}
-	return pv.finish(fs, perCam)
-}
-
-// streams: one ordered lane per camera.
-func (pv *pixelVision) streams() int { return len(pv.cams) }
-
-// newScratch allocates one worker's detection-table scratch.
-func (pv *pixelVision) newScratch() any { return &pixelScratch{} }
-
-// pixelPrep is the stateless stage's output for one (camera, frame).
-type pixelPrep struct {
-	frame *img.Gray // pooled; released by step
-	dets  []face.Detection
-}
-
-// prepare renders the camera's view and runs detection on cadence —
-// the two heavy stateless stages. Cameras stagger their detection
-// frames so the per-frame cost stays flat. On cadence frames the
-// frame's summed-area tables are built once, into the worker's
-// scratch, and shared across the detector's pre-filters and the fused
-// matching kernel.
-func (pv *pixelVision) prepare(ci int, fs scene.FrameState, scratch any) any {
-	pc := &pv.cams[ci]
-	frame := pc.renderer.RenderStateInto(fs, pc.renderer.AcquireFrame())
-	pp := &pixelPrep{frame: frame}
-	if (fs.Index+ci)%pv.cfg.DetectEvery == 0 {
-		ps := scratch.(*pixelScratch)
-		ps.in, ps.sq = img.BuildIntegrals(frame, ps.in, ps.sq)
-		pp.dets = pv.detector.DetectIntegrals(frame, ps.in, ps.sq)
-	}
-	return pp
-}
-
-// step advances the camera's tracker and classifies each live track's
-// crop. Must see frames in order; the engine guarantees it.
-func (pv *pixelVision) step(ci int, fs scene.FrameState, prep any) (any, error) {
-	pp := prep.(*pixelPrep)
-	pc := &pv.cams[ci]
-	frame := pp.frame
-	pc.tracker.Step(pp.dets)
-
-	emotions := make(map[int]layers.EmotionObs)
-	for _, tr := range pc.tracker.Tracks() {
-		if tr.State != face.Confirmed && fs.Index > 5 {
-			continue
-		}
-		pc.crop = frame.CropClampedInto(clampBox(tr.Box, frame), pc.crop)
-		id, _, err := pv.recognizer.Identify(pc.crop)
-		if err != nil {
-			continue // unknown face this frame
-		}
-		pid, ok := pv.nameToID[id]
-		if !ok {
-			continue
-		}
-		label, conf, err := pv.classifier.Classify(pc.crop)
-		if err != nil {
-			continue
-		}
-		// Within-camera fusion: keep the most confident reading.
-		if cur, exists := emotions[pid]; !exists || conf > cur.Confidence {
-			emotions[pid] = layers.EmotionObs{Label: label, Confidence: conf}
-		}
-	}
-	pc.renderer.ReleaseFrame(frame)
-	return emotions, nil
-}
-
-// finish fuses per-camera emotions in camera order — replace only on
-// strictly higher confidence, exactly the sequential single-map rule —
-// and produces the frame's gaze observations from the calibrated
-// estimator (OpenFace substitution — see package doc).
-func (pv *pixelVision) finish(fs scene.FrameState, perCam []any) ([]gaze.Observation, map[int]layers.EmotionObs, error) {
-	emotions := make(map[int]layers.EmotionObs)
-	for _, raw := range perCam {
-		for pid, e := range raw.(map[int]layers.EmotionObs) {
-			if cur, exists := emotions[pid]; !exists || e.Confidence > cur.Confidence {
-				emotions[pid] = e
-			}
-		}
-	}
-	return pv.est.Observe(fs, pv.rig), emotions, nil
-}
 
 // clampBox keeps a tracker box inside the frame.
 func clampBox(b img.Rect, g *img.Gray) img.Rect {

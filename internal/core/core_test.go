@@ -25,6 +25,67 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Scenario: scene.PrototypeScenario(), Workers: -1}); !errors.Is(err, ErrBadConfig) {
 		t.Error("negative worker count should fail")
 	}
+	if _, err := New(Config{Scenario: scene.PrototypeScenario(), MaxFrames: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Error("negative max frames should fail")
+	}
+	if _, err := New(Config{Scenario: scene.PrototypeScenario(), PixelCameras: -2}); !errors.Is(err, ErrBadConfig) {
+		t.Error("negative pixel camera count should fail")
+	}
+	if _, err := New(Config{Scenario: scene.PrototypeScenario(), Mode: VisionMode(9)}); !errors.Is(err, ErrBadConfig) {
+		t.Error("unknown vision mode should fail at New, not mid-run")
+	}
+}
+
+// TestNewValidationZeroFrames: a scenario without frames must be
+// rejected up front with a descriptive error, not analysed into an
+// empty result.
+func TestNewValidationZeroFrames(t *testing.T) {
+	sc := scene.PrototypeScenario()
+	sc.NumFrames = 0
+	if _, err := New(Config{Scenario: sc}); err == nil {
+		t.Error("zero-frame scenario should fail")
+	}
+	sc.NumFrames = -5
+	if _, err := New(Config{Scenario: sc}); err == nil {
+		t.Error("negative-frame scenario should fail")
+	}
+}
+
+// TestNewValidationNilRig: a nil rig selects the default prototype
+// rig, which needs positive room dimensions — previously this
+// surfaced as an opaque camera-package error; now New names the fix.
+func TestNewValidationNilRig(t *testing.T) {
+	sc := scene.PrototypeScenario()
+	sc.RoomW = 0
+	for _, mode := range []VisionMode{GeometricVision, PixelVision} {
+		_, err := New(Config{Scenario: sc, Mode: mode})
+		if !errors.Is(err, ErrBadConfig) {
+			t.Errorf("mode %v: nil rig with zero room dims: err = %v, want ErrBadConfig", mode, err)
+		}
+	}
+}
+
+// TestNewValidationPixelRigIntrinsics: pixel vision renders through
+// the rig's cameras, so an uncalibrated camera (no sensor dimensions)
+// must be rejected at New instead of panicking deep in the renderer.
+func TestNewValidationPixelRigIntrinsics(t *testing.T) {
+	full, err := camera.PrototypeRig(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := *full.Cameras[0]
+	bare.In.W, bare.In.H = 0, 0
+	rig, err := camera.NewRig(25, &bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Scenario: scene.PrototypeScenario(), Rig: rig, Mode: PixelVision}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("pixel mode with intrinsics-less camera: err = %v, want ErrBadConfig", err)
+	}
+	// Geometric vision never renders: the same rig is fine there.
+	if _, err := New(Config{Scenario: scene.PrototypeScenario(), Rig: rig, Mode: GeometricVision}); err != nil {
+		t.Errorf("geometric mode should accept the rig: %v", err)
+	}
 }
 
 // TestGeometricPipelineEndToEnd runs the full prototype event through

@@ -5,14 +5,19 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/gaze"
-	"repro/internal/layers"
 	"repro/internal/scene"
 )
 
-// frameSink consumes one frame's extraction output in strict frame
-// order: gaze analysis, multilayer push, metadata batching.
-type frameSink func(i int, fs scene.FrameState, obs []gaze.Observation, emotions map[int]layers.EmotionObs) error
+// frameSink consumes one frame's extraction payload in strict frame
+// order: the frame-serial stages (gaze analysis, multilayer push,
+// raw-record batching) run inside it.
+type frameSink func(i int, fs scene.FrameState, out any) error
+
+// frameVision extracts one frame's evidence into an opaque payload
+// (the stage graph's FrameArtifacts).
+type frameVision interface {
+	extract(fs scene.FrameState) (any, error)
+}
 
 // streamedVision is a frameVision whose per-frame work splits into a
 // stateless stage that may run on any worker in any order (prepare:
@@ -40,8 +45,8 @@ type streamedVision interface {
 	// order, advancing per-stream state (trackers).
 	step(stream int, fs scene.FrameState, prep any) (any, error)
 	// finish merges the per-stream step results for one frame, in
-	// stream order, into the frame's observations and emotions.
-	finish(fs scene.FrameState, perStream []any) ([]gaze.Observation, map[int]layers.EmotionObs, error)
+	// stream order, into the frame's extraction payload.
+	finish(fs scene.FrameState, perStream []any) (any, error)
 }
 
 // runFrames drives the per-frame extraction loop. With one worker (or a
@@ -49,24 +54,17 @@ type streamedVision interface {
 // otherwise it hands off to the pipelined engine. Both paths deliver
 // frames to sink in strict index order.
 func (p *Pipeline) runFrames(numFrames, workers int, vision frameVision, timer *stageTimer, sink frameSink) error {
-	if numFrames > 0 {
-		// Pre-register the frame-loop stages so the Timings order stays
-		// deterministic even when workers race to report first.
-		for _, s := range []string{"feature-extraction", "gaze-analysis", "multilayer", "metadata"} {
-			timer.add(s, 0)
-		}
-	}
 	sv, staged := vision.(streamedVision)
 	if workers <= 1 || !staged || numFrames == 0 {
 		for i := 0; i < numFrames; i++ {
 			fs := p.sim.FrameState(i)
 			timer.start("feature-extraction")
-			obs, emotions, err := vision.extract(fs)
+			out, err := vision.extract(fs)
 			timer.stop("feature-extraction")
 			if err != nil {
 				return fmt.Errorf("core: frame %d: %w", i, err)
 			}
-			if err := sink(i, fs, obs, emotions); err != nil {
+			if err := sink(i, fs, out); err != nil {
 				return err
 			}
 		}
@@ -225,9 +223,9 @@ merge:
 				break merge
 			}
 		}
-		obs, emotions, err := sv.finish(fs, perStream)
+		out, err := sv.finish(fs, perStream)
 		if err == nil {
-			err = sink(i, fs, obs, emotions)
+			err = sink(i, fs, out)
 		}
 		if err != nil {
 			runErr = err

@@ -3,6 +3,7 @@ package emotion
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sync"
 
@@ -227,6 +228,20 @@ func (c *Classifier) Evaluate(ds *Dataset) (*ConfusionMatrix, error) {
 		m[ds.Labels[i]][got]++
 	}
 	return &m, nil
+}
+
+// Fingerprint hashes the classifier's grid shape and network weights
+// into a stable identity. Pipelines record it in their run manifest so
+// an incremental re-run notices a retrained or swapped model and
+// re-derives the emotion layer.
+func (c *Classifier) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "grid=%dx%d;", c.gridX, c.gridY)
+	if c.net != nil {
+		// Saving into an fnv hash cannot fail.
+		_ = c.net.Save(h)
+	}
+	return h.Sum64()
 }
 
 // Save persists the trained network.

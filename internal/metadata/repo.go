@@ -728,6 +728,12 @@ func (r *Repository) Close() error {
 	return err
 }
 
+// Dir returns the repository's directory, or "" for in-memory
+// repositories. The directory is leased exclusively while the
+// repository is open, so callers planning a second Open on it must
+// route elsewhere (or close this handle first).
+func (r *Repository) Dir() string { return r.dir }
+
 // Len returns the number of stored records.
 func (r *Repository) Len() int {
 	r.mu.RLock()

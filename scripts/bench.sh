@@ -2,17 +2,19 @@
 # bench.sh — record the headline benchmark numbers.
 #
 #   scripts/bench.sh [N]      run the headline benchmarks and write
-#                             BENCH_<N>.json (default N=4) at the repo
+#                             BENCH_<N>.json (default N=5) at the repo
 #                             root, so the perf trajectory is recorded
 #                             PR over PR.
 #
 # Headline set: the detection hot path (FaceDetect, FaceDetectShared),
-# the end-to-end pipelines (PipelineEndToEnd, PipelineParallel) and the
-# metadata ingest path (MetadataIngestSegmented).
+# the end-to-end pipelines (PipelineEndToEnd, PipelineParallel), the
+# metadata ingest path (MetadataIngestSegmented), and the stage-graph
+# incremental re-run (PipelineIncremental vs PipelineFull610 — the
+# stale-emotion re-run must land under 50% of the full run).
 set -eu
 cd "$(dirname "$0")/.."
 
-N="${1:-4}"
+N="${1:-5}"
 OUT="BENCH_${N}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -27,7 +29,7 @@ fi
 # Redirect (not pipe) so a benchmark failure aborts under set -e
 # before the JSON is rewritten.
 go test -run '^$' \
-	-bench 'BenchmarkFaceDetect$|BenchmarkFaceDetectShared$|BenchmarkPipelineEndToEnd$|BenchmarkPipelineParallel$|BenchmarkMetadataIngestSegmented$' \
+	-bench 'BenchmarkFaceDetect$|BenchmarkFaceDetectShared$|BenchmarkPipelineEndToEnd$|BenchmarkPipelineParallel$|BenchmarkPipelineIncremental$|BenchmarkPipelineFull610$|BenchmarkMetadataIngestSegmented$' \
 	-benchtime 100x -count 1 . > "$RAW"
 cat "$RAW"
 

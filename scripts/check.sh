@@ -12,6 +12,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# Formatting gate: the tree must be gofmt-clean.
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
 if [ "${1:-}" = "-full" ]; then
@@ -32,6 +40,11 @@ else
 	# Concurrent detection, raced: the fused matcher's thread-safety
 	# gate (one shared detector hit from many goroutines).
 	go test -race -run 'TestDetectConcurrentSharedDetector' ./internal/face
+	# Stage-graph equivalence vs the frozen monolithic oracle, raced
+	# with Workers > 1 (the pixel half skips under -short; run the
+	# suite explicitly so the geometric half always executes raced),
+	# plus the engine's failing-sink goroutine-accounting gate.
+	go test -race -run 'TestStageGraphMatchesOracle|TestRunStreamedSinkFailureStopsWorkers|TestIncremental' ./internal/core
 fi
 go test -run '^$' -fuzz FuzzParseQuery -fuzztime 5s ./internal/metadata
 # Detection-bench smoke: one iteration of the fused-matcher hot path
