@@ -13,6 +13,7 @@
 //	-mode geometric|pixel        vision path (default geometric)
 //	-max N                       analyse only the first N frames
 //	-repo DIR                    persist the metadata repository to DIR
+//	-segbytes N                  repository segment roll threshold in bytes
 //	-seed N                      estimator noise seed
 package main
 
@@ -34,6 +35,7 @@ func main() {
 		mode      = flag.String("mode", "geometric", "geometric or pixel")
 		maxFrames = flag.Int("max", 0, "truncate the event to N frames (0 = all)")
 		repoDir   = flag.String("repo", "", "persist metadata repository to this directory")
+		segBytes  = flag.Int64("segbytes", 0, "repository segment roll threshold in bytes (0 = default)")
 		seed      = flag.Int64("seed", 1, "noise seed")
 	)
 	flag.Parse()
@@ -42,6 +44,9 @@ func main() {
 		MaxFrames: *maxFrames,
 		RepoDir:   *repoDir,
 		Gaze:      dievent.GazeOptions{Seed: *seed},
+	}
+	if *segBytes > 0 {
+		cfg.RepoOptions = append(cfg.RepoOptions, dievent.WithSegmentSize(*segBytes))
 	}
 	switch *scenario {
 	case "prototype":

@@ -9,10 +9,19 @@
 //	dieventql -repo DIR -i          # interactive REPL
 //	dieventql -repo DIR -stats     # records + on-disk segment layout
 //	dieventql -repo DIR -compact   # merge sealed segments, reclaim space
+//	dieventql -repo DIR -fsck      # offline integrity check (exits 1 on damage)
+//	dieventql -repo DIR -quarantine -stats   # open a damaged store degraded
 //
 // In the REPL, prefix any query with EXPLAIN to print its plan instead
-// of executing it; STATS prints repository and segment statistics;
+// of executing it; STATS prints repository and segment statistics plus
+// the health report (quarantined segments, pending fault repairs);
 // COMPACT merges the sealed segments of the store; "quit" exits.
+//
+// -fsck verifies the store without opening it: the manifest checksum,
+// a strict decode of every sealed segment, and the active segment's
+// valid prefix. Damage is listed per file — including which sealed
+// segments a WithQuarantine open would isolate — and the exit status
+// is non-zero so scripts can gate on it.
 //
 // Queries, -stats and the REPL take the repository's shared read-only
 // lease, so any number of them coexist (and none of them can wedge a
@@ -39,6 +48,8 @@ func main() {
 		dir         = flag.String("repo", "", "repository directory (required)")
 		stats       = flag.Bool("stats", false, "print repository statistics instead of querying")
 		compact     = flag.Bool("compact", false, "compact the repository (merge sealed segments) and print stats")
+		fsck        = flag.Bool("fsck", false, "verify the repository offline; exit non-zero on damage")
+		quarantine  = flag.Bool("quarantine", false, "open in degraded mode: isolate corrupt sealed segments instead of refusing")
 		limit       = flag.Int("limit", 50, "maximum rows to print (0 = all)")
 		interactive = flag.Bool("i", false, "interactive REPL")
 	)
@@ -47,6 +58,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dieventql: -repo is required")
 		os.Exit(2)
 	}
+	// -fsck never opens the repository: it verifies the files as they
+	// sit on disk, which works even on damage strict Open refuses.
+	if *fsck {
+		os.Exit(runFsck(*dir))
+	}
 	// Queries, stats and the REPL only read: take the shared lease so
 	// any number of them coexist and an idle REPL never wedges a
 	// later writer. Only -compact mutates the store and needs the
@@ -54,6 +70,9 @@ func main() {
 	var opts []metadata.Option
 	if !*compact {
 		opts = append(opts, metadata.WithReadOnly())
+	}
+	if *quarantine {
+		opts = append(opts, metadata.WithQuarantine())
 	}
 	repo, err := metadata.Open(*dir, opts...)
 	if err != nil {
@@ -210,7 +229,73 @@ func printStats(repo *metadata.Repository) error {
 		fmt.Printf("  %-22q %d\n", l, n)
 		printed++
 	}
+	return printHealth(repo)
+}
+
+// printHealth renders the repository's degradation report: quarantined
+// segments with their frame gaps, pending fault repairs, and any
+// recovery actions the open performed.
+func printHealth(repo *metadata.Repository) error {
+	h, err := repo.Health()
+	if err != nil {
+		return err
+	}
+	if h.Degraded {
+		fmt.Println("health: DEGRADED")
+	} else {
+		fmt.Println("health: ok")
+	}
+	for _, q := range h.Quarantined {
+		fmt.Printf("  quarantined %-12s %d records, %d bytes lost: %s\n", q.Name, q.Records, q.Bytes, q.Err)
+		if q.FrameGap != [2]int{} {
+			fmt.Printf("    frame gap: %d .. %d\n", q.FrameGap[0], q.FrameGap[1])
+		}
+	}
+	if h.WriteFault {
+		fmt.Println("  write fault: next append rewrites the active segment")
+	}
+	if h.PendingDirSync {
+		fmt.Println("  directory fsync pending: appends retry it before acknowledging")
+	}
+	for _, act := range h.Recovery {
+		fmt.Printf("  recovery: %s\n", act)
+	}
 	return nil
+}
+
+// runFsck verifies dir offline and returns the process exit status:
+// 0 when every file checks out, 1 on damage.
+func runFsck(dir string) int {
+	rep, err := metadata.Fsck(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dieventql: fsck:", err)
+		return 1
+	}
+	for _, s := range rep.Segments {
+		state := "active"
+		if s.Sealed {
+			state = "sealed"
+		}
+		status := "ok"
+		if s.Err != "" {
+			status = s.Err
+		}
+		fmt.Printf("  %-12s %-6s %9d bytes  %6d records  %s\n", s.Name, state, s.Bytes, s.Records, status)
+		if s.Note != "" {
+			fmt.Printf("    note: %s\n", s.Note)
+		}
+	}
+	if rep.Clean() {
+		fmt.Printf("fsck: clean (%d records)\n", rep.Records)
+		return 0
+	}
+	if q := rep.Quarantinable(); len(q) > 0 {
+		fmt.Printf("fsck: damage found; quarantinable sealed segment(s): %s\n", strings.Join(q, ", "))
+		fmt.Println("fsck: a WithQuarantine open isolates them and serves the surviving records")
+	} else {
+		fmt.Println("fsck: damage found")
+	}
+	return 1
 }
 
 // runCompact merges the repository's sealed segments, reporting the

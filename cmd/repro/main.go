@@ -623,6 +623,21 @@ func tableMetadata() error {
 		fmt.Printf("query %-55q → %6d rows in %v\n", q, len(recs),
 			time.Since(start).Round(time.Microsecond))
 	}
+
+	h, err := repo.Health()
+	if err != nil {
+		return err
+	}
+	switch {
+	case h.Degraded:
+		fmt.Printf("health: DEGRADED — %d quarantined segment(s), write fault %v, dir-sync pending %v\n",
+			len(h.Quarantined), h.WriteFault, h.PendingDirSync)
+	default:
+		fmt.Println("health: ok (no quarantined segments, no pending fault repairs)")
+	}
+	for _, act := range h.Recovery {
+		fmt.Printf("  recovery: %s\n", act)
+	}
 	return nil
 }
 

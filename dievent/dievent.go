@@ -131,6 +131,10 @@ type (
 	AttentionSpan = core.AttentionSpan
 	// AttentionStat summarises one participant's gaze persistence.
 	AttentionStat = core.AttentionStat
+	// StageFailure reports one stage quarantined during a degraded run
+	// (Config.Degraded): the stage, why it was isolated, and the
+	// downstream stages disabled with it (Result.Quarantined).
+	StageFailure = core.StageFailure
 )
 
 // NewStageRegistry returns a registry seeded with every built-in
@@ -226,6 +230,15 @@ type (
 	RepoStats = metadata.Stats
 	// RepoSegmentStat describes one on-disk segment in RepoStats.
 	RepoSegmentStat = metadata.SegmentStat
+	// RepoHealth reports degradation: quarantined segments, record gaps,
+	// acknowledged-but-not-yet-durable appends (Repository.Health).
+	RepoHealth = metadata.Health
+	// RepoSegmentHealth describes one quarantined segment in RepoHealth.
+	RepoSegmentHealth = metadata.SegmentHealth
+	// FsckReport is the result of an offline integrity check (Fsck).
+	FsckReport = metadata.FsckReport
+	// FsckSegment is one file's verification result in an FsckReport.
+	FsckSegment = metadata.FsckSegment
 )
 
 // Storage-engine options for OpenRepository / Config.RepoOptions.
@@ -237,6 +250,13 @@ var (
 	// WithReadOnly opens a repository for reading under a shared lease
 	// (mutations return ErrRepoReadOnly).
 	WithReadOnly = metadata.WithReadOnly
+	// WithQuarantine opens in degraded mode: corrupt sealed segments are
+	// isolated instead of failing the open; the surviving records stay
+	// queryable and Repository.Health reports the loss.
+	WithQuarantine = metadata.WithQuarantine
+	// WithLockWait makes OpenRepository wait (bounded, context-aware)
+	// for a busy directory lease instead of failing immediately.
+	WithLockWait = metadata.WithLockWait
 )
 
 // Sync policies for WithSyncPolicy.
@@ -258,6 +278,14 @@ var ErrRepoLocked = metadata.ErrLocked
 // WithReadOnly.
 var ErrRepoReadOnly = metadata.ErrReadOnly
 
+// ErrRepoCorrupt reports unrecoverable on-disk damage (strict open of
+// a corrupt segment, a bad manifest checksum, a lost manifest).
+var ErrRepoCorrupt = metadata.ErrCorrupt
+
+// ErrRepoQuarantined marks operations refused because they would
+// touch quarantined data (e.g. compacting a degraded repository).
+var ErrRepoQuarantined = metadata.ErrQuarantined
+
 // Result orderings for QueryOpts.Order.
 const (
 	// OrderFrame sorts by (frame, ID) ascending — the default.
@@ -276,6 +304,12 @@ const (
 func OpenRepository(dir string, opts ...RepoOption) (*Repository, error) {
 	return metadata.Open(dir, opts...)
 }
+
+// Fsck verifies a repository directory offline — manifest checksum,
+// strict decode of every sealed segment, the active segment's valid
+// prefix — without opening or mutating it. The report lists per-file
+// findings and which sealed segments WithQuarantine would isolate.
+func Fsck(dir string) (*FsckReport, error) { return metadata.Fsck(dir) }
 
 // Emotion recognition.
 type (

@@ -133,6 +133,12 @@ type Config struct {
 	// this run's output. Off by default: the extra records make the
 	// log a superset of a plain run's.
 	Incremental bool
+	// Degraded keeps the run alive when a stage panics: the stage and
+	// every stage consuming its artifacts are quarantined for the rest
+	// of the run and reported in Result.Quarantined, while the
+	// surviving stages complete. Off by default — a stage panic fails
+	// fast, and healthy runs are byte-identical either way.
+	Degraded bool
 }
 
 // StageTiming reports time spent in one pipeline stage. Serial stages
@@ -168,6 +174,11 @@ type Result struct {
 	// manifest diff: which stages re-ran and which extraction stages
 	// were replayed from the previous repository. Empty on full runs.
 	StaleStages, ReusedStages []string
+	// Quarantined reports the stages disabled mid-run after a panic
+	// (Config.Degraded only); empty on healthy and strict runs. Fields
+	// a quarantined stage would have filled (Layers, Summary,
+	// Attention, …) may be nil — consumers must check.
+	Quarantined []StageFailure
 }
 
 // ErrBadConfig reports an unusable configuration.
@@ -328,6 +339,9 @@ type runEnv struct {
 	timer     *stageTimer
 	numFrames int
 	identity  string
+	// quar is the degraded-mode quarantine table; nil on strict runs
+	// (stages are then invoked directly, with no recover).
+	quar *stageQuarantine
 	// pending is the raw-layer record batch queue (see Queue).
 	pending []metadata.Record
 }
@@ -453,6 +467,9 @@ func (p *Pipeline) runGraph(graph *stageGraph, b *stageBuild, rd *replayData) (*
 		numFrames: b.numFrames, identity: p.runIdentity(b.numFrames, b.nCams),
 		pending: make([]metadata.Record, 0, metadataBatch),
 	}
+	if cfg.Degraded {
+		env.quar = newStageQuarantine(graph)
+	}
 	if rd != nil {
 		res.StaleStages = rd.stale
 		res.ReusedStages = rd.reused
@@ -487,7 +504,7 @@ func (p *Pipeline) runGraph(graph *stageGraph, b *stageBuild, rd *replayData) (*
 			fa := out.(*FrameArtifacts)
 			for _, st := range graph.byPhase[PhaseFrame] {
 				timer.start(st.Name)
-				err := st.RunFrame(env, fa)
+				err := env.invoke(st, func() error { return st.RunFrame(env, fa) })
 				timer.stop(st.Name)
 				if err != nil {
 					return fmt.Errorf("core: frame %d: stage %s: %w", i, st.Name, err)
@@ -524,7 +541,7 @@ func (p *Pipeline) runGraph(graph *stageGraph, b *stageBuild, rd *replayData) (*
 			continue
 		}
 		timer.start(st.Name)
-		err := st.RunFinal(env)
+		err := env.invoke(st, func() error { return st.RunFinal(env) })
 		timer.stop(st.Name)
 		if err != nil {
 			return nil, fmt.Errorf("core: stage %s: %w", st.Name, err)
@@ -536,7 +553,7 @@ func (p *Pipeline) runGraph(graph *stageGraph, b *stageBuild, rd *replayData) (*
 			name = "metadata"
 		}
 		timer.start(name)
-		err := st.RunFinal(env)
+		err := env.invoke(st, func() error { return st.RunFinal(env) })
 		timer.stop(name)
 		if err != nil {
 			return nil, fmt.Errorf("core: stage %s: %w", st.Name, err)
@@ -550,6 +567,9 @@ func (p *Pipeline) runGraph(graph *stageGraph, b *stageBuild, rd *replayData) (*
 	timer.stop("metadata")
 
 	res.Timings = timer.report()
+	if env.quar != nil {
+		res.Quarantined = env.quar.failures()
+	}
 	finished = true
 	return res, nil
 }

@@ -1,0 +1,140 @@
+package core
+
+// Degraded-mode stage isolation (DESIGN.md §8): with Config.Degraded
+// set, a panic inside a stage callback no longer kills the run.
+// The panicking stage is quarantined — skipped for the rest of the
+// run — together with the transitive closure of stages consuming its
+// artifacts, since their inputs can no longer be produced. The run
+// completes on the surviving stages and Result.Quarantined reports
+// exactly what was lost. Strict runs (the default) call stages
+// directly with no recover, so a panic still fails fast and healthy
+// runs stay byte-identical to the pre-isolation pipeline.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// StageFailure reports one stage quarantined during a degraded run.
+type StageFailure struct {
+	// Stage is the quarantined stage's name.
+	Stage string
+	// Reason is the recovered panic value, or the error of a stage
+	// that failed after the run had already degraded (collateral
+	// damage from a missing upstream, e.g. a summarizer handed nil
+	// layers).
+	Reason string
+	// Downstream lists the stages disabled along with this one because
+	// they consume its artifacts, transitively, in graph order.
+	Downstream []string
+}
+
+// stageQuarantine is a run's kill-switch table: which stages are out,
+// and why. Workers, consumers and the merger all consult it, so every
+// access is under the mutex.
+type stageQuarantine struct {
+	graph  *stageGraph
+	mu     sync.Mutex
+	off    map[string]bool
+	report []StageFailure
+}
+
+func newStageQuarantine(g *stageGraph) *stageQuarantine {
+	return &stageQuarantine{graph: g, off: make(map[string]bool)}
+}
+
+// disabled reports whether a stage has been quarantined.
+func (q *stageQuarantine) disabled(name string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.off[name]
+}
+
+// degraded reports whether any stage has been quarantined yet.
+func (q *stageQuarantine) degraded() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.report) > 0
+}
+
+// quarantine disables a failed stage plus every stage that transitively
+// consumes its artifacts. Racing workers may report the same stage;
+// the first wins and later reports are dropped.
+func (q *stageQuarantine) quarantine(st *Stage, reason string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.off[st.Name] {
+		return
+	}
+	q.off[st.Name] = true
+	tainted := make(map[ArtifactKey]bool, len(st.Provides))
+	for _, k := range st.Provides {
+		tainted[k] = true
+	}
+	var down []string
+	for changed := true; changed; {
+		changed = false
+		for _, s := range q.graph.stages {
+			if q.off[s.Name] {
+				continue
+			}
+			hit := false
+			for _, k := range s.Needs {
+				if tainted[k] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			q.off[s.Name] = true
+			down = append(down, s.Name)
+			for _, k := range s.Provides {
+				tainted[k] = true
+			}
+			changed = true
+		}
+	}
+	q.report = append(q.report, StageFailure{Stage: st.Name, Reason: reason, Downstream: down})
+}
+
+// failures snapshots the quarantine report.
+func (q *stageQuarantine) failures() []StageFailure {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]StageFailure, len(q.report))
+	copy(out, q.report)
+	for i := range out {
+		out[i].Downstream = append([]string(nil), q.report[i].Downstream...)
+	}
+	return out
+}
+
+// invoke is the single choke point every stage callback runs through.
+// Strict runs (no quarantine table) call the stage directly — no
+// defer, no recover, the exact pre-isolation code path. Degraded runs
+// skip quarantined stages, turn a panic into quarantine of the stage
+// and its artifact dependents, and — once the run has degraded —
+// absorb collateral stage errors the same way instead of aborting a
+// run that is already best-effort.
+func (env *runEnv) invoke(st *Stage, fn func() error) (err error) {
+	q := env.quar
+	if q == nil {
+		return fn()
+	}
+	if q.disabled(st.Name) {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			q.quarantine(st, fmt.Sprintf("panic: %v", r))
+			err = nil
+		}
+	}()
+	if err = fn(); err != nil && q.degraded() {
+		q.quarantine(st, err.Error())
+		err = nil
+	}
+	return err
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/gaze"
+	"repro/internal/scene"
+)
+
+func degradeConfig() Config {
+	return Config{
+		Scenario:  scene.PrototypeScenario(),
+		Mode:      GeometricVision,
+		Gaze:      gaze.EstimatorOptions{Seed: 21},
+		MaxFrames: 120,
+		Workers:   1,
+	}
+}
+
+// registerPanicStage registers a PhaseFrame plug-in that panics once,
+// at the given frame, and counts its invocations.
+func registerPanicStage(t *testing.T, reg *Registry, name string, panicAt int, calls *int) {
+	t.Helper()
+	if err := reg.Register(name, func(*stageBuild) (*Stage, error) {
+		return &Stage{
+			Name: name, Version: 1, Phase: PhaseFrame,
+			RunFrame: func(_ *runEnv, fa *FrameArtifacts) error {
+				*calls++
+				if fa.Index == panicAt {
+					panic(fmt.Sprintf("%s exploded at frame %d", name, panicAt))
+				}
+				return nil
+			},
+		}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegradedRunSurvivesPanickingStage: a plug-in stage panic under
+// Config.Degraded quarantines the stage, the run completes, the rest
+// of the pipeline is byte-identical to a run without the plug-in, and
+// Result.Quarantined names the loss.
+func TestDegradedRunSurvivesPanickingStage(t *testing.T) {
+	baseline := mustRun(t, degradeConfig())
+	defer baseline.Repo.Close()
+
+	reg := NewRegistry()
+	var calls int
+	registerPanicStage(t, reg, "boom", 3, &calls)
+	cfg := degradeConfig()
+	cfg.Registry = reg
+	cfg.Stages = []string{"boom"}
+	cfg.Degraded = true
+	res := mustRun(t, cfg)
+	defer res.Repo.Close()
+
+	if calls != 4 {
+		t.Errorf("panicking stage ran %d times, want 4 (frames 0-3, then quarantined)", calls)
+	}
+	if len(res.Quarantined) != 1 {
+		t.Fatalf("Quarantined = %+v, want exactly the panicking stage", res.Quarantined)
+	}
+	q := res.Quarantined[0]
+	if q.Stage != "boom" || q.Reason == "" || len(q.Downstream) != 0 {
+		t.Errorf("quarantine report = %+v, want stage boom with a reason and no downstream", q)
+	}
+	// The surviving pipeline is unharmed: identical layers, summary and
+	// record log.
+	assertRunsEqual(t, captureResult(t, baseline), captureResult(t, res), "degraded")
+}
+
+// TestStrictRunPanicPropagates: without Config.Degraded a stage panic
+// must fail fast, exactly as before stage isolation existed.
+func TestStrictRunPanicPropagates(t *testing.T) {
+	reg := NewRegistry()
+	var calls int
+	registerPanicStage(t, reg, "boom", 3, &calls)
+	cfg := degradeConfig()
+	cfg.Registry = reg
+	cfg.Stages = []string{"boom"}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("strict run absorbed a stage panic, want propagation")
+		}
+	}()
+	p.Run()
+}
+
+// TestQuarantineDisablesArtifactDownstream: when a provider panics,
+// every stage transitively consuming its artifacts is disabled with
+// it — never invoked again — and listed as downstream in the report.
+func TestQuarantineDisablesArtifactDownstream(t *testing.T) {
+	reg := NewRegistry()
+	var midCalls, leafCalls int
+	if err := reg.Register("mid", func(*stageBuild) (*Stage, error) {
+		return &Stage{
+			Name: "mid", Version: 1, Phase: PhaseFrame,
+			Provides: []ArtifactKey{"mid-art"},
+			RunFrame: func(*runEnv, *FrameArtifacts) error {
+				midCalls++
+				if midCalls == 5 {
+					panic("mid gave up")
+				}
+				return nil
+			},
+		}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("leaf", func(*stageBuild) (*Stage, error) {
+		return &Stage{
+			Name: "leaf", Version: 1, Phase: PhaseFrame,
+			Needs: []ArtifactKey{"mid-art"},
+			RunFrame: func(*runEnv, *FrameArtifacts) error {
+				leafCalls++
+				return nil
+			},
+		}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := degradeConfig()
+	cfg.Registry = reg
+	cfg.Stages = []string{"mid", "leaf"}
+	cfg.Degraded = true
+	res := mustRun(t, cfg)
+	defer res.Repo.Close()
+
+	if midCalls != 5 {
+		t.Errorf("mid ran %d times, want 5", midCalls)
+	}
+	// leaf ran only for the frames before the panic (the stages run in
+	// provider order within the frame, so it saw frames 0-3).
+	if leafCalls != 4 {
+		t.Errorf("leaf ran %d times after its provider died, want 4", leafCalls)
+	}
+	if len(res.Quarantined) != 1 {
+		t.Fatalf("Quarantined = %+v, want one report", res.Quarantined)
+	}
+	q := res.Quarantined[0]
+	if q.Stage != "mid" || len(q.Downstream) != 1 || q.Downstream[0] != "leaf" {
+		t.Errorf("report = %+v, want mid with downstream [leaf]", q)
+	}
+}
+
+// TestDegradedCollateralErrorQuarantines: once a run has degraded, a
+// stage *error* caused by the missing upstream (here: a finalizer fed
+// nil state) quarantines that stage too instead of aborting the
+// best-effort run.
+func TestDegradedCollateralErrorQuarantines(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("flaky", func(*stageBuild) (*Stage, error) {
+		return &Stage{
+			Name: "flaky", Version: 1, Phase: PhaseFrame,
+			RunFrame: func(_ *runEnv, fa *FrameArtifacts) error {
+				if fa.Index == 2 {
+					panic("flaky died")
+				}
+				return nil
+			},
+		}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("grumpy", func(*stageBuild) (*Stage, error) {
+		return &Stage{
+			Name: "grumpy", Version: 1, Phase: PhaseFrame,
+			RunFrame: func(_ *runEnv, fa *FrameArtifacts) error {
+				if fa.Index == 10 {
+					return errors.New("cannot cope without flaky")
+				}
+				return nil
+			},
+		}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := degradeConfig()
+	cfg.Registry = reg
+	cfg.Stages = []string{"flaky", "grumpy"}
+	cfg.Degraded = true
+	res := mustRun(t, cfg)
+	defer res.Repo.Close()
+
+	if len(res.Quarantined) != 2 {
+		t.Fatalf("Quarantined = %+v, want flaky (panic) and grumpy (collateral error)", res.Quarantined)
+	}
+	if res.Quarantined[0].Stage != "flaky" || res.Quarantined[1].Stage != "grumpy" {
+		t.Errorf("Quarantined order = %+v", res.Quarantined)
+	}
+}
+
+// TestStrictErrorStillFailsFast: Degraded changes nothing about stage
+// errors before any panic — they abort the run exactly as in strict
+// mode, so degraded and strict runs agree on every healthy input.
+func TestDegradedErrorBeforePanicFailsFast(t *testing.T) {
+	reg := NewRegistry()
+	boom := errors.New("deterministic failure")
+	if err := reg.Register("errs", func(*stageBuild) (*Stage, error) {
+		return &Stage{
+			Name: "errs", Version: 1, Phase: PhaseFrame,
+			RunFrame: func(_ *runEnv, fa *FrameArtifacts) error {
+				if fa.Index == 7 {
+					return boom
+				}
+				return nil
+			},
+		}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := degradeConfig()
+	cfg.Registry = reg
+	cfg.Stages = []string{"errs"}
+	cfg.Degraded = true
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); !errors.Is(err, boom) {
+		t.Fatalf("run err = %v, want the stage error to abort (no prior degradation)", err)
+	}
+}
+
+// TestQuarantineUnderParallelExtraction: a prepare-phase plug-in
+// panicking on the worker pool quarantines cleanly while workers race
+// (run under -race in CI), the run completes, and exactly one report
+// is emitted no matter how many workers hit the dead stage.
+func TestQuarantineUnderParallelExtraction(t *testing.T) {
+	baseline := mustRun(t, degradeConfig())
+	defer baseline.Repo.Close()
+
+	reg := NewRegistry()
+	if err := reg.Register("prep-boom", func(*stageBuild) (*Stage, error) {
+		return &Stage{
+			Name: "prep-boom", Version: 1, Phase: PhasePrepare,
+			Provides: []ArtifactKey{"prep-boom-art"},
+			RunCam: func(_ *runEnv, a *Artifacts, _ any) error {
+				if a.FS.Index >= 5 {
+					panic("prep-boom exploded")
+				}
+				return nil
+			},
+		}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := degradeConfig()
+	cfg.Registry = reg
+	cfg.Stages = []string{"prep-boom"}
+	cfg.Degraded = true
+	cfg.Workers = 8
+	res := mustRun(t, cfg)
+	defer res.Repo.Close()
+
+	if len(res.Quarantined) != 1 || res.Quarantined[0].Stage != "prep-boom" {
+		t.Fatalf("Quarantined = %+v, want exactly one prep-boom report", res.Quarantined)
+	}
+	// Output equals a clean parallel run without the plug-in.
+	assertRunsEqual(t, captureResult(t, baseline), captureResult(t, res), "parallel-degraded")
+}

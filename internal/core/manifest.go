@@ -382,7 +382,7 @@ func (p *Pipeline) runReplay(env *runEnv, rd *replayData) error {
 				a = &Artifacts{Cam: 0, FS: fs}
 				fa.PerCam = []*Artifacts{a}
 			}
-			if err := st.RunCam(env, a, scratch[si]); err != nil {
+			if err := env.invoke(st, func() error { return st.RunCam(env, a, scratch[si]) }); err != nil {
 				return fmt.Errorf("core: frame %d: stage %s: %w", i, st.Name, err)
 			}
 			now := time.Now()
@@ -396,7 +396,7 @@ func (p *Pipeline) runReplay(env *runEnv, rd *replayData) error {
 			if fa.PerCam == nil {
 				fa.PerCam = []*Artifacts{{Cam: 0, FS: fs}}
 			}
-			if err := st.RunFrame(env, fa); err != nil {
+			if err := env.invoke(st, func() error { return st.RunFrame(env, fa) }); err != nil {
 				return fmt.Errorf("core: frame %d: stage %s: %w", i, st.Name, err)
 			}
 		}
@@ -411,7 +411,7 @@ func (p *Pipeline) runReplay(env *runEnv, rd *replayData) error {
 				continue
 			}
 			env.timer.start(st.Name)
-			err := st.RunFrame(env, fa)
+			err := env.invoke(st, func() error { return st.RunFrame(env, fa) })
 			env.timer.stop(st.Name)
 			if err != nil {
 				return fmt.Errorf("core: frame %d: stage %s: %w", i, st.Name, err)

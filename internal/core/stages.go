@@ -540,7 +540,7 @@ func (v *graphVision) prepare(stream int, fs scene.FrameState, scratch any) any 
 	a := &Artifacts{Cam: stream, FS: fs, scratch: &ws.integ}
 	t := time.Now()
 	for i, st := range v.g.byPhase[PhasePrepare] {
-		if err := st.RunCam(v.env, a, ws.perStage[i]); err != nil {
+		if err := v.env.invoke(st, func() error { return st.RunCam(v.env, a, ws.perStage[i]) }); err != nil {
 			a.err = fmt.Errorf("stage %s: %w", st.Name, err)
 			break
 		}
@@ -558,7 +558,7 @@ func (v *graphVision) step(_ int, _ scene.FrameState, prep any) (any, error) {
 	if a.err == nil {
 		t := time.Now()
 		for _, st := range v.g.byPhase[PhaseOrdered] {
-			if err := st.RunCam(v.env, a, nil); err != nil {
+			if err := v.env.invoke(st, func() error { return st.RunCam(v.env, a, nil) }); err != nil {
 				a.err = fmt.Errorf("stage %s: %w", st.Name, err)
 				break
 			}
@@ -584,7 +584,7 @@ func (v *graphVision) finish(fs scene.FrameState, perStream []any) (any, error) 
 	}
 	t := time.Now()
 	for _, st := range v.g.byPhase[PhaseMerge] {
-		if err := st.RunFrame(v.env, fa); err != nil {
+		if err := v.env.invoke(st, func() error { return st.RunFrame(v.env, fa) }); err != nil {
 			return nil, fmt.Errorf("stage %s: %w", st.Name, err)
 		}
 		now := time.Now()

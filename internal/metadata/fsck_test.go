@@ -1,0 +1,203 @@
+package metadata
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// fsckDamaged returns the entries of rep that carry an error.
+func fsckDamaged(rep *FsckReport) []FsckSegment {
+	var out []FsckSegment
+	for _, s := range rep.Segments {
+		if s.Err != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestFsckCleanRepo(t *testing.T) {
+	fsys := vfs.NewFaultFS()
+	dir := "/repo"
+	oracle, sealed := buildSealedRepo(t, fsys, dir, 60)
+	if len(sealed) < 2 {
+		t.Fatalf("want >=2 sealed segments, got %d", len(sealed))
+	}
+	rep, err := fsck(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean repo reported damage: %+v", fsckDamaged(rep))
+	}
+	if rep.Records != len(oracle) {
+		t.Errorf("fsck decoded %d records, want %d", rep.Records, len(oracle))
+	}
+	if q := rep.Quarantinable(); len(q) != 0 {
+		t.Errorf("clean repo quarantinable = %v", q)
+	}
+}
+
+func TestFsckReportsCorruptSealedSegment(t *testing.T) {
+	fsys := vfs.NewFaultFS()
+	dir := "/repo"
+	_, sealed := buildSealedRepo(t, fsys, dir, 60)
+	victim := sealed[0].name
+	corruptByte(t, fsys, filepath.Join(dir, victim))
+
+	rep, err := fsck(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("fsck missed a flipped byte in a sealed segment")
+	}
+	if q := rep.Quarantinable(); len(q) != 1 || q[0] != victim {
+		t.Errorf("quarantinable = %v, want [%s]", q, victim)
+	}
+	for _, s := range rep.Segments {
+		if s.Name != victim && s.Err != "" {
+			t.Errorf("undamaged %s reported: %s", s.Name, s.Err)
+		}
+	}
+}
+
+func TestFsckReportsMissingSealedSegment(t *testing.T) {
+	fsys := vfs.NewFaultFS()
+	dir := "/repo"
+	_, sealed := buildSealedRepo(t, fsys, dir, 60)
+	victim := sealed[1].name
+	if err := fsys.Remove(filepath.Join(dir, victim)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fsck(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := rep.Quarantinable(); len(q) != 1 || q[0] != victim {
+		t.Fatalf("quarantinable = %v, want [%s]", q, victim)
+	}
+}
+
+func TestFsckRefusesLiveWriter(t *testing.T) {
+	fsys := vfs.NewFaultFS()
+	dir := "/repo"
+	r, err := Open(dir, WithFS(fsys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := fsck(fsys, dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("fsck under a live writer: err = %v, want ErrLocked", err)
+	}
+}
+
+func TestFsckNotesTornActiveTail(t *testing.T) {
+	fsys := vfs.NewFaultFS()
+	dir := "/repo"
+	buildSealedRepo(t, fsys, dir, 60)
+
+	var active string
+	var size int64
+	segs, _, err := readManifest(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range segs {
+		if !sm.sealed {
+			active = sm.name
+		}
+	}
+	if active == "" {
+		t.Fatal("no active segment in manifest")
+	}
+	path := filepath.Join(dir, active)
+	info, err := fsys.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size = info.Size()
+	f, err := fsys.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x12, 0x34, 0x56}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := fsck(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn tail is recoverable (open truncates it), so the repo is
+	// still clean — but the finding must be surfaced.
+	if !rep.Clean() {
+		t.Fatalf("torn active tail reported as damage: %+v", fsckDamaged(rep))
+	}
+	found := false
+	for _, s := range rep.Segments {
+		if s.Name == active && strings.Contains(s.Note, "torn tail") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no torn-tail note for %s in %+v", active, rep.Segments)
+	}
+}
+
+func TestFsckReportsLostManifest(t *testing.T) {
+	fsys := vfs.NewFaultFS()
+	dir := "/repo"
+	buildSealedRepo(t, fsys, dir, 60)
+	if err := fsys.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fsck(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("fsck missed a lost manifest over multiple segments")
+	}
+	if len(rep.Segments) != 1 || rep.Segments[0].Name != manifestName {
+		t.Fatalf("report = %+v, want a single MANIFEST finding", rep.Segments)
+	}
+}
+
+// TestFsckRealFilesystem exercises the exported entry point end to
+// end on the real OS filesystem.
+func TestFsckRealFilesystem(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, WithSegmentSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := r.Append(obs(i, i%3, "q", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Records != 40 {
+		t.Fatalf("clean=%v records=%d, want clean with 40 records (%+v)",
+			rep.Clean(), rep.Records, fsckDamaged(rep))
+	}
+}

@@ -1,0 +1,173 @@
+package metadata
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// Directory leasing. The preferred mechanism is the platform flock
+// (vfs.FS.Flock on the directory itself): exclusive for writers,
+// shared for read-only opens, crash-released by the kernel. Where
+// flock is unsupported (non-unix builds, or a FaultFS configured
+// without it) writers fall back to an O_EXCL lease file carrying the
+// owner's pid; read-only opens take no lease at all there (they must
+// not create files, and an O_EXCL file cannot be shared), so only
+// writer-vs-writer exclusion is enforced — see WithReadOnly's caveat.
+
+// staleLockName is the claim-rename target during stale-lease
+// takeover; it is also swept as an orphan at Open.
+const staleLockName = lockName + ".stale"
+
+// lockDir acquires the directory lease for Open, honouring the
+// WithLockWait backoff: a held lease retries with exponential backoff
+// (1ms doubling, capped at 50ms) until the wait budget or context
+// expires. Without WithLockWait a held lease fails fast with ErrLocked.
+func lockDir(fsys vfs.FS, dir string, o options) (io.Closer, error) {
+	ctx := o.lockCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	deadline := time.Now().Add(o.lockWait)
+	delay := time.Millisecond
+	for {
+		c, err := tryLockDir(fsys, dir, o.readOnly)
+		if err == nil || !errors.Is(err, ErrLocked) {
+			return c, err
+		}
+		if o.lockWait <= 0 || !time.Now().Before(deadline) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("metadata: lock wait cancelled: %w", errors.Join(ctx.Err(), ErrLocked))
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > 50*time.Millisecond {
+			delay = 50 * time.Millisecond
+		}
+	}
+}
+
+// tryLockDir makes one lease attempt: flock when the filesystem
+// supports it, else the lease-file fallback (writers only).
+func tryLockDir(fsys vfs.FS, dir string, readOnly bool) (io.Closer, error) {
+	c, err := fsys.Flock(dir, !readOnly)
+	switch {
+	case err == nil:
+		return c, nil
+	case errors.Is(err, vfs.ErrLockHeld):
+		return nil, fmt.Errorf("metadata: %s: %w", dir, ErrLocked)
+	case errors.Is(err, errors.ErrUnsupported):
+		if readOnly {
+			return nil, nil
+		}
+		return lockLease(fsys, dir)
+	default:
+		return nil, fmt.Errorf("metadata: flock %s: %w", dir, err)
+	}
+}
+
+// unlockDir releases the lease. Closing a flock handle drops the
+// kernel lock; closing a lease removes the LOCK file.
+func unlockDir(c io.Closer) error {
+	if c == nil {
+		return nil
+	}
+	return c.Close()
+}
+
+// pidAlive probes whether a pid belongs to a live process. Signal 0
+// performs permission and existence checks without delivering
+// anything; EPERM still proves the process exists. Stubbed by tests.
+var pidAlive = func(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, os.ErrPermission)
+}
+
+// lockLease takes the O_EXCL lease file, writing "pid N\n" so later
+// contenders can probe the owner's liveness. A stale lease (owner pid
+// dead, or the file never got its pid — a crash inside the create
+// window) is taken over: the contender claims it by renaming LOCK to
+// LOCK.stale — rename is atomic, so exactly one contender wins even
+// when several race — removes the claim and retries the O_EXCL create.
+func lockLease(fsys vfs.FS, dir string) (io.Closer, error) {
+	path := filepath.Join(dir, lockName)
+	for attempt := 0; attempt < 4; attempt++ {
+		f, err := fsys.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, werr := fmt.Fprintf(f, "pid %d\n", os.Getpid())
+			if werr == nil {
+				werr = f.Sync()
+			}
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fsys.Remove(path)
+				return nil, fmt.Errorf("metadata: writing lock file: %w", werr)
+			}
+			return leaseCloser{fsys: fsys, path: path}, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("metadata: creating lock file: %w", err)
+		}
+		if !leaseStale(fsys, path) {
+			return nil, fmt.Errorf("metadata: %s: %w", dir, ErrLocked)
+		}
+		if rerr := fsys.Rename(path, filepath.Join(dir, staleLockName)); rerr != nil {
+			continue // lost the claim race (or the holder released); retry
+		}
+		fsys.Remove(filepath.Join(dir, staleLockName))
+	}
+	return nil, fmt.Errorf("metadata: lease takeover did not converge: %w", ErrLocked)
+}
+
+// leaseStale reports whether the lease file belongs to a dead owner.
+// A file without a parseable pid is re-read after a grace period: a
+// live creator writes its pid within microseconds of the O_EXCL
+// create, so a still-empty file means the creator died inside that
+// window.
+func leaseStale(fsys vfs.FS, path string) bool {
+	pid, ok := leasePid(fsys, path)
+	if !ok {
+		time.Sleep(10 * time.Millisecond)
+		if pid, ok = leasePid(fsys, path); !ok {
+			return true
+		}
+	}
+	return pid != os.Getpid() && !pidAlive(pid)
+}
+
+// leasePid reads the owner pid recorded in the lease file.
+func leasePid(fsys vfs.FS, path string) (int, bool) {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	var pid int
+	if _, err := fmt.Sscanf(string(data), "pid %d", &pid); err != nil || pid <= 0 {
+		return 0, false
+	}
+	return pid, true
+}
+
+// leaseCloser releases a fallback lease by deleting its LOCK file.
+type leaseCloser struct {
+	fsys vfs.FS
+	path string
+}
+
+func (l leaseCloser) Close() error { return l.fsys.Remove(l.path) }

@@ -1,0 +1,200 @@
+package metadata
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// noFlockFS returns a FaultFS that refuses flock, forcing Open onto
+// the lease-file fallback path regardless of platform.
+func noFlockFS() *vfs.FaultFS {
+	f := vfs.NewFaultFS()
+	f.NoFlock = true
+	return f
+}
+
+// writeLockFile plants a LOCK file with arbitrary content, as a
+// crashed previous owner would have left it.
+func writeLockFile(t *testing.T, fsys vfs.FS, dir, content string) {
+	t.Helper()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if content != "" {
+		if _, err := f.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stubPidAlive overrides the liveness probe for the test's duration.
+func stubPidAlive(t *testing.T, alive bool) {
+	t.Helper()
+	orig := pidAlive
+	pidAlive = func(int) bool { return alive }
+	t.Cleanup(func() { pidAlive = orig })
+}
+
+func TestLeaseFallbackExcludesSecondWriter(t *testing.T) {
+	fsys := noFlockFS()
+	dir := t.TempDir()
+	r, err := Open(dir, WithFS(fsys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lease file records our pid.
+	if pid, ok := leasePid(fsys, filepath.Join(dir, lockName)); !ok || pid != os.Getpid() {
+		t.Fatalf("lease pid = %d ok=%v, want own pid %d", pid, ok, os.Getpid())
+	}
+	if _, err := Open(dir, WithFS(fsys)); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second writer err = %v, want ErrLocked", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close removed the lease; reopening succeeds.
+	r2, err := Open(dir, WithFS(fsys))
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	r2.Close()
+}
+
+// TestLeaseStaleTakeover is the regression test for the wedged-LOCK
+// bug: a process killed while holding the O_EXCL lease used to wedge
+// every later open permanently. A dead owner's lease is now detected
+// and taken over.
+func TestLeaseStaleTakeover(t *testing.T) {
+	fsys := noFlockFS()
+	dir := t.TempDir()
+	writeLockFile(t, fsys, dir, "pid 999999\n")
+	stubPidAlive(t, false)
+
+	r, err := Open(dir, WithFS(fsys))
+	if err != nil {
+		t.Fatalf("Open over stale lease: %v", err)
+	}
+	if _, err := r.Append(obs(1, 0, "happy", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The takeover re-owned the lease under our pid.
+	if pid, ok := leasePid(fsys, filepath.Join(dir, lockName)); !ok || pid != os.Getpid() {
+		t.Fatalf("lease pid after takeover = %d ok=%v", pid, ok)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseLiveOwnerStillExcludes(t *testing.T) {
+	fsys := noFlockFS()
+	dir := t.TempDir()
+	writeLockFile(t, fsys, dir, "pid 999999\n")
+	stubPidAlive(t, true)
+	if _, err := Open(dir, WithFS(fsys)); !errors.Is(err, ErrLocked) {
+		t.Fatalf("Open under live owner err = %v, want ErrLocked", err)
+	}
+}
+
+// TestLeasePidlessTakeover covers the crash window between the O_EXCL
+// create and the pid write: the file exists but is empty. After the
+// grace re-read it is treated as stale and taken over.
+func TestLeasePidlessTakeover(t *testing.T) {
+	fsys := noFlockFS()
+	dir := t.TempDir()
+	writeLockFile(t, fsys, dir, "")
+	stubPidAlive(t, true) // liveness must not even be consulted
+
+	r, err := Open(dir, WithFS(fsys))
+	if err != nil {
+		t.Fatalf("Open over pid-less lease: %v", err)
+	}
+	r.Close()
+}
+
+func TestWithLockWaitOutlastsHolder(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		r.Close()
+	}()
+	r2, err := Open(dir, WithLockWait(context.Background(), 5*time.Second))
+	if err != nil {
+		t.Fatalf("Open with lock wait: %v", err)
+	}
+	r2.Close()
+}
+
+func TestWithLockWaitTimeoutAndCancel(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Budget exhausted: ErrLocked surfaces.
+	if _, err := Open(dir, WithLockWait(context.Background(), 20*time.Millisecond)); !errors.Is(err, ErrLocked) {
+		t.Fatalf("timeout err = %v, want ErrLocked", err)
+	}
+
+	// Context cancelled mid-wait: both the cause and ErrLocked chain.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = Open(dir, WithLockWait(ctx, 5*time.Second))
+	if !errors.Is(err, ErrLocked) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancel err = %v, want ErrLocked and DeadlineExceeded in chain", err)
+	}
+}
+
+// TestLeaseTakeoverSingleWinner races contenders over one stale lease:
+// the rename-claim protocol must admit exactly one.
+func TestLeaseTakeoverSingleWinner(t *testing.T) {
+	fsys := noFlockFS()
+	dir := t.TempDir()
+	writeLockFile(t, fsys, dir, "pid 999999\n")
+	stubPidAlive(t, false)
+
+	const contenders = 8
+	type result struct {
+		r   *Repository
+		err error
+	}
+	results := make(chan result, contenders)
+	for i := 0; i < contenders; i++ {
+		go func() {
+			r, err := Open(dir, WithFS(fsys))
+			results <- result{r, err}
+		}()
+	}
+	var won int
+	for i := 0; i < contenders; i++ {
+		res := <-results
+		if res.err == nil {
+			won++
+			defer res.r.Close()
+		} else if !errors.Is(res.err, ErrLocked) {
+			t.Fatalf("contender err = %v, want nil or ErrLocked", res.err)
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d contenders won the stale lease, want exactly 1", won)
+	}
+}

@@ -9,12 +9,14 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/vfs"
 )
 
 // activeSegPath locates the active segment file via the manifest.
 func activeSegPath(t *testing.T, dir string) string {
 	t.Helper()
-	segs, ok, err := readManifest(dir)
+	segs, ok, err := readManifest(vfs.OS, dir)
 	if err != nil || !ok {
 		t.Fatalf("reading manifest: ok=%v err=%v", ok, err)
 	}

@@ -1,0 +1,257 @@
+package metadata
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// buildSealedRepo fills a FaultFS-backed repository with frames
+// 0..n-1 under a small segment size, returning the oracle and the
+// sealed-segment layout (name, first oracle index, record count).
+type sealedSeg struct {
+	name    string
+	first   int
+	records int
+}
+
+func buildSealedRepo(t *testing.T, fsys *vfs.FaultFS, dir string, n int) ([]Record, []sealedSeg) {
+	t.Helper()
+	r, err := Open(dir, WithFS(fsys), WithSegmentSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracle []Record
+	for i := 0; i < n; i++ {
+		rec := obs(i, i%3, "q", 1)
+		id, err := r.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.ID = id
+		oracle = append(oracle, rec)
+	}
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sealed []sealedSeg
+	first := 0
+	for _, s := range st.Segments {
+		if s.Sealed {
+			sealed = append(sealed, sealedSeg{name: s.Name, first: first, records: s.Records})
+		}
+		first += s.Records
+	}
+	if len(sealed) < 3 {
+		t.Fatalf("want ≥3 sealed segments, got %d", len(sealed))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return oracle, sealed
+}
+
+// corruptByte flips one byte in the middle of a file on the FaultFS.
+func corruptByte(t *testing.T, fsys *vfs.FaultFS, path string) {
+	t.Helper()
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(int64(len(data)/2), io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{data[len(data)/2] ^ 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuarantineIsolatesCorruptSealedSegment(t *testing.T) {
+	fsys := vfs.NewFaultFS()
+	dir := "repo"
+	oracle, sealed := buildSealedRepo(t, fsys, dir, 90)
+	victim := sealed[1] // middle segment: both gap edges exist
+	corruptByte(t, fsys, filepath.Join(dir, victim.name))
+
+	// Strict mode (the default) still refuses the whole open.
+	if _, err := Open(dir, WithFS(fsys)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict Open err = %v, want ErrCorrupt", err)
+	}
+
+	// Degraded mode opens, serving everything but the damaged segment.
+	r, err := Open(dir, WithFS(fsys), WithQuarantine())
+	if err != nil {
+		t.Fatalf("quarantine Open: %v", err)
+	}
+	defer r.Close()
+	if got, want := r.Len(), len(oracle)-victim.records; got != want {
+		t.Fatalf("Len = %d, want %d (oracle minus quarantined)", got, want)
+	}
+
+	// Surviving records are intact and queryable.
+	recs, err := r.Query(`label = 'q'`)
+	if err != nil {
+		t.Fatalf("query on degraded store: %v", err)
+	}
+	if len(recs) != len(oracle)-victim.records {
+		t.Fatalf("query returned %d records, want %d", len(recs), len(oracle)-victim.records)
+	}
+
+	// Health names the segment and brackets the gap.
+	h, err := r.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Degraded || len(h.Quarantined) != 1 {
+		t.Fatalf("health = %+v, want one quarantined segment", h)
+	}
+	q := h.Quarantined[0]
+	if q.Name != victim.name || q.Records != victim.records || q.Err == "" {
+		t.Fatalf("quarantined = %+v, want name %s records %d", q, victim.name, victim.records)
+	}
+	wantLo := oracle[victim.first-1]
+	wantHi := oracle[victim.first+victim.records]
+	if q.FrameGap != [2]int{wantLo.Frame, wantHi.Frame} {
+		t.Fatalf("FrameGap = %v, want [%d %d]", q.FrameGap, wantLo.Frame, wantHi.Frame)
+	}
+	if q.TimeGap[0] != wantLo.Time || q.TimeGap[1] != wantHi.Time {
+		t.Fatalf("TimeGap = %v, want [%v %v]", q.TimeGap, wantLo.Time, wantHi.Time)
+	}
+
+	// Stats agrees.
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quarantined != 1 {
+		t.Fatalf("Stats.Quarantined = %d, want 1", st.Quarantined)
+	}
+
+	// Compact refuses to launder the gap away.
+	if err := r.Compact(); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("Compact err = %v, want ErrQuarantined", err)
+	}
+
+	// The store still accepts appends, durably.
+	id, err := r.Append(obs(5000, 0, "post", 1))
+	if err != nil {
+		t.Fatalf("append on degraded store: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir, WithFS(fsys), WithQuarantine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, ok := r2.Get(id); !ok {
+		t.Fatal("append on degraded store lost across reopen")
+	}
+	// The damaged file was preserved (never swept as an orphan).
+	if _, err := fsys.Stat(filepath.Join(dir, victim.name)); err != nil {
+		t.Fatalf("quarantined segment file: %v", err)
+	}
+}
+
+func TestQuarantineMissingSealedSegment(t *testing.T) {
+	fsys := vfs.NewFaultFS()
+	dir := "repo"
+	oracle, sealed := buildSealedRepo(t, fsys, dir, 90)
+	victim := sealed[0]
+	if err := fsys.Remove(filepath.Join(dir, victim.name)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir, WithFS(fsys)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict Open err = %v, want ErrCorrupt", err)
+	}
+	r, err := Open(dir, WithFS(fsys), WithQuarantine())
+	if err != nil {
+		t.Fatalf("quarantine Open over missing segment: %v", err)
+	}
+	defer r.Close()
+	if got, want := r.Len(), len(oracle)-victim.records; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	h, err := r.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Quarantined) != 1 || h.Quarantined[0].Name != victim.name {
+		t.Fatalf("health = %+v", h)
+	}
+	// The hole touches the start of the store: no left bracket.
+	if h.Quarantined[0].FrameGap[0] != -1 {
+		t.Fatalf("FrameGap = %v, want open left edge", h.Quarantined[0].FrameGap)
+	}
+}
+
+func TestQuarantineUnderConcurrentLoad(t *testing.T) {
+	fsys := vfs.NewFaultFS()
+	dir := "repo"
+	_, sealed := buildSealedRepo(t, fsys, dir, 90)
+	corruptByte(t, fsys, filepath.Join(dir, sealed[1].name))
+
+	r, err := Open(dir, WithFS(fsys), WithQuarantine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Raced readers, writers and health probes against the degraded
+	// store: no torn state, no failed queries (run under -race in CI).
+	done := make(chan error, 3)
+	go func() {
+		for i := 0; i < 200; i++ {
+			if _, err := r.Append(obs(10000+i, 0, "load", 1)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < 200; i++ {
+			if _, err := r.Query(`label = 'q'`); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < 200; i++ {
+			h, err := r.Health()
+			if err != nil {
+				done <- err
+				return
+			}
+			if len(h.Quarantined) != 1 {
+				done <- errors.New("quarantine report changed under load")
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -126,6 +126,9 @@ var (
 	// ErrReadOnly rejects mutations on a repository opened with
 	// WithReadOnly.
 	ErrReadOnly = errors.New("metadata: repository opened read-only")
+	// ErrQuarantined rejects operations (Compact) that would need the
+	// records of a segment quarantined by WithQuarantine.
+	ErrQuarantined = errors.New("metadata: repository has quarantined segments")
 )
 
 // String renders a record compactly.

@@ -2,6 +2,7 @@ package metadata
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/vfs"
 )
 
 // Repository is the embedded metadata store. Appends go to the active
@@ -21,14 +25,15 @@ import (
 type Repository struct {
 	mu sync.RWMutex
 
-	dir      string   // "" for in-memory-only repositories
-	lockFile *os.File // exclusive dir lease; nil for in-memory
+	dir      string    // "" for in-memory-only repositories
+	fsys     vfs.FS    // filesystem seam; nil for in-memory
+	lockFile io.Closer // dir lease (flock handle or lease file); nil for in-memory
 	opts     options
 
 	segs      []segMeta // manifest order; the last entry is active
 	nextSegID uint64
 
-	active      *os.File // active-segment handle; nil for in-memory
+	active      vfs.File // active-segment handle; nil for in-memory
 	activeBuf   *bufio.Writer
 	activeBytes int64 // valid bytes written to the active segment
 	encBuf      []byte
@@ -60,6 +65,18 @@ type Repository struct {
 	// succeeds, so no record is acknowledged into a segment a crash
 	// could silently drop.
 	pendingDirSync bool
+	// writeFault is set when a write to the active segment failed (for
+	// example ENOSPC or a short write): an unknown prefix of the encoded
+	// record may be on disk and the bufio layer holds a sticky error, so
+	// the next append/Sync first rewrites the active segment from memory
+	// (repairActiveLocked) before accepting more work. The store stays
+	// open and readable throughout — once space frees, the repair
+	// succeeds and appends resume with no duplicated or lost records.
+	writeFault bool
+
+	// health accumulates the open-time recovery report and quarantined
+	// segments (see Health).
+	health Health
 
 	// compactMu serialises Compact calls; it is held across the
 	// unlocked segment rewrite while mu is free for appends and queries.
@@ -92,9 +109,13 @@ const (
 const DefaultSegmentSize = 4 << 20
 
 type options struct {
-	segSize  int64
-	sync     SyncPolicy
-	readOnly bool
+	segSize    int64
+	sync       SyncPolicy
+	readOnly   bool
+	fsys       vfs.FS
+	quarantine bool
+	lockWait   time.Duration
+	lockCtx    context.Context
 }
 
 // Option configures Open.
@@ -134,6 +155,43 @@ func WithReadOnly() Option {
 	return func(o *options) { o.readOnly = true }
 }
 
+// WithFS runs the repository on an alternative filesystem — the
+// crash-consistency and fault-injection suites pass a vfs.FaultFS
+// here. Production opens omit it and get the real filesystem.
+func WithFS(fsys vfs.FS) Option {
+	return func(o *options) {
+		if fsys != nil {
+			o.fsys = fsys
+		}
+	}
+}
+
+// WithQuarantine degrades instead of refusing: a sealed segment that
+// fails strict replay (checksum damage, byte/record counts diverging
+// from the manifest, a missing file) is quarantined rather than
+// failing Open with ErrCorrupt. The store opens with that segment's
+// records absent, queries and appends proceed, and Health reports the
+// quarantined segments with the frame/time gap their loss leaves.
+// Compact refuses with ErrQuarantined while any segment is
+// quarantined — merging would launder the gap into a clean-looking
+// segment. Without this option (the default, and what the
+// oracle-equivalence suites run under) corruption still fails Open.
+func WithQuarantine() Option {
+	return func(o *options) { o.quarantine = true }
+}
+
+// WithLockWait makes Open wait up to max for a busy directory lease
+// instead of failing fast, polling with exponential backoff (1ms
+// doubling, capped at 50ms). A nil ctx waits the full budget; a
+// cancelled ctx stops early with the cancellation cause and ErrLocked
+// both in the error chain. Timeout surfaces ErrLocked.
+func WithLockWait(ctx context.Context, max time.Duration) Option {
+	return func(o *options) {
+		o.lockCtx = ctx
+		o.lockWait = max
+	}
+}
+
 // Open opens (or creates) a repository persisted under dir, taking an
 // exclusive directory lease (ErrLocked if another process holds it).
 // Sealed segments are replayed in parallel and must be intact; a
@@ -142,21 +200,22 @@ func WithReadOnly() Option {
 // append-only store. A pre-segmentation metadata.log is migrated in
 // place on first open.
 func Open(dir string, opts ...Option) (*Repository, error) {
-	o := options{segSize: DefaultSegmentSize, sync: SyncOnSeal}
+	o := options{segSize: DefaultSegmentSize, sync: SyncOnSeal, fsys: vfs.OS}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	if !o.readOnly {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := o.fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("metadata: creating %s: %w", dir, err)
 		}
 	}
-	lock, err := lockDir(dir, o.readOnly)
+	lock, err := lockDir(o.fsys, dir, o)
 	if err != nil {
 		return nil, err
 	}
 	r := newMem()
 	r.dir = dir
+	r.fsys = o.fsys
 	r.lockFile = lock
 	r.opts = o
 	if err := r.load(); err != nil {
@@ -185,7 +244,7 @@ func newMem() *Repository {
 // segment (sealed ones in parallel) and opens the active segment for
 // appending.
 func (r *Repository) load() error {
-	segs, haveManifest, err := readManifest(r.dir)
+	segs, haveManifest, err := readManifest(r.fsys, r.dir)
 	if err != nil {
 		return err
 	}
@@ -193,7 +252,7 @@ func (r *Repository) load() error {
 		if r.opts.readOnly {
 			return r.loadNoManifestReadOnly()
 		}
-		if err := ensureInitSafe(r.dir); err != nil {
+		if err := ensureInitSafe(r.fsys, r.dir); err != nil {
 			return err
 		}
 		segs, err = r.initLayout()
@@ -202,8 +261,12 @@ func (r *Repository) load() error {
 		}
 	}
 	if !r.opts.readOnly {
-		if err := removeOrphans(r.dir, segs); err != nil {
+		removed, err := removeOrphans(r.fsys, r.dir, segs)
+		if err != nil {
 			return err
+		}
+		if removed > 0 {
+			r.recovered("removed %d orphaned file(s)", removed)
 		}
 	}
 	r.segs = segs
@@ -219,8 +282,9 @@ func (r *Repository) load() error {
 	sealed := segs[:len(segs)-1]
 	if len(sealed) > 0 {
 		loads := make([]struct {
-			recs []Record
-			err  error
+			recs       []Record
+			err        error
+			quarantine error
 		}, len(sealed))
 		done := make([]chan struct{}, len(sealed))
 		for i := range done {
@@ -259,10 +323,16 @@ func (r *Repository) load() error {
 						return
 					default:
 					}
-					recs, n, err := decodeSegment(filepath.Join(r.dir, sealed[i].name), true)
+					recs, n, err := decodeSegment(r.fsys, filepath.Join(r.dir, sealed[i].name), true)
 					if err == nil && (n != sealed[i].bytes || len(recs) != sealed[i].count) {
 						err = fmt.Errorf("metadata: sealed segment %s: %d bytes/%d records, manifest says %d/%d: %w",
 							sealed[i].name, n, len(recs), sealed[i].bytes, sealed[i].count, ErrCorrupt)
+					}
+					if err != nil && r.opts.quarantine {
+						// Degraded open: isolate the damaged segment
+						// instead of failing; its manifest entry stays so
+						// the file is never swept as an orphan.
+						recs, loads[i].quarantine, err = nil, err, nil
 					}
 					loads[i].recs, loads[i].err = recs, err
 					close(done[i])
@@ -276,6 +346,15 @@ func (r *Repository) load() error {
 				return loads[i].err
 			}
 			r.segs[i].first = r.store.n
+			if qerr := loads[i].quarantine; qerr != nil {
+				r.segs[i].quarantined = true
+				r.health.Quarantined = append(r.health.Quarantined, SegmentHealth{
+					Name:    r.segs[i].name,
+					Err:     qerr.Error(),
+					Records: r.segs[i].count,
+					Bytes:   r.segs[i].bytes,
+				})
+			}
 			for _, rec := range loads[i].recs {
 				r.indexReplayed(rec)
 			}
@@ -289,7 +368,7 @@ func (r *Repository) load() error {
 	// any) and make the truncation durable before appending over it.
 	act := &r.segs[len(r.segs)-1]
 	path := filepath.Join(r.dir, act.name)
-	recs, validBytes, err := decodeSegment(path, false)
+	recs, validBytes, err := decodeSegment(r.fsys, path, false)
 	if err != nil {
 		return err
 	}
@@ -299,13 +378,14 @@ func (r *Repository) load() error {
 	}
 	act.count = len(recs)
 	act.bytes = validBytes
+	r.fillGaps()
 
 	if r.opts.readOnly {
 		// No append handle, no tail repair: a torn tail simply replays
 		// as its valid prefix on every read-only open.
 		return nil
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := r.fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("metadata: opening active segment: %w", err)
 	}
@@ -325,10 +405,11 @@ func (r *Repository) load() error {
 			f.Close()
 			return fmt.Errorf("metadata: syncing truncated segment: %w", err)
 		}
-		if err := syncDir(r.dir); err != nil {
+		if err := syncDir(r.fsys, r.dir); err != nil {
 			f.Close()
 			return err
 		}
+		r.recovered("truncated torn tail of %s (%d → %d bytes)", act.name, st.Size(), validBytes)
 	}
 	if _, err := f.Seek(validBytes, io.SeekStart); err != nil {
 		f.Close()
@@ -339,7 +420,7 @@ func (r *Repository) load() error {
 	r.activeBytes = validBytes
 
 	if !haveManifest {
-		if _, err := writeManifest(r.dir, r.segs); err != nil {
+		if _, err := writeManifest(r.fsys, r.dir, r.segs); err != nil {
 			// Open fails wholesale here; whether or not the rename
 			// landed, the on-disk state (fresh segment or migrated
 			// legacy log, manifest or none) reopens consistently.
@@ -357,17 +438,17 @@ func (r *Repository) load() error {
 // an empty directory reads as an empty repository. Segments beyond
 // 000001.seg without a manifest still refuse (see ensureInitSafe).
 func (r *Repository) loadNoManifestReadOnly() error {
-	if err := ensureInitSafe(r.dir); err != nil {
+	if err := ensureInitSafe(r.fsys, r.dir); err != nil {
 		return err
 	}
 	for _, name := range []string{segFileName(1), legacyLogName} {
 		path := filepath.Join(r.dir, name)
-		if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		if _, err := r.fsys.Stat(path); errors.Is(err, os.ErrNotExist) {
 			continue
 		} else if err != nil {
 			return fmt.Errorf("metadata: probing %s: %w", name, err)
 		}
-		recs, valid, err := decodeSegment(path, false)
+		recs, valid, err := decodeSegment(r.fsys, path, false)
 		if err != nil {
 			return err
 		}
@@ -387,17 +468,47 @@ func (r *Repository) loadNoManifestReadOnly() error {
 func (r *Repository) initLayout() ([]segMeta, error) {
 	first := segFileName(1)
 	legacy := filepath.Join(r.dir, legacyLogName)
-	if _, err := os.Stat(legacy); err == nil {
-		if err := osRename(legacy, filepath.Join(r.dir, first)); err != nil {
+	if _, err := r.fsys.Stat(legacy); err == nil {
+		if err := r.fsys.Rename(legacy, filepath.Join(r.dir, first)); err != nil {
 			return nil, fmt.Errorf("metadata: migrating legacy log: %w", err)
 		}
-		if err := syncDir(r.dir); err != nil {
+		if err := syncDir(r.fsys, r.dir); err != nil {
 			return nil, err
 		}
+		r.recovered("migrated legacy %s to %s", legacyLogName, first)
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("metadata: probing legacy log: %w", err)
 	}
 	return []segMeta{{name: first}}, nil
+}
+
+// recovered records one open-time recovery action for Health.
+func (r *Repository) recovered(format string, args ...any) {
+	r.health.Recovery = append(r.health.Recovery, fmt.Sprintf(format, args...))
+}
+
+// fillGaps computes, for each quarantined segment, the frame/time
+// bracket its missing records leave: the keys of the last surviving
+// record before the hole and the first after it. Runs once replay has
+// assigned every segment's first position.
+func (r *Repository) fillGaps() {
+	qi := 0
+	for i := range r.segs {
+		if !r.segs[i].quarantined {
+			continue
+		}
+		h := &r.health.Quarantined[qi]
+		qi++
+		h.FrameGap = [2]int{-1, -1}
+		if p := r.segs[i].first - 1; p >= 0 {
+			h.FrameGap[0] = r.store.at(p).Frame
+			h.TimeGap[0] = r.store.at(p).Time
+		}
+		if p := r.segs[i].first; p < r.store.n {
+			h.FrameGap[1] = r.store.at(p).Frame
+			h.TimeGap[1] = r.store.at(p).Time
+		}
+	}
 }
 
 // indexReplayed indexes one replayed record and advances the ID counter.
@@ -536,6 +647,9 @@ func (r *Repository) appendLocked(rec Record) (uint64, error) {
 	if err := r.retryDirSyncLocked(); err != nil {
 		return 0, err
 	}
+	if err := r.repairActiveLocked(); err != nil {
+		return 0, err
+	}
 	if r.active != nil && r.activeBytes >= r.opts.segSize {
 		if err := r.rollLocked(); err != nil {
 			return 0, err
@@ -545,6 +659,12 @@ func (r *Repository) appendLocked(rec Record) (uint64, error) {
 	if r.active != nil {
 		r.encBuf = appendRecord(r.encBuf[:0], rec)
 		if _, err := r.activeBuf.Write(r.encBuf); err != nil {
+			// The record is rejected (not indexed, not acknowledged),
+			// but an unknown prefix of it may have reached the disk and
+			// the bufio layer is now sticky — flag the fault so the next
+			// append rewrites the active segment from memory instead of
+			// appending after garbage.
+			r.writeFault = true
 			return 0, fmt.Errorf("metadata: appending record: %w", err)
 		}
 		r.activeBytes += int64(len(r.encBuf))
@@ -566,32 +686,34 @@ func (r *Repository) appendLocked(rec Record) (uint64, error) {
 // segment; the old handle is never closed until cutover succeeded.
 func (r *Repository) rollLocked() error {
 	if err := r.activeBuf.Flush(); err != nil {
+		r.writeFault = true
 		return fmt.Errorf("metadata: flushing before seal: %w", err)
 	}
 	// Seals fsync under every policy: strict sealed replay (and the
 	// manifest's exact byte/record counts) depend on sealed segments
 	// being clean after any crash.
 	if err := r.active.Sync(); err != nil {
+		r.writeFault = true
 		return fmt.Errorf("metadata: syncing sealing segment: %w", err)
 	}
 	newName := segFileName(r.nextSegID)
-	f, err := os.OpenFile(filepath.Join(r.dir, newName), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := r.fsys.OpenFile(filepath.Join(r.dir, newName), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("metadata: creating segment: %w", err)
 	}
-	if err := syncDir(r.dir); err != nil {
+	if err := syncDir(r.fsys, r.dir); err != nil {
 		f.Close()
-		os.Remove(filepath.Join(r.dir, newName))
+		r.fsys.Remove(filepath.Join(r.dir, newName))
 		return err
 	}
 	segs := make([]segMeta, len(r.segs)+1)
 	copy(segs, r.segs)
 	segs[len(segs)-2].sealed = true
 	segs[len(segs)-1] = segMeta{name: newName, first: r.store.n}
-	installed, err := writeManifest(r.dir, segs)
+	installed, err := writeManifest(r.fsys, r.dir, segs)
 	if err != nil && !installed {
 		f.Close()
-		os.Remove(filepath.Join(r.dir, newName))
+		r.fsys.Remove(filepath.Join(r.dir, newName))
 		return err
 	}
 	// The new manifest governs (even if its directory fsync failed —
@@ -620,10 +742,60 @@ func (r *Repository) retryDirSyncLocked() error {
 	if !r.pendingDirSync {
 		return nil
 	}
-	if err := syncDir(r.dir); err != nil {
+	if err := syncDir(r.fsys, r.dir); err != nil {
 		return fmt.Errorf("metadata: cutover still not durable: %w", err)
 	}
 	r.pendingDirSync = false
+	return nil
+}
+
+// repairActiveLocked recovers from a writeFault by rewriting the whole
+// active segment from memory: truncate to zero, re-encode every
+// acknowledged record the segment covers, flush and fsync. Memory is
+// the source of truth — an acknowledged record is always in the store,
+// a rejected one never is — so the rewrite can neither duplicate nor
+// lose records regardless of what the failed write left on disk. The
+// rewrite needs the fault gone (e.g. space freed); until then it fails
+// and the flag stays set, with reads unaffected. No-op when healthy.
+// Caller holds the write lock.
+func (r *Repository) repairActiveLocked() error {
+	if !r.writeFault {
+		return nil
+	}
+	if r.active == nil {
+		r.writeFault = false
+		return nil
+	}
+	fail := func(err error) error {
+		return fmt.Errorf("metadata: active segment still faulted: %w", err)
+	}
+	if err := r.active.Truncate(0); err != nil {
+		return fail(err)
+	}
+	if _, err := r.active.Seek(0, io.SeekStart); err != nil {
+		return fail(err)
+	}
+	r.activeBuf.Reset(r.active) // clears the sticky bufio error
+	act := &r.segs[len(r.segs)-1]
+	var size int64
+	for pos := act.first; pos < r.store.n; pos++ {
+		r.encBuf = appendRecord(r.encBuf[:0], *r.store.at(pos))
+		if _, err := r.activeBuf.Write(r.encBuf); err != nil {
+			return fail(err)
+		}
+		size += int64(len(r.encBuf))
+	}
+	if err := r.activeBuf.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := r.active.Sync(); err != nil {
+		return fail(err)
+	}
+	r.activeBytes = size
+	act.bytes = size
+	act.count = r.store.n - act.first
+	r.writeFault = false
+	r.recovered("rewrote active segment %s after write fault (%d records)", act.name, act.count)
 	return nil
 }
 
@@ -667,10 +839,14 @@ func (r *Repository) flushLocked(fsync bool) error {
 		return nil
 	}
 	if err := r.activeBuf.Flush(); err != nil {
+		r.writeFault = true
 		return fmt.Errorf("metadata: flushing segment: %w", err)
 	}
 	if fsync {
 		if err := r.active.Sync(); err != nil {
+			// After a failed fsync the kernel may have dropped the dirty
+			// pages; treat the on-disk suffix as unknown and rewrite.
+			r.writeFault = true
 			return fmt.Errorf("metadata: syncing segment: %w", err)
 		}
 	}
@@ -698,6 +874,9 @@ func (r *Repository) Sync() error {
 		return nil
 	}
 	if err := r.retryDirSyncLocked(); err != nil {
+		return err
+	}
+	if err := r.repairActiveLocked(); err != nil {
 		return err
 	}
 	return r.flushLocked(true)
@@ -764,6 +943,10 @@ type SegmentStat struct {
 	// Sealed reports whether the segment is immutable (fsynced, only
 	// the last, active segment accepts appends).
 	Sealed bool
+	// Quarantined reports a sealed segment isolated by WithQuarantine;
+	// Records/Bytes then repeat the manifest's claims for a file whose
+	// records are not in memory (see Health for the gap it leaves).
+	Quarantined bool
 }
 
 // Stats reports repository storage statistics. Segments is nil for
@@ -775,6 +958,8 @@ type Stats struct {
 	Segments []SegmentStat
 	// DiskBytes sums the encoded size of every segment.
 	DiskBytes int64
+	// Quarantined counts segments isolated by WithQuarantine.
+	Quarantined int
 }
 
 // Stats returns storage statistics for the repository.
@@ -787,9 +972,13 @@ func (r *Repository) Stats() (Stats, error) {
 	st := Stats{Records: r.store.n}
 	for _, s := range r.segs {
 		st.Segments = append(st.Segments, SegmentStat{
-			Name: s.name, Records: s.count, Bytes: s.bytes, Sealed: s.sealed,
+			Name: s.name, Records: s.count, Bytes: s.bytes,
+			Sealed: s.sealed, Quarantined: s.quarantined,
 		})
 		st.DiskBytes += s.bytes
+		if s.quarantined {
+			st.Quarantined++
+		}
 	}
 	return st, nil
 }
@@ -919,6 +1108,15 @@ func (r *Repository) Compact() error {
 		r.mu.Unlock()
 		return ErrReadOnly
 	}
+	for _, s := range r.segs {
+		if s.quarantined {
+			// Merging would fold the quarantined segment's gap into one
+			// clean-looking segment and delete the damaged file — the
+			// only copy of whatever a repair tool might still salvage.
+			r.mu.Unlock()
+			return fmt.Errorf("metadata: %s is quarantined: %w", s.name, ErrQuarantined)
+		}
+	}
 	if r.active == nil {
 		r.mu.Unlock()
 		return nil
@@ -958,9 +1156,9 @@ func (r *Repository) Compact() error {
 	// byte-identically to the original entries.
 	mergedName := segFileName(mergeID)
 	tmp := filepath.Join(dir, mergedName+".tmp")
-	mergedBytes, err := writeSegmentFile(tmp, view, mergeCount)
+	mergedBytes, err := writeSegmentFile(r.fsys, tmp, view, mergeCount)
 	if err != nil {
-		os.Remove(tmp)
+		r.fsys.Remove(tmp)
 		return err
 	}
 
@@ -971,21 +1169,21 @@ func (r *Repository) Compact() error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		os.Remove(tmp)
+		r.fsys.Remove(tmp)
 		return ErrClosed
 	}
 	old := make([]string, nSealed)
 	for i := 0; i < nSealed; i++ {
 		old[i] = r.segs[i].name
 	}
-	if err := osRename(tmp, filepath.Join(dir, mergedName)); err != nil {
+	if err := r.fsys.Rename(tmp, filepath.Join(dir, mergedName)); err != nil {
 		r.mu.Unlock()
-		os.Remove(tmp)
+		r.fsys.Remove(tmp)
 		return fmt.Errorf("metadata: installing merged segment: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(r.fsys, dir); err != nil {
 		r.mu.Unlock()
-		os.Remove(filepath.Join(dir, mergedName))
+		r.fsys.Remove(filepath.Join(dir, mergedName))
 		return err
 	}
 	segs := make([]segMeta, 0, len(r.segs)-nSealed+1)
@@ -993,12 +1191,12 @@ func (r *Repository) Compact() error {
 		name: mergedName, bytes: mergedBytes, count: mergeCount, sealed: true,
 	})
 	segs = append(segs, r.segs[nSealed:]...)
-	installed, err := writeManifest(dir, segs)
+	installed, err := writeManifest(r.fsys, dir, segs)
 	if err != nil && !installed {
 		// Old manifest still reigns; the merged file is an orphan (also
 		// cleaned at next Open if this remove fails).
 		r.mu.Unlock()
-		os.Remove(filepath.Join(dir, mergedName))
+		r.fsys.Remove(filepath.Join(dir, mergedName))
 		return err
 	}
 	r.segs = segs
@@ -1019,7 +1217,7 @@ func (r *Repository) Compact() error {
 	// The old segments are no longer referenced; remove them outside
 	// the lock (failures are harmless — Open removes orphans).
 	for _, name := range old {
-		os.Remove(filepath.Join(dir, name))
+		r.fsys.Remove(filepath.Join(dir, name))
 	}
 	return nil
 }
@@ -1029,8 +1227,8 @@ func (r *Repository) Compact() error {
 // unconditional — whatever the repository's sync policy, the cutover
 // deletes the originals, so the merged segment must be durable before
 // the manifest can reference it.
-func writeSegmentFile(path string, s snap, n int) (int64, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+func writeSegmentFile(fsys vfs.FS, path string, s snap, n int) (int64, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("metadata: creating merged segment: %w", err)
 	}

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"repro/internal/vfs"
 )
 
 // On-disk layout (DESIGN.md §5): the repository directory holds
@@ -48,6 +50,10 @@ type segMeta struct {
 	count  int    // records stored; exact for sealed segments
 	first  int    // first in-memory position (derived at open, not persisted)
 	sealed bool
+	// quarantined marks a sealed segment that failed strict replay under
+	// WithQuarantine: its manifest entry (and file) stay in place, its
+	// records are absent from memory, and Compact refuses to run.
+	quarantined bool
 }
 
 // segFileName renders the numbered segment file name.
@@ -68,21 +74,12 @@ func segFileID(name string) (uint64, bool) {
 	return id, true
 }
 
-// osRename indirects os.Rename so tests can inject cutover failures.
-var osRename = os.Rename
-
 // syncDir fsyncs a directory, making preceding renames and file
-// creations within it durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("metadata: opening dir for fsync: %w", err)
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+// creations within it durable. All filesystem access below goes
+// through the vfs seam (internal/vfs) so the crash-consistency
+// harness can inject faults at every operation.
+func syncDir(fsys vfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("metadata: fsyncing dir %s: %w", dir, err)
 	}
 	return nil
@@ -173,9 +170,9 @@ func parseManifest(data []byte) ([]segMeta, error) {
 // — rather than rolling back; only a crash can revert to the old
 // manifest, whose own files callers keep in place until a fully
 // successful swap.
-func writeManifest(dir string, segs []segMeta) (installed bool, err error) {
+func writeManifest(fsys vfs.FS, dir string, segs []segMeta) (installed bool, err error) {
 	tmp := filepath.Join(dir, manifestTmp)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return false, fmt.Errorf("metadata: creating manifest temp: %w", err)
 	}
@@ -187,19 +184,19 @@ func writeManifest(dir string, segs []segMeta) (installed bool, err error) {
 		werr = cerr
 	}
 	if werr != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return false, fmt.Errorf("metadata: writing manifest: %w", werr)
 	}
-	if err := osRename(tmp, filepath.Join(dir, manifestName)); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		fsys.Remove(tmp)
 		return false, fmt.Errorf("metadata: installing manifest: %w", err)
 	}
-	return true, syncDir(dir)
+	return true, syncDir(fsys, dir)
 }
 
 // readManifest loads the manifest; ok is false when none exists yet.
-func readManifest(dir string) (segs []segMeta, ok bool, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+func readManifest(fsys vfs.FS, dir string) (segs []segMeta, ok bool, err error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, false, nil
 	}
@@ -222,8 +219,8 @@ func readManifest(dir string) (segs []segMeta, ok bool, err error) {
 // decoding stops at the first bad entry and validBytes reports the end
 // of the valid prefix, which the caller truncates to. A missing file
 // decodes as empty.
-func decodeSegment(path string, strict bool) (recs []Record, validBytes int64, err error) {
-	f, err := os.Open(path)
+func decodeSegment(fsys vfs.FS, path string, strict bool) (recs []Record, validBytes int64, err error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, 0, nil
 	}
@@ -254,28 +251,29 @@ func decodeSegment(path string, strict bool) (recs []Record, validBytes int64, e
 // never landed, or left behind by an interrupted compaction cutover)
 // and stale temporaries. Runs after the manifest is loaded, before
 // replay.
-func removeOrphans(dir string, segs []segMeta) error {
+func removeOrphans(fsys vfs.FS, dir string, segs []segMeta) (removed int, err error) {
 	known := make(map[string]bool, len(segs))
 	for _, s := range segs {
 		known[s.name] = true
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
-		return fmt.Errorf("metadata: listing repository dir: %w", err)
+		return 0, fmt.Errorf("metadata: listing repository dir: %w", err)
 	}
 	for _, e := range entries {
 		name := e.Name()
-		stray := strings.HasSuffix(name, ".tmp")
+		stray := strings.HasSuffix(name, ".tmp") || name == staleLockName
 		if _, isSeg := segFileID(name); isSeg && !known[name] {
 			stray = true
 		}
 		if stray {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
-				return fmt.Errorf("metadata: removing orphan %s: %w", name, err)
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+				return removed, fmt.Errorf("metadata: removing orphan %s: %w", name, err)
 			}
+			removed++
 		}
 	}
-	return nil
+	return removed, nil
 }
 
 // ensureInitSafe refuses to initialise a manifest-less directory that
@@ -287,8 +285,8 @@ func removeOrphans(dir string, segs []segMeta) error {
 // orphan sweep silently destroy every segment the lost manifest
 // referenced. (A lone 000001.seg is the legitimate crash window of a
 // first open or legacy migration and replays as the active segment.)
-func ensureInitSafe(dir string) error {
-	entries, err := os.ReadDir(dir)
+func ensureInitSafe(fsys vfs.FS, dir string) error {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("metadata: listing repository dir: %w", err)
 	}

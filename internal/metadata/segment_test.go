@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/vfs"
 )
 
 // scanAll collects every record in append order.
@@ -210,7 +212,8 @@ func TestCompactSingleSegmentNoop(t *testing.T) {
 // Append buffering into a dead writer).
 func TestCompactRenameFailureLeavesRepoUsable(t *testing.T) {
 	dir := t.TempDir()
-	r, err := Open(dir, WithSegmentSize(256))
+	fsys := vfs.NewFaultFS()
+	r, err := Open(dir, WithSegmentSize(256), WithFS(fsys))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,13 +228,12 @@ func TestCompactRenameFailureLeavesRepoUsable(t *testing.T) {
 	// the pre-compaction roll succeeds and the failure lands exactly at
 	// cutover).
 	boom := errors.New("injected rename failure")
-	osRename = func(oldpath, newpath string) error {
-		if strings.HasSuffix(newpath, segSuffix) {
+	fsys.Inject = func(n int, op vfs.Op, path string) error {
+		if op == vfs.OpRename && strings.HasSuffix(path, segSuffix) {
 			return boom
 		}
-		return os.Rename(oldpath, newpath)
+		return nil
 	}
-	defer func() { osRename = os.Rename }()
 
 	if err := r.Compact(); !errors.Is(err, boom) {
 		t.Fatalf("Compact err = %v, want injected failure", err)
@@ -249,7 +251,7 @@ func TestCompactRenameFailureLeavesRepoUsable(t *testing.T) {
 	want := scanAll(t, r)
 
 	// With the fault cleared the next compaction succeeds.
-	osRename = os.Rename
+	fsys.Inject = nil
 	if err := r.Compact(); err != nil {
 		t.Fatalf("retry compact: %v", err)
 	}
@@ -259,7 +261,7 @@ func TestCompactRenameFailureLeavesRepoUsable(t *testing.T) {
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Open(dir)
+	r2, err := Open(dir, WithFS(fsys))
 	if err != nil {
 		t.Fatal(err)
 	}

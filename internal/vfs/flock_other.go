@@ -1,0 +1,14 @@
+//go:build !unix
+
+package vfs
+
+import (
+	"errors"
+	"io"
+)
+
+// Flock is unsupported off unix; callers fall back to the lease-file
+// protocol (see metadata's lockfile.go).
+func (OsFS) Flock(path string, exclusive bool) (io.Closer, error) {
+	return nil, errors.ErrUnsupported
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package vfs
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// Flock takes the path's advisory flock. Locking a directory's own fd
+// means shared read-only opens create nothing on disk, and the kernel
+// releases the lease when the handle closes — including on crash — so
+// no stale-lock recovery is needed on flock platforms.
+func (OsFS) Flock(path string, exclusive bool) (io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	if err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, ErrLockHeld
+		}
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,104 @@
+// Package vfs is the filesystem seam under the metadata store: every
+// filesystem operation the store performs — open/create, write, sync,
+// rename, remove, readdir, directory fsync, advisory locking — goes
+// through the FS interface. OsFS passes straight through to the os
+// package and is what production uses; FaultFS (faultfs.go) is a
+// deterministic in-memory filesystem that can fail the Nth operation,
+// short-write, report ENOSPC and simulate a power cut, and is what the
+// crash-consistency harness drives the store with (DESIGN.md §8).
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is one open file handle. *os.File satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Name() string
+	Stat() (fs.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface the metadata store runs on.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics (os.O_* flags).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory, sorted by name.
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// Stat describes a file or directory.
+	Stat(name string) (fs.FileInfo, error)
+	// MkdirAll creates a directory path.
+	MkdirAll(dir string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory, making renames and file creations
+	// within it durable.
+	SyncDir(dir string) error
+	// Flock takes the advisory lock on path — exclusive or shared —
+	// without blocking. A busy lock fails with ErrLockHeld; a platform
+	// without flock support fails with errors.ErrUnsupported (callers
+	// fall back to a lease-file protocol). Closing the returned handle
+	// releases the lock.
+	Flock(path string, exclusive bool) (io.Closer, error)
+}
+
+// ErrLockHeld reports that Flock found the lock held by someone else.
+var ErrLockHeld = errors.New("vfs: lock held")
+
+// OS is the passthrough filesystem production code uses.
+var OS FS = OsFS{}
+
+// OsFS implements FS directly on the os package.
+type OsFS struct{}
+
+// OpenFile opens name via os.OpenFile.
+func (OsFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename renames via os.Rename.
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes via os.Remove.
+func (OsFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir lists via os.ReadDir.
+func (OsFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+// ReadFile reads via os.ReadFile.
+func (OsFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Stat stats via os.Stat.
+func (OsFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// MkdirAll creates via os.MkdirAll.
+func (OsFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// SyncDir opens the directory and fsyncs it.
+func (OsFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

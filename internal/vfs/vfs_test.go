@@ -1,0 +1,258 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+)
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// write creates name with data on f, synced and dir-synced.
+func write(t *testing.T, f *FaultFS, name string, data []byte) {
+	t.Helper()
+	h, err := f.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	must(t, err)
+	_, err = h.Write(data)
+	must(t, err)
+	must(t, h.Sync())
+	must(t, h.Close())
+}
+
+func TestFaultFSBasics(t *testing.T) {
+	f := NewFaultFS()
+	must(t, f.MkdirAll("repo", 0o755))
+	write(t, f, "repo/a", []byte("hello"))
+	must(t, f.SyncDir("repo"))
+
+	got, err := f.ReadFile("repo/a")
+	must(t, err)
+	if string(got) != "hello" {
+		t.Fatalf("ReadFile = %q", got)
+	}
+	info, err := f.Stat("repo/a")
+	must(t, err)
+	if info.Size() != 5 || info.IsDir() {
+		t.Fatalf("stat: size=%d dir=%v", info.Size(), info.IsDir())
+	}
+	if _, err := f.Stat("repo/missing"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stat missing: %v", err)
+	}
+	if _, err := f.OpenFile("repo/a", os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644); !errors.Is(err, os.ErrExist) {
+		t.Fatalf("O_EXCL on existing: %v", err)
+	}
+
+	write(t, f, "repo/b", []byte("x"))
+	ents, err := f.ReadDir("repo")
+	must(t, err)
+	if len(ents) != 2 || ents[0].Name() != "a" || ents[1].Name() != "b" {
+		t.Fatalf("ReadDir = %v", ents)
+	}
+
+	// Read-back through a handle, including Seek.
+	h, err := f.OpenFile("repo/a", os.O_RDONLY, 0)
+	must(t, err)
+	if _, err := h.Seek(1, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := io.ReadAll(h)
+	must(t, err)
+	if string(buf) != "ello" {
+		t.Fatalf("read after seek = %q", buf)
+	}
+	must(t, h.Close())
+}
+
+func TestFaultFSCrashDropsUnsynced(t *testing.T) {
+	f := NewFaultFS()
+	must(t, f.MkdirAll("repo", 0o755))
+	write(t, f, "repo/a", []byte("durable"))
+	must(t, f.SyncDir("repo"))
+
+	// Append without fsync, create a file without dir-fsync.
+	h, err := f.OpenFile("repo/a", os.O_WRONLY, 0)
+	must(t, err)
+	_, err = h.Seek(0, io.SeekEnd)
+	must(t, err)
+	_, err = h.Write([]byte("+tail"))
+	must(t, err)
+	write(t, f, "repo/new", []byte("ghost")) // file-synced but not dir-synced
+
+	f.Crash(0)
+
+	got, err := f.ReadFile("repo/a")
+	must(t, err)
+	if string(got) != "durable" {
+		t.Fatalf("after crash a = %q", got)
+	}
+	if _, err := f.ReadFile("repo/new"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("un-dir-synced file survived crash: %v", err)
+	}
+}
+
+func TestFaultFSCrashTornTail(t *testing.T) {
+	f := NewFaultFS()
+	must(t, f.MkdirAll("repo", 0o755))
+	write(t, f, "repo/a", []byte("base"))
+	must(t, f.SyncDir("repo"))
+	h, err := f.OpenFile("repo/a", os.O_WRONLY, 0)
+	must(t, err)
+	_, err = h.Seek(0, io.SeekEnd)
+	must(t, err)
+	_, err = h.Write([]byte("unsynced"))
+	must(t, err)
+
+	f.Crash(3)
+	got, err := f.ReadFile("repo/a")
+	must(t, err)
+	if string(got) != "baseuns" {
+		t.Fatalf("torn crash = %q", got)
+	}
+}
+
+func TestFaultFSCrashRevertsRename(t *testing.T) {
+	f := NewFaultFS()
+	must(t, f.MkdirAll("repo", 0o755))
+	write(t, f, "repo/MANIFEST", []byte("v1"))
+	must(t, f.SyncDir("repo"))
+
+	write(t, f, "repo/MANIFEST.tmp", []byte("v2"))
+	must(t, f.Rename("repo/MANIFEST.tmp", "repo/MANIFEST"))
+
+	// Rename landed but no dir fsync: crash rolls it back.
+	g := f.Clone()
+	g.Crash(0)
+	got, err := g.ReadFile("repo/MANIFEST")
+	must(t, err)
+	if string(got) != "v1" {
+		t.Fatalf("un-dir-synced rename survived: %q", got)
+	}
+
+	// With the dir fsync it sticks.
+	must(t, f.SyncDir("repo"))
+	f.Crash(0)
+	got, err = f.ReadFile("repo/MANIFEST")
+	must(t, err)
+	if string(got) != "v2" {
+		t.Fatalf("dir-synced rename lost: %q", got)
+	}
+	if _, err := f.ReadFile("repo/MANIFEST.tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tmp resurrected: %v", err)
+	}
+}
+
+func TestFaultFSInjectAndShortWrite(t *testing.T) {
+	f := NewFaultFS()
+	must(t, f.MkdirAll("repo", 0o755))
+	h, err := f.OpenFile("repo/a", os.O_CREATE|os.O_WRONLY, 0o644) // op 1: create
+	must(t, err)
+
+	boom := errors.New("boom")
+	f.FailOp(2, boom)
+	if _, err := h.Write([]byte("data")); !errors.Is(err, boom) {
+		t.Fatalf("injected write fault: %v", err)
+	}
+	f.Inject = nil
+	_, err = h.Write([]byte("data"))
+	must(t, err)
+
+	// Short write: half the buffer lands, error wraps both sentinels.
+	f.FailOp(4, errors.Join(io.ErrShortWrite, syscall.ENOSPC))
+	n, err := h.Write([]byte("abcdefgh"))
+	if n != 4 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	f.Inject = nil
+	got, err := f.ReadFile("repo/a")
+	must(t, err)
+	if string(got) != "dataabcd" {
+		t.Fatalf("content after short write = %q", got)
+	}
+}
+
+func TestFaultFSOnOpSnapshotIsIsolated(t *testing.T) {
+	f := NewFaultFS()
+	must(t, f.MkdirAll("repo", 0o755))
+	var snaps []*FaultFS
+	f.OnOp = func(n int, op Op, path string, snap *FaultFS) {
+		snaps = append(snaps, snap)
+	}
+	write(t, f, "repo/a", []byte("one"))
+	write(t, f, "repo/a", []byte("two"))
+	if len(snaps) < 4 {
+		t.Fatalf("expected ≥4 counted ops, got %d", len(snaps))
+	}
+	// The snapshot taken before the second create still holds "one",
+	// synced — mutating the live fs must not leak into it.
+	s := snaps[3] // ops: create, write, sync, create, write, sync
+	got, err := s.ReadFile("repo/a")
+	must(t, err)
+	if string(got) != "one" {
+		t.Fatalf("snapshot content = %q", got)
+	}
+}
+
+func TestFaultFSFlock(t *testing.T) {
+	f := NewFaultFS()
+	must(t, f.MkdirAll("repo", 0o755))
+
+	ex, err := f.Flock("repo", true)
+	must(t, err)
+	if _, err := f.Flock("repo", false); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("shared under exclusive: %v", err)
+	}
+	must(t, ex.Close())
+
+	s1, err := f.Flock("repo", false)
+	must(t, err)
+	s2, err := f.Flock("repo", false)
+	must(t, err)
+	if _, err := f.Flock("repo", true); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("exclusive under shared: %v", err)
+	}
+	must(t, s1.Close())
+	must(t, s2.Close())
+	ex2, err := f.Flock("repo", true)
+	must(t, err)
+	must(t, ex2.Close())
+
+	f.NoFlock = true
+	if _, err := f.Flock("repo", true); !errors.Is(err, errors.ErrUnsupported) {
+		t.Fatalf("NoFlock: %v", err)
+	}
+}
+
+func TestFaultFSFlockClearedByCrash(t *testing.T) {
+	f := NewFaultFS()
+	must(t, f.MkdirAll("repo", 0o755))
+	_, err := f.Flock("repo", true)
+	must(t, err)
+	f.Crash(0)
+	l, err := f.Flock("repo", true)
+	must(t, err)
+	must(t, l.Close())
+}
+
+func TestOsFSSatisfiesSeam(t *testing.T) {
+	dir := t.TempDir()
+	var f FS = OS
+	h, err := f.OpenFile(dir+"/x", os.O_CREATE|os.O_WRONLY, 0o644)
+	must(t, err)
+	_, err = h.Write([]byte("y"))
+	must(t, err)
+	must(t, h.Sync())
+	must(t, h.Close())
+	must(t, f.SyncDir(dir))
+	got, err := f.ReadFile(dir + "/x")
+	must(t, err)
+	if string(got) != "y" {
+		t.Fatalf("roundtrip = %q", got)
+	}
+}

@@ -6,9 +6,11 @@
 #
 # Both modes additionally run the metadata engine under the race
 # detector (concurrent AppendBatch/QueryIter/Compact stress plus the
-# compact-under-load oracle check), the torn-write recovery matrix, and
-# a short fuzz smoke of the query parser so the checked-in corpus
-# executes on every check.
+# compact-under-load oracle check), the torn-write recovery matrix,
+# the injected-fault crash-consistency matrix, the degraded-mode gates
+# (quarantine under raced load, stage panic isolation), and a short
+# fuzz smoke of the query parser so the checked-in corpus executes on
+# every check.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -35,6 +37,15 @@ else
 	# Crash-recovery matrix: every torn-final-write offset must reopen
 	# to exactly the valid prefix.
 	go test -run 'TestTornWriteRecoveryMatrix' ./internal/metadata
+	# Crash-consistency matrix: every injected fault point during
+	# append/roll/seal/manifest-swap/compact, crashed (with torn tails)
+	# and reopened, must preserve the acknowledged prefix; transient
+	# faults must surface the error and keep the store usable.
+	go test -run 'TestCrashConsistencyMatrix|TestTransientFaultMatrix' ./internal/metadata
+	# Degraded-mode gates, raced: quarantined segments served under
+	# concurrent load, and stage panic isolation on the worker pool.
+	go test -race -run 'TestQuarantineUnderConcurrentLoad' ./internal/metadata
+	go test -race -run 'TestQuarantineUnderParallelExtraction|TestDegraded' ./internal/core
 	# Compaction under load, raced: appends/cursors while segments merge.
 	go test -race -run 'TestStressConcurrentAppendQueryCompact|TestCompactUnderLoadMatchesOracle' ./internal/metadata
 	# Concurrent detection, raced: the fused matcher's thread-safety
