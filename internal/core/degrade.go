@@ -20,9 +20,10 @@ type StageFailure struct {
 	// Stage is the quarantined stage's name.
 	Stage string
 	// Reason is the recovered panic value, or the error of a stage
-	// that failed after the run had already degraded (collateral
-	// damage from a missing upstream, e.g. a summarizer handed nil
-	// layers).
+	// that failed while consuming an already-quarantined upstream's
+	// artifacts (true collateral, e.g. a summarizer handed nil layers
+	// by a racing worker). Errors from stages independent of the
+	// quarantined chain are never recorded here — they abort the run.
 	Reason string
 	// Downstream lists the stages disabled along with this one because
 	// they consume its artifacts, transitively, in graph order.
@@ -33,14 +34,19 @@ type StageFailure struct {
 // and why. Workers, consumers and the merger all consult it, so every
 // access is under the mutex.
 type stageQuarantine struct {
-	graph  *stageGraph
-	mu     sync.Mutex
-	off    map[string]bool
-	report []StageFailure
+	graph   *stageGraph
+	mu      sync.Mutex
+	off     map[string]bool
+	tainted map[ArtifactKey]bool
+	report  []StageFailure
 }
 
 func newStageQuarantine(g *stageGraph) *stageQuarantine {
-	return &stageQuarantine{graph: g, off: make(map[string]bool)}
+	return &stageQuarantine{
+		graph:   g,
+		off:     make(map[string]bool),
+		tainted: make(map[ArtifactKey]bool),
+	}
 }
 
 // disabled reports whether a stage has been quarantined.
@@ -50,11 +56,18 @@ func (q *stageQuarantine) disabled(name string) bool {
 	return q.off[name]
 }
 
-// degraded reports whether any stage has been quarantined yet.
-func (q *stageQuarantine) degraded() bool {
+// collateral reports whether a stage consumes an artifact tainted by
+// an earlier quarantine — i.e. whether its failure is plausibly
+// fallout from a missing upstream rather than an independent fault.
+func (q *stageQuarantine) collateral(st *Stage) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.report) > 0
+	for _, k := range st.Needs {
+		if q.tainted[k] {
+			return true
+		}
+	}
+	return false
 }
 
 // quarantine disables a failed stage plus every stage that transitively
@@ -67,9 +80,8 @@ func (q *stageQuarantine) quarantine(st *Stage, reason string) {
 		return
 	}
 	q.off[st.Name] = true
-	tainted := make(map[ArtifactKey]bool, len(st.Provides))
 	for _, k := range st.Provides {
-		tainted[k] = true
+		q.tainted[k] = true
 	}
 	var down []string
 	for changed := true; changed; {
@@ -80,7 +92,7 @@ func (q *stageQuarantine) quarantine(st *Stage, reason string) {
 			}
 			hit := false
 			for _, k := range s.Needs {
-				if tainted[k] {
+				if q.tainted[k] {
 					hit = true
 					break
 				}
@@ -91,7 +103,7 @@ func (q *stageQuarantine) quarantine(st *Stage, reason string) {
 			q.off[s.Name] = true
 			down = append(down, s.Name)
 			for _, k := range s.Provides {
-				tainted[k] = true
+				q.tainted[k] = true
 			}
 			changed = true
 		}
@@ -115,9 +127,12 @@ func (q *stageQuarantine) failures() []StageFailure {
 // Strict runs (no quarantine table) call the stage directly — no
 // defer, no recover, the exact pre-isolation code path. Degraded runs
 // skip quarantined stages, turn a panic into quarantine of the stage
-// and its artifact dependents, and — once the run has degraded —
-// absorb collateral stage errors the same way instead of aborting a
-// run that is already best-effort.
+// and its artifact dependents, and absorb errors of true collateral —
+// a stage consuming a tainted artifact that a racing worker had
+// already entered before the quarantine closure could disable it.
+// Independent failures (I/O errors, metadata persistence) still abort
+// the run: a degraded run is best-effort about the quarantined chain,
+// not about everything.
 func (env *runEnv) invoke(st *Stage, fn func() error) (err error) {
 	q := env.quar
 	if q == nil {
@@ -132,7 +147,7 @@ func (env *runEnv) invoke(st *Stage, fn func() error) (err error) {
 			err = nil
 		}
 	}()
-	if err = fn(); err != nil && q.degraded() {
+	if err = fn(); err != nil && q.collateral(st) {
 		q.quarantine(st, err.Error())
 		err = nil
 	}

@@ -68,10 +68,12 @@ func (r *FsckReport) Quarantinable() []string {
 }
 
 // Fsck verifies the repository in dir offline. It takes the shared
-// (read) lease so it never races a live writer; a writer-held
-// directory fails with ErrLocked. Damage is reported, not returned:
-// the error return covers only environmental failures (lock, I/O on
-// the directory itself).
+// (read) lease so it never races a live writer; where flock is
+// unsupported it instead probes the writer's LOCK lease file and
+// refuses to run while a live owner holds it. A writer-held directory
+// fails with ErrLocked. Damage is reported, not returned: the error
+// return covers only environmental failures (lock, I/O on the
+// directory itself).
 func Fsck(dir string) (*FsckReport, error) { return fsck(vfs.OS, dir) }
 
 // fsck is Fsck over an explicit filesystem (tests inject a FaultFS).
@@ -82,6 +84,10 @@ func fsck(fsys vfs.FS, dir string) (*FsckReport, error) {
 		return nil, fmt.Errorf("metadata: fsck %s: writer active: %w", dir, ErrLocked)
 	} else if !errors.Is(err, errors.ErrUnsupported) {
 		return nil, fmt.Errorf("metadata: fsck %s: %w", dir, err)
+	} else if pid, ok := leasePid(fsys, filepath.Join(dir, lockName)); ok && pidAlive(pid) {
+		// No flock available: the best we can do is probe the
+		// lease-file protocol writers fall back to on the same builds.
+		return nil, fmt.Errorf("metadata: fsck %s: writer active (pid %d): %w", dir, pid, ErrLocked)
 	}
 
 	rep := &FsckReport{}

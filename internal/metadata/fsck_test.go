@@ -68,6 +68,32 @@ func TestFsckReportsCorruptSealedSegment(t *testing.T) {
 	}
 }
 
+// TestFsckRespectsLeaseFileWithoutFlock: where flock is unsupported
+// the shared lease cannot be taken; fsck falls back to probing the
+// writer's LOCK lease file and refuses to race a live owner.
+func TestFsckRespectsLeaseFileWithoutFlock(t *testing.T) {
+	fsys := vfs.NewFaultFS()
+	fsys.NoFlock = true
+	dir := "/repo"
+	buildSealedRepo(t, fsys, dir, 30)
+
+	writeLockFile(t, fsys, dir, "pid 999999\n")
+	stubPidAlive(t, true)
+	if _, err := fsck(fsys, dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("fsck under live lease owner err = %v, want ErrLocked", err)
+	}
+
+	// A dead owner's stale lease does not block an offline check.
+	stubPidAlive(t, false)
+	rep, err := fsck(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("damage reported under stale lease: %+v", fsckDamaged(rep))
+	}
+}
+
 func TestFsckReportsMissingSealedSegment(t *testing.T) {
 	fsys := vfs.NewFaultFS()
 	dir := "/repo"

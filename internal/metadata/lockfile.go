@@ -8,7 +8,6 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
-	"syscall"
 	"time"
 
 	"repro/internal/vfs"
@@ -85,17 +84,11 @@ func unlockDir(c io.Closer) error {
 	return c.Close()
 }
 
-// pidAlive probes whether a pid belongs to a live process. Signal 0
-// performs permission and existence checks without delivering
-// anything; EPERM still proves the process exists. Stubbed by tests.
-var pidAlive = func(pid int) bool {
-	p, err := os.FindProcess(pid)
-	if err != nil {
-		return false
-	}
-	err = p.Signal(syscall.Signal(0))
-	return err == nil || errors.Is(err, os.ErrPermission)
-}
+// pidAlive probes whether a pid belongs to a live process. The
+// implementation is platform-gated (pidprobe_*.go): unix uses signal
+// 0, elsewhere every pid-bearing lease is treated as live because no
+// reliable probe exists. Stubbed by tests.
+var pidAlive = pidAliveImpl
 
 // lockLease takes the O_EXCL lease file, writing "pid N\n" so later
 // contenders can probe the owner's liveness. A stale lease (owner pid
@@ -164,10 +157,27 @@ func leasePid(fsys vfs.FS, path string) (int, bool) {
 	return pid, true
 }
 
-// leaseCloser releases a fallback lease by deleting its LOCK file.
+// leaseCloser releases a fallback lease by deleting its LOCK file —
+// but only while the file still records this process's pid. If the
+// lease was taken over (rightly after a liveness misjudgement, or
+// wrongly by a buggy contender), the file now belongs to the new
+// owner and deleting it would open the door to a third writer.
 type leaseCloser struct {
 	fsys vfs.FS
 	path string
 }
 
-func (l leaseCloser) Close() error { return l.fsys.Remove(l.path) }
+func (l leaseCloser) Close() error {
+	data, err := l.fsys.ReadFile(l.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil // taken over and already re-released
+	}
+	if err != nil {
+		return fmt.Errorf("metadata: releasing lock file: %w", err)
+	}
+	var pid int
+	if _, err := fmt.Sscanf(string(data), "pid %d", &pid); err != nil || pid != os.Getpid() {
+		return nil // the file belongs to a takeover winner, not us
+	}
+	return l.fsys.Remove(l.path)
+}

@@ -125,6 +125,46 @@ func TestLeasePidlessTakeover(t *testing.T) {
 	r.Close()
 }
 
+// TestLeaseCloseAfterTakeoverLeavesNewOwner: an ousted owner's Close
+// must not delete a lease that has since been taken over by another
+// process — that would re-open the door to a third writer.
+func TestLeaseCloseAfterTakeoverLeavesNewOwner(t *testing.T) {
+	fsys := noFlockFS()
+	dir := t.TempDir()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	c, err := lockLease(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a takeover: the LOCK file now records another owner.
+	path := filepath.Join(dir, lockName)
+	if err := fsys.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	writeLockFile(t, fsys, dir, "pid 424242\n")
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close after takeover: %v", err)
+	}
+	if pid, ok := leasePid(fsys, path); !ok || pid != 424242 {
+		t.Fatalf("lease pid after ousted Close = %d ok=%v, want the takeover winner's 424242 intact", pid, ok)
+	}
+
+	// A vanished lease file (taken over and already re-released) is a
+	// clean close too.
+	c2, err := lockLease(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatalf("Close after lease vanished: %v", err)
+	}
+}
+
 func TestWithLockWaitOutlastsHolder(t *testing.T) {
 	dir := t.TempDir()
 	r, err := Open(dir)

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package metadata
+
+// pidAliveImpl: liveness probing is unsupported here — on Windows,
+// os.Process.Signal returns "not supported by windows" for signal 0
+// even when the process is alive, so a probe would misreport every
+// live owner as dead and let a second writer steal the lease. Treat
+// any pid-bearing lease as live instead; a crashed owner's lease must
+// be cleared manually (or by a unix host), which is the same
+// conservative behaviour the pre-takeover fallback had.
+func pidAliveImpl(pid int) bool { return true }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package metadata
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// pidAliveImpl probes whether a pid belongs to a live process. Signal
+// 0 performs permission and existence checks without delivering
+// anything; EPERM still proves the process exists.
+func pidAliveImpl(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, os.ErrPermission)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"io/fs"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -221,12 +222,12 @@ func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error
 	defer f.mu.Unlock()
 	nd, exists := f.files[name]
 	switch {
-	case exists && flag&flagExcl != 0 && flag&flagCreate != 0:
+	case exists && flag&os.O_EXCL != 0 && flag&os.O_CREATE != 0:
 		return nil, pathErr("open", name, fs.ErrExist)
-	case !exists && flag&flagCreate == 0:
+	case !exists && flag&os.O_CREATE == 0:
 		return nil, pathErr("open", name, fs.ErrNotExist)
 	}
-	mutates := !exists || (flag&flagTrunc != 0 && len(nd.data) > 0)
+	mutates := !exists || (flag&os.O_TRUNC != 0 && len(nd.data) > 0)
 	if mutates {
 		if err := f.beginOp(OpCreate, name); err != nil {
 			return nil, pathErr("open", name, err)
@@ -235,7 +236,7 @@ func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error
 	if !exists {
 		nd = &fnode{}
 		f.files[name] = nd
-	} else if flag&flagTrunc != 0 {
+	} else if flag&os.O_TRUNC != 0 {
 		nd.data = nil
 	}
 	return &memFile{fs: f, node: nd, path: name}, nil
@@ -567,12 +568,3 @@ func (e memDirEntry) Type() fs.FileMode {
 func (e memDirEntry) Info() (fs.FileInfo, error) {
 	return memInfo{name: e.name, dir: e.dir}, nil
 }
-
-// os.O_* flag values, aliased locally so this file needs no os import
-// beyond io/fs (the numeric values are identical across platforms for
-// these three).
-const (
-	flagCreate = 0x40  // os.O_CREATE
-	flagExcl   = 0x80  // os.O_EXCL
-	flagTrunc  = 0x200 // os.O_TRUNC
-)
