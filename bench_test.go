@@ -760,6 +760,130 @@ func BenchmarkMetadataAppendDuringCompact(b *testing.B) {
 	}
 }
 
+// BenchmarkColdOpenQuery measures the cold-open query path — open a
+// persisted repository, run one selective query, close — with and
+// without statistics pushdown (DESIGN.md §9). The fixture holds ≥1M
+// records across ≥64 sealed segments; the query's frame window lives in
+// a handful of them, so the pushdown open skips nearly every segment
+// without decoding it. The headline claim: pushdown ≥3× faster than
+// full replay.
+func BenchmarkColdOpenQuery(b *testing.B) {
+	dir := b.TempDir()
+	const query = "frame >= 200000 AND frame < 200100"
+	buildColdOpenFixture(b, dir)
+	expr, err := metadata.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Validity guard, once: pushdown results must be byte-identical to
+	// full replay, and segments must actually be skipped.
+	full, err := metadata.Open(dir, metadata.WithReadOnly())
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := full.QueryExpr(expr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full.Close()
+	cold, err := metadata.Open(dir, metadata.WithReadOnly(), metadata.WithOpenFilter(expr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := cold.QueryExpr(expr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := cold.Stats()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold.Close()
+	if len(want) == 0 || len(got) != len(want) {
+		b.Fatalf("pushdown diverged: %d vs %d rows — benchmark invalid", len(got), len(want))
+	}
+	if len(st.Segments) < 64 || st.SkippedSegments < len(st.Segments)/2 {
+		b.Fatalf("fixture shape wrong: %d segments, %d skipped — benchmark invalid",
+			len(st.Segments), st.SkippedSegments)
+	}
+
+	b.Run("pushdown", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := metadata.Open(dir, metadata.WithReadOnly(), metadata.WithOpenFilter(expr))
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs, err := r.QueryExpr(expr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) != len(want) {
+				b.Fatal("query result changed — benchmark invalid")
+			}
+			r.Close()
+		}
+	})
+	b.Run("fullReplay", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := metadata.Open(dir, metadata.WithReadOnly())
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs, err := r.QueryExpr(expr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) != len(want) {
+				b.Fatal("query result changed — benchmark invalid")
+			}
+			r.Close()
+		}
+	})
+}
+
+// buildColdOpenFixture persists the 1M-record population of benchRepo1M
+// into small segments (SyncNone: build speed, not ingest durability, is
+// what matters here).
+func buildColdOpenFixture(b *testing.B, dir string) {
+	b.Helper()
+	r, err := metadata.Open(dir,
+		metadata.WithSegmentSize(512<<10), metadata.WithSyncPolicy(metadata.SyncNone))
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := []string{"happy", "neutral", "sad"}
+	batch := make([]metadata.Record, 0, 8192)
+	for i := 0; i < 1_000_000; i++ {
+		label := labels[i%3]
+		switch {
+		case i%8192 == 4095:
+			label = "alert-negative-spike"
+		case i%64 == 63:
+			label = "eye-contact"
+		}
+		batch = append(batch, metadata.Record{
+			Kind: metadata.KindObservation, Frame: i / 4, FrameEnd: i/4 + 1,
+			Time:   time.Duration(i/4) * 40 * time.Millisecond,
+			Person: i % 16, Other: -1, Label: label, Value: float64(i%1000) / 1000,
+		})
+		if len(batch) == cap(batch) {
+			if err := r.AppendBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := r.AppendBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkMetadataParse measures query compilation alone.
 func BenchmarkMetadataParse(b *testing.B) {
 	const q = "(label = 'sad' OR label = 'shot') AND frame < 10000 AND tag.camera != 'C2'"

@@ -12,16 +12,31 @@
 //	dieventql -repo DIR -fsck      # offline integrity check (exits 1 on damage)
 //	dieventql -repo DIR -quarantine -stats   # open a damaged store degraded
 //
+// One-shot queries use statistics pushdown: the query is parsed first
+// and the repository is opened with its filter (WithOpenFilter), so
+// sealed segments whose statistics block — zone maps over frame/time,
+// per-kind counts, label/person bloom filters, persisted in NNNNNN.sts
+// sidecars at seal time — prove "no match here" are skipped without
+// being decoded. The number of segments skipped is reported on stderr.
+// Results are byte-identical to a full open (statistics only ever
+// exclude conservatively and every survivor is re-checked).
+//
 // In the REPL, prefix any query with EXPLAIN to print its plan instead
-// of executing it; STATS prints repository and segment statistics plus
-// the health report (quarantined segments, pending fault repairs);
-// COMPACT merges the sealed segments of the store; "quit" exits.
+// of executing it — plans include a "stats: pruned ..." step when
+// segment statistics excluded whole position ranges; STATS prints
+// repository and segment statistics (per-segment frame/time zone maps
+// for segments with a verified statistics sidecar) plus the health
+// report (quarantined segments, pending fault repairs); COMPACT merges
+// the sealed segments of the store; "quit" exits.
 //
 // -fsck verifies the store without opening it: the manifest checksum,
-// a strict decode of every sealed segment, and the active segment's
-// valid prefix. Damage is listed per file — including which sealed
-// segments a WithQuarantine open would isolate — and the exit status
-// is non-zero so scripts can gate on it.
+// a strict decode of every sealed segment, each segment's statistics
+// sidecar (decode, manifest CRC binding, contents vs a deterministic
+// rebuild from the decoded records), and the active segment's valid
+// prefix. Damage is listed per file — including which sealed segments
+// a WithQuarantine open would isolate — and the exit status is
+// non-zero so scripts can gate on it. Damaged sidecars are regenerated
+// automatically on the next writable open.
 //
 // Queries, -stats and the REPL take the repository's shared read-only
 // lease, so any number of them coexist (and none of them can wedge a
@@ -74,11 +89,28 @@ func main() {
 	if *quarantine {
 		opts = append(opts, metadata.WithQuarantine())
 	}
+	// One-shot queries (not EXPLAIN, which wants the full plan visible)
+	// push the predicate into the open itself: segments the statistics
+	// block excludes are never even decoded. Parse failures fall through
+	// to runQuery for a proper error message.
+	if !*compact && !*stats && !*interactive {
+		if q := strings.Join(flag.Args(), " "); q != "" {
+			if _, isExplain := cutExplain(q); !isExplain {
+				if expr, err := metadata.Parse(q); err == nil {
+					opts = append(opts, metadata.WithOpenFilter(expr))
+				}
+			}
+		}
+	}
 	repo, err := metadata.Open(*dir, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer repo.Close()
+	if st, err := repo.Stats(); err == nil && st.SkippedSegments > 0 {
+		fmt.Fprintf(os.Stderr, "dieventql: statistics pushdown skipped %d of %d segment(s) at open\n",
+			st.SkippedSegments, len(st.Segments))
+	}
 
 	switch {
 	case *compact:
@@ -213,7 +245,15 @@ func printStats(repo *metadata.Repository) error {
 			if s.Sealed {
 				state = "sealed"
 			}
-			fmt.Printf("  %-12s %-6s %9d bytes  %d records\n", s.Name, state, s.Bytes, s.Records)
+			fmt.Printf("  %-12s %-6s %9d bytes  %d records", s.Name, state, s.Bytes, s.Records)
+			if s.Skipped {
+				fmt.Print("  (skipped at open)")
+			}
+			fmt.Println()
+			if s.HasStats && s.Records > 0 {
+				fmt.Printf("    zone: frames [%d, %d], time [%v, %v]\n",
+					s.MinFrame, s.MaxFrame, s.MinTime, s.MaxTime)
+			}
 		}
 	}
 	fmt.Println("by kind:")
@@ -257,6 +297,10 @@ func printHealth(repo *metadata.Repository) error {
 	if h.PendingDirSync {
 		fmt.Println("  directory fsync pending: appends retry it before acknowledging")
 	}
+	if len(h.StatsMissing) > 0 {
+		fmt.Printf("  statistics missing for %s (pruning disabled there; a writable open regenerates)\n",
+			strings.Join(h.StatsMissing, ", "))
+	}
 	for _, act := range h.Recovery {
 		fmt.Printf("  recovery: %s\n", act)
 	}
@@ -275,6 +319,8 @@ func runFsck(dir string) int {
 		state := "active"
 		if s.Sealed {
 			state = "sealed"
+		} else if strings.HasSuffix(s.Name, ".sts") {
+			state = "stats"
 		}
 		status := "ok"
 		if s.Err != "" {

@@ -239,6 +239,9 @@ type (
 	FsckReport = metadata.FsckReport
 	// FsckSegment is one file's verification result in an FsckReport.
 	FsckSegment = metadata.FsckSegment
+	// QueryExpr is a compiled query predicate (see ParseQuery) — usable
+	// with Repository.QueryExprIter and WithOpenFilter.
+	QueryExpr = metadata.Expr
 )
 
 // Storage-engine options for OpenRepository / Config.RepoOptions.
@@ -257,6 +260,14 @@ var (
 	// WithLockWait makes OpenRepository wait (bounded, context-aware)
 	// for a busy directory lease instead of failing immediately.
 	WithLockWait = metadata.WithLockWait
+	// WithOpenFilter restricts a read-only open to the segments a query
+	// predicate cannot exclude via their seal-time statistics (zone
+	// maps, bloom filters) — the cold-open pushdown path. Requires
+	// WithReadOnly; results for queries the predicate implies are
+	// byte-identical to a full open.
+	WithOpenFilter = metadata.WithOpenFilter
+	// ParseQuery compiles the query language into a QueryExpr.
+	ParseQuery = metadata.Parse
 )
 
 // Sync policies for WithSyncPolicy.

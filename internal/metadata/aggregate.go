@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Aggregations over query results — the analytical half of the paper's
@@ -99,7 +101,6 @@ func (r *Repository) Aggregate(query string, op AggOp, key GroupKey) ([]AggRow, 
 	}
 	defer it.Close()
 	groups := make(map[string]*AggRow)
-	order := []string{}
 	get := func(k string) *AggRow {
 		g, ok := groups[k]
 		if !ok {
@@ -111,7 +112,6 @@ func (r *Repository) Aggregate(query string, op AggOp, key GroupKey) ([]AggRow, 
 				g.Value = math.Inf(-1)
 			}
 			groups[k] = g
-			order = append(order, k)
 		}
 		return g
 	}
@@ -150,15 +150,72 @@ func (r *Repository) Aggregate(query string, op AggOp, key GroupKey) ([]AggRow, 
 		return nil, nil
 	}
 	out := make([]AggRow, 0, len(groups))
-	sort.Strings(order)
-	for _, k := range order {
-		g := groups[k]
+	for _, g := range groups {
 		if op == AggAvg && g.N > 0 {
 			g.Value /= float64(g.N)
 		}
 		out = append(out, *g)
 	}
+	sortAggRows(out, key)
 	return out, nil
+}
+
+// sortAggRows orders result rows for presentation: person and pair keys
+// sort by participant index (P2 before P10 — a lexical sort would
+// misplace every scene with ten or more participants), labels and kinds
+// lexically.
+func sortAggRows(rows []AggRow, key GroupKey) {
+	switch key {
+	case GroupByPerson:
+		sort.Slice(rows, func(i, j int) bool {
+			a, aok := personIndex(rows[i].Key)
+			b, bok := personIndex(rows[j].Key)
+			if aok && bok {
+				return a < b
+			}
+			return rows[i].Key < rows[j].Key
+		})
+	case GroupByPair:
+		sort.Slice(rows, func(i, j int) bool {
+			a1, a2, aok := pairIndexes(rows[i].Key)
+			b1, b2, bok := pairIndexes(rows[j].Key)
+			if aok && bok {
+				if a1 != b1 {
+					return a1 < b1
+				}
+				return a2 < b2
+			}
+			return rows[i].Key < rows[j].Key
+		})
+	default:
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	}
+}
+
+// personIndex parses a "P<n>" group key.
+func personIndex(key string) (int, bool) {
+	if len(key) < 2 || key[0] != 'P' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(key[1:])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// pairIndexes parses a "P<a>-P<b>" group key.
+func pairIndexes(key string) (int, int, bool) {
+	l, r, ok := strings.Cut(key, "-")
+	if !ok {
+		return 0, 0, false
+	}
+	a, aok := personIndex(l)
+	b, bok := personIndex(r)
+	if !aok || !bok {
+		return 0, 0, false
+	}
+	return a, b, true
 }
 
 // Count is shorthand for a GroupNone AggCount.

@@ -2,6 +2,7 @@ package metadata
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -206,6 +207,56 @@ func TestFrameEndIntervalQuery(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Errorf("events past 18 = %v", got)
+	}
+}
+
+// TestAggregateNumericKeyOrder pins the participant-index sort: with
+// ten or more people a lexical sort would slot P10 between P1 and P2,
+// and P10-P12 pair keys would likewise shuffle — scenes that size are
+// exactly what GroupByPerson/GroupByPair serve.
+func TestAggregateNumericKeyOrder(t *testing.T) {
+	r := NewMem()
+	defer r.Close()
+	const persons = 12
+	for p := 0; p < persons; p++ {
+		if _, err := r.Append(obs(p, p, "crowd", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := r.Aggregate("label = 'crowd'", AggCount, GroupByPerson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != persons {
+		t.Fatalf("rows = %d, want %d", len(rows), persons)
+	}
+	for i, row := range rows {
+		if want := fmt.Sprintf("P%d", i+1); row.Key != want {
+			t.Fatalf("row %d key = %s, want %s (numeric order)", i, row.Key, want)
+		}
+	}
+	// Pairs: P1-P2, P1-P11, P3-P4, P10-P12 must come out in index order,
+	// not the lexical P1-P11 < P1-P2 < P10-P12 < P3-P4.
+	for _, pair := range [][2]int{{0, 1}, {0, 10}, {2, 3}, {9, 11}} {
+		if _, err := r.Append(Record{
+			Kind: KindEvent, Frame: 1, FrameEnd: 2,
+			Person: pair[0], Other: pair[1], Label: "eye-contact", Value: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs, err := r.Aggregate("label = 'eye-contact'", AggCount, GroupByPair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := []string{"P1-P2", "P1-P11", "P3-P4", "P10-P12"}
+	if len(pairs) != len(wantPairs) {
+		t.Fatalf("pair rows = %v", pairs)
+	}
+	for i, row := range pairs {
+		if row.Key != wantPairs[i] {
+			t.Fatalf("pair row %d = %s, want %s (numeric order)", i, row.Key, wantPairs[i])
+		}
 	}
 }
 

@@ -265,7 +265,10 @@ func (it *Iter) start() {
 
 // evalSegment scans candidate positions [si*seg, (si+1)*seg), applying
 // the plan's bound filters and residual predicate, and leaves the
-// segment's matches sorted for the merge.
+// segment's matches sorted for the merge. Flat candidate index i maps
+// to a snapshot position three ways: identity (full scan), the cand
+// list (index probes), or run arithmetic (segment-pruned full scan —
+// binary-search the run containing lo, then walk the runs in step).
 func (it *Iter) evalSegment(si int) {
 	lo := si * querySegmentSize
 	hi := lo + querySegmentSize
@@ -274,12 +277,31 @@ func (it *Iter) evalSegment(si int) {
 	}
 	cj := &it.p.cj
 	var out []int
+	runIdx, runPos := 0, 0
+	if it.p.runs != nil && lo < hi {
+		runIdx = sort.SearchInts(it.p.prefix, lo+1)
+		base := 0
+		if runIdx > 0 {
+			base = it.p.prefix[runIdx-1]
+		}
+		runPos = it.p.runs[runIdx][0] + (lo - base)
+	}
 	for i := lo; i < hi; i++ {
 		if i&1023 == 0 && it.cancel.Load() {
 			return
 		}
-		pos := i
-		if !it.p.full {
+		var pos int
+		switch {
+		case it.p.runs != nil:
+			pos = runPos
+			runPos++
+			if runPos >= it.p.runs[runIdx][1] && runIdx+1 < len(it.p.runs) {
+				runIdx++
+				runPos = it.p.runs[runIdx][0]
+			}
+		case it.p.full:
+			pos = i
+		default:
 			pos = it.p.cand[i]
 		}
 		rec := it.p.recs.at(pos)

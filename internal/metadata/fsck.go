@@ -1,6 +1,7 @@
 package metadata
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -116,12 +117,16 @@ func fsck(fsys vfs.FS, dir string) (*FsckReport, error) {
 		return rep, nil
 	}
 	for _, sm := range segs {
-		var s FsckSegment
 		if sm.sealed {
-			s = fsckSealed(fsys, dir, sm)
-		} else {
-			s = fsckLenient(fsys, dir, sm.name)
+			s, recs := fsckSealed(fsys, dir, sm)
+			rep.Segments = append(rep.Segments, s)
+			rep.Records += s.Records
+			if st := fsckStats(fsys, dir, sm, recs, s.Err == ""); st != nil {
+				rep.Segments = append(rep.Segments, *st)
+			}
+			continue
 		}
+		s := fsckLenient(fsys, dir, sm.name)
 		rep.Segments = append(rep.Segments, s)
 		rep.Records += s.Records
 	}
@@ -129,21 +134,22 @@ func fsck(fsys vfs.FS, dir string) (*FsckReport, error) {
 }
 
 // fsckSealed strictly verifies one sealed segment against its
-// manifest entry.
-func fsckSealed(fsys vfs.FS, dir string, sm segMeta) FsckSegment {
+// manifest entry, returning the decoded records for the statistics
+// cross-check (nil when the segment itself failed).
+func fsckSealed(fsys vfs.FS, dir string, sm segMeta) (FsckSegment, []Record) {
 	s := FsckSegment{Name: sm.name, Sealed: true}
 	path := filepath.Join(dir, sm.name)
 	if _, err := fsys.Stat(path); errors.Is(err, os.ErrNotExist) {
 		s.Err = "segment file missing"
-		return s
+		return s, nil
 	} else if err != nil {
 		s.Err = err.Error()
-		return s
+		return s, nil
 	}
 	recs, valid, err := decodeSegment(fsys, path, true)
 	if err != nil {
 		s.Err = err.Error()
-		return s
+		return s, nil
 	}
 	s.Records, s.Bytes = len(recs), valid
 	switch {
@@ -151,6 +157,56 @@ func fsckSealed(fsys vfs.FS, dir string, sm segMeta) FsckSegment {
 		s.Err = fmt.Sprintf("manifest expects %d records, decoded %d", sm.count, len(recs))
 	case valid != sm.bytes:
 		s.Err = fmt.Sprintf("manifest expects %d bytes, verified %d", sm.bytes, valid)
+	}
+	return s, recs
+}
+
+// fsckStats verifies a sealed segment's statistics sidecar: the file
+// decodes, its CRC matches the manifest's sts= reference, and (when the
+// segment itself decoded cleanly) its contents equal a deterministic
+// rebuild from the decoded records. Absent statistics on a pre-stats
+// manifest entry are only a note on nil return or a row when a stray
+// unreferenced sidecar exists. Sidecar rows report Sealed=false so they
+// are damage (Clean() = false, exit 1) but never quarantinable — the
+// segment's records are fine and a writable open regenerates the
+// sidecar.
+func fsckStats(fsys vfs.FS, dir string, sm segMeta, recs []Record, segOK bool) *FsckSegment {
+	name := statsFileName(sm.name)
+	path := filepath.Join(dir, name)
+	if !sm.hasStats {
+		if _, err := fsys.Stat(path); err == nil {
+			return &FsckSegment{Name: name,
+				Note: "unreferenced statistics sidecar (removed on next writable open)"}
+		}
+		return &FsckSegment{Name: name,
+			Note: "no statistics sidecar (generated on next writable open)"}
+	}
+	s := &FsckSegment{Name: name}
+	regen := "; regenerated on next writable open"
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		s.Err = "statistics sidecar missing" + regen
+		return s
+	} else if err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	s.Bytes = int64(len(data))
+	st, err := decodeStats(data)
+	if err != nil {
+		s.Err = err.Error() + regen
+		return s
+	}
+	if got := statsCRCOf(data); got != sm.statsCRC {
+		s.Err = fmt.Sprintf("sidecar version %08x, manifest expects %08x%s", got, sm.statsCRC, regen)
+		return s
+	}
+	if !segOK {
+		s.Note = "segment failed verification; statistics not cross-checked"
+		return s
+	}
+	if !bytes.Equal(encodeStats(statsOfRecords(recs)), encodeStats(st)) {
+		s.Err = "statistics diverge from segment contents" + regen
 	}
 	return s
 }

@@ -34,8 +34,15 @@ type Health struct {
 	Quarantined []SegmentHealth
 	// Recovery lists the recovery actions the most recent Open (or
 	// fault repair) performed, oldest first: torn-tail truncation,
-	// orphan sweeps, legacy-log migration, active-segment rewrites.
+	// orphan sweeps, legacy-log migration, active-segment rewrites,
+	// statistics-sidecar regeneration.
 	Recovery []string
+	// StatsMissing lists sealed segments with no usable statistics
+	// sidecar (pre-stats repositories, damaged sidecars a read-only open
+	// cannot regenerate). Queries stay exact but those segments are
+	// never pruned; a writable open repairs them. Informational, not
+	// Degraded — a pre-stats repository is healthy, just unoptimised.
+	StatsMissing []string
 	// PendingDirSync reports a cutover whose directory fsync has not
 	// yet landed; appends retry it before acknowledging more records.
 	PendingDirSync bool
@@ -58,6 +65,11 @@ func (r *Repository) Health() (Health, error) {
 		Recovery:       append([]string(nil), r.health.Recovery...),
 		PendingDirSync: r.pendingDirSync,
 		WriteFault:     r.writeFault,
+	}
+	for i := 0; i < len(r.segs)-1; i++ {
+		if s := &r.segs[i]; s.sealed && !s.quarantined && s.stats == nil {
+			h.StatsMissing = append(h.StatsMissing, s.name)
+		}
 	}
 	h.Degraded = len(h.Quarantined) > 0 || h.PendingDirSync || h.WriteFault
 	return h, nil

@@ -210,9 +210,16 @@ func rangeString(name string, lo, hi bound) string {
 // lists are copied (or taken from append-only index slices) at plan
 // time.
 type queryPlan struct {
-	recs     snap  // snapshot; positions index into this
-	cand     []int // ascending positions to scan; nil when full
-	full     bool  // scan every record (no index narrowed the search)
+	recs snap  // snapshot; positions index into this
+	cand []int // ascending positions to scan; nil when full or runs
+	full bool  // scan every record (no index narrowed the search)
+	// runs is the segment-pruned variant of a full scan: the ascending,
+	// disjoint position ranges that survive statistics pruning (the
+	// complement of the excluded segments' ranges). prefix holds the
+	// cumulative run lengths, so the executor can map a flat candidate
+	// index to its run by binary search.
+	runs     [][2]int
+	prefix   []int
 	cj       conjuncts
 	residual Expr
 	steps    []string // explain lines, in plan order
@@ -220,6 +227,12 @@ type queryPlan struct {
 
 // scanCount is the number of candidate positions the executor will visit.
 func (p *queryPlan) scanCount() int {
+	if p.runs != nil {
+		if len(p.prefix) == 0 {
+			return 0
+		}
+		return p.prefix[len(p.prefix)-1]
+	}
 	if p.full {
 		return p.recs.n
 	}
@@ -230,6 +243,25 @@ func (p *queryPlan) scanCount() int {
 func (r *Repository) planLocked(expr Expr) *queryPlan {
 	cj := analyze(expr)
 	p := &queryPlan{recs: r.store.snapshot(), cj: cj, residual: conjoin(cj.residual)}
+
+	// Segment pruning (DESIGN.md §9): sealed segments whose statistics
+	// block excludes every top-level OR branch of the query drop their
+	// whole position range from the scan. Exclusion is conservative
+	// (widened zone bounds, no-false-negative blooms, exact kind counts)
+	// and the executor still re-checks bounds and residual on every
+	// surviving candidate, so results stay byte-identical to the naive
+	// oracle — the same superset-then-recheck discipline as keyRange.
+	excl, nPruned, nConsidered := r.statsPruneLocked(expr, &cj)
+	exclN := 0
+	for _, e := range excl {
+		exclN += e[1] - e[0]
+	}
+	pruneStep := func() {
+		if nPruned > 0 {
+			p.steps = append(p.steps, fmt.Sprintf("stats: pruned %d of %d sealed segment(s), %d positions excluded",
+				nPruned, nConsidered, exclN))
+		}
+	}
 
 	type idxList struct {
 		desc string
@@ -261,7 +293,8 @@ func (r *Repository) planLocked(expr Expr) *queryPlan {
 		if len(lists) > 1 {
 			p.steps = append(p.steps, fmt.Sprintf("intersect: %d candidates", len(cand)))
 		}
-		p.cand = cand
+		p.cand = pruneCand(cand, excl)
+		pruneStep()
 		p.boundSteps()
 	case cj.frameLo.set || cj.frameHi.set || cj.timeLo.set || cj.timeHi.set:
 		// No equality probe: carve the narrower sorted-index window. The
@@ -293,11 +326,22 @@ func (r *Repository) planLocked(expr Expr) *queryPlan {
 		cand := make([]int, 0, len(win)+len(tail))
 		cand = append(append(cand, win...), tail...)
 		sort.Ints(cand)
-		p.cand = cand
+		p.cand = pruneCand(cand, excl)
+		pruneStep()
 		p.boundSteps()
 	default:
-		p.full = true
-		p.steps = append(p.steps, fmt.Sprintf("full scan: %d records", r.store.n))
+		if len(excl) > 0 {
+			// No index narrowed the search, but segment statistics did
+			// (an OR of indexable branches, say): scan the complement of
+			// the excluded ranges instead of every record.
+			p.runs, p.prefix = complementRuns(r.store.n, excl)
+			pruneStep()
+			p.steps = append(p.steps, fmt.Sprintf("scan %d of %d records in %d run(s)",
+				p.scanCount(), r.store.n, len(p.runs)))
+		} else {
+			p.full = true
+			p.steps = append(p.steps, fmt.Sprintf("full scan: %d records", r.store.n))
+		}
 	}
 	if p.residual != nil {
 		p.steps = append(p.steps, "residual: "+p.residual.String())
@@ -315,6 +359,118 @@ func (p *queryPlan) boundSteps() {
 	if cj.timeLo.set || cj.timeHi.set {
 		p.steps = append(p.steps, "filter "+rangeString("time", cj.timeLo, cj.timeHi))
 	}
+}
+
+// pruneBranches decomposes e into the conjunct sets of its top-level OR
+// branches. A record matching e must match some branch, and a record
+// matching a branch satisfies every conjunct that branch absorbed — so
+// a segment whose statistics exclude *every* branch can hold no match.
+// Anything that is not a top-level OR is a single branch (NOT subtrees
+// and nested ORs under AND stay opaque inside their branch's residual,
+// where they cannot weaken the absorbed conjuncts).
+func pruneBranches(e Expr) []conjuncts {
+	if v, ok := e.(orExpr); ok {
+		return append(pruneBranches(v.l), pruneBranches(v.r)...)
+	}
+	return []conjuncts{analyze(e)}
+}
+
+// prunable reports whether a branch carries any conjunct the statistics
+// block can check. A branch with none can never be excluded.
+func prunable(cj *conjuncts) bool {
+	return len(cj.labels) > 0 || len(cj.kinds) > 0 || len(cj.persons) > 0 ||
+		cj.frameLo.set || cj.frameHi.set || cj.timeLo.set || cj.timeHi.set
+}
+
+// excludedByAll reports whether the statistics exclude every branch.
+func excludedByAll(s *segStats, branches []conjuncts) bool {
+	for i := range branches {
+		if !s.exclude(&branches[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// statsPruneLocked computes the ascending, coalesced position ranges of
+// sealed segments whose statistics exclude every OR branch of expr (cj
+// is the pre-computed analysis of expr, reused for the common non-OR
+// case). Quarantined and open-filter-skipped segments cover zero-width
+// ranges and are never considered; the active segment has no persisted
+// statistics and is never pruned. Caller holds at least a read lock.
+func (r *Repository) statsPruneLocked(expr Expr, cj *conjuncts) (excl [][2]int, pruned, considered int) {
+	if len(r.segs) < 2 {
+		return nil, 0, 0
+	}
+	var branches []conjuncts
+	if _, ok := expr.(orExpr); ok {
+		branches = pruneBranches(expr)
+	} else {
+		branches = []conjuncts{*cj}
+	}
+	for i := range branches {
+		if !prunable(&branches[i]) {
+			return nil, 0, 0 // this branch can never be excluded
+		}
+	}
+	for i := 0; i < len(r.segs)-1; i++ {
+		sm := &r.segs[i]
+		lo, hi := sm.first, r.segs[i+1].first
+		if hi <= lo || sm.stats == nil {
+			continue
+		}
+		considered++
+		if !excludedByAll(sm.stats, branches) {
+			continue
+		}
+		pruned++
+		if n := len(excl); n > 0 && excl[n-1][1] == lo {
+			excl[n-1][1] = hi // coalesce adjacent excluded segments
+		} else {
+			excl = append(excl, [2]int{lo, hi})
+		}
+	}
+	return excl, pruned, considered
+}
+
+// pruneCand drops candidate positions falling inside the excluded
+// ranges (both ascending; single merge walk, filtered in place).
+func pruneCand(cand []int, excl [][2]int) []int {
+	if len(excl) == 0 || len(cand) == 0 {
+		return cand
+	}
+	out := cand[:0]
+	j := 0
+	for _, pos := range cand {
+		for j < len(excl) && pos >= excl[j][1] {
+			j++
+		}
+		if j < len(excl) && pos >= excl[j][0] {
+			continue
+		}
+		out = append(out, pos)
+	}
+	return out
+}
+
+// complementRuns converts excluded ranges into the surviving scan runs
+// over [0, n) plus their cumulative-length prefix sums.
+func complementRuns(n int, excl [][2]int) (runs [][2]int, prefix []int) {
+	runs = [][2]int{}
+	at, total := 0, 0
+	emit := func(lo, hi int) {
+		if hi > lo {
+			runs = append(runs, [2]int{lo, hi})
+			total += hi - lo
+			prefix = append(prefix, total)
+		}
+	}
+	for _, e := range excl {
+		emit(at, e[0])
+		at = e[1]
+	}
+	emit(at, n)
+	return runs, prefix
 }
 
 // intersect merges two ascending position lists.

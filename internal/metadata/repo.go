@@ -2,6 +2,7 @@ package metadata
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -37,6 +38,10 @@ type Repository struct {
 	activeBuf   *bufio.Writer
 	activeBytes int64 // valid bytes written to the active segment
 	encBuf      []byte
+	// activeStats accumulates the active segment's statistics block
+	// record by record, so sealing never rescans the segment; reset at
+	// every roll. nil for in-memory and read-only repositories.
+	activeStats *statsBuilder
 
 	store recStore // records; position == append order == ID order
 	// Secondary indexes hold positions into the store.
@@ -116,6 +121,7 @@ type options struct {
 	quarantine bool
 	lockWait   time.Duration
 	lockCtx    context.Context
+	openFilter Expr
 }
 
 // Option configures Open.
@@ -180,6 +186,23 @@ func WithQuarantine() Option {
 	return func(o *options) { o.quarantine = true }
 }
 
+// WithOpenFilter restricts a read-only open to the segments a query
+// predicate cannot exclude: sealed segments whose statistics block
+// (zone maps, kind counts, label/person bloom filters — see DESIGN.md
+// §9) proves that no record can satisfy expr are skipped wholesale,
+// never decoded. Queries over the resulting repository see only the
+// surviving records, so expr (or something it implies) should be the
+// query being served — the cold-open pushdown path: parse the query,
+// open with its filter, run it, close. Statistics can only exclude
+// conservatively, so any record matching expr is always loaded and
+// pruned results stay byte-identical to a full-replay run of the same
+// query. Requires WithReadOnly (a writer must replay everything);
+// segments without statistics (pre-stats repositories, damaged
+// sidecars) are loaded normally.
+func WithOpenFilter(expr Expr) Option {
+	return func(o *options) { o.openFilter = expr }
+}
+
 // WithLockWait makes Open wait up to max for a busy directory lease
 // instead of failing fast, polling with exponential backoff (1ms
 // doubling, capped at 50ms). A nil ctx waits the full budget; a
@@ -203,6 +226,9 @@ func Open(dir string, opts ...Option) (*Repository, error) {
 	o := options{segSize: DefaultSegmentSize, sync: SyncOnSeal, fsys: vfs.OS}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.openFilter != nil && !o.readOnly {
+		return nil, fmt.Errorf("metadata: WithOpenFilter requires WithReadOnly (a writer must replay every segment): %w", ErrBadQuery)
 	}
 	if !o.readOnly {
 		if err := o.fsys.MkdirAll(dir, 0o755); err != nil {
@@ -272,6 +298,36 @@ func (r *Repository) load() error {
 	r.segs = segs
 	r.nextSegID = nextSegIDAfter(segs)
 
+	// Load each sealed segment's statistics sidecar (manifest-referenced
+	// NNNNNN.sts). A sidecar that is missing, torn, or of a different
+	// version than the manifest's sts= CRC simply stays nil: a writable
+	// open regenerates it after replay, a read-only open forgoes pruning
+	// for that segment. With an open filter (WithOpenFilter), segments
+	// whose statistics exclude every possible match are marked skipped
+	// before replay begins — their records are never decoded.
+	var filterBranches []conjuncts
+	if r.opts.openFilter != nil {
+		filterBranches = pruneBranches(r.opts.openFilter)
+	}
+	skippedSegs := 0
+	for i := 0; i < len(segs)-1; i++ {
+		if !segs[i].hasStats {
+			continue
+		}
+		st, err := readStats(r.fsys, r.dir, segs[i])
+		if err != nil {
+			continue
+		}
+		segs[i].stats = st
+		if filterBranches != nil && excludedByAll(st, filterBranches) {
+			segs[i].skipped = true
+			skippedSegs++
+		}
+	}
+	if skippedSegs > 0 {
+		r.recovered("open filter skipped %d sealed segment(s) via statistics", skippedSegs)
+	}
+
 	// Replay sealed segments in parallel: decoding (CRC checks, payload
 	// parsing, allocation) is the expensive part and is embarrassingly
 	// parallel per segment; indexing stays sequential in manifest order
@@ -322,6 +378,13 @@ func (r *Repository) load() error {
 					case <-abort:
 						return
 					default:
+					}
+					if sealed[i].skipped {
+						// Excluded by the open filter: the whole point of
+						// the statistics block — no decode, no CRC pass,
+						// no allocation for this segment.
+						close(done[i])
+						continue
 					}
 					recs, n, err := decodeSegment(r.fsys, filepath.Join(r.dir, sealed[i].name), true)
 					if err == nil && (n != sealed[i].bytes || len(recs) != sealed[i].count) {
@@ -418,6 +481,12 @@ func (r *Repository) load() error {
 	r.active = f
 	r.activeBuf = bufio.NewWriter(f)
 	r.activeBytes = validBytes
+	// Seed the active segment's statistics builder from its replayed
+	// records, so the next seal has them ready without a rescan.
+	r.activeStats = newStatsBuilder()
+	for pos := act.first; pos < r.store.n; pos++ {
+		r.activeStats.add(*r.store.at(pos))
+	}
 
 	if !haveManifest {
 		if _, err := writeManifest(r.fsys, r.dir, r.segs); err != nil {
@@ -429,7 +498,54 @@ func (r *Repository) load() error {
 			return err
 		}
 	}
+	// Upgrade in place: rebuild any sealed segment's statistics sidecar
+	// that is absent or failed verification, then reference the new CRCs
+	// from a fresh manifest. Pre-stats repositories get their sidecars
+	// here on first writable open; a crash mid-regeneration leaves
+	// unreferenced sidecars the next open sweeps and retries.
+	if regen, err := r.regenStatsLocked(); err != nil {
+		f.Close()
+		r.active = nil
+		return err
+	} else if regen > 0 {
+		r.recovered("regenerated statistics sidecar(s) for %d sealed segment(s)", regen)
+	}
 	return nil
+}
+
+// regenStatsLocked rebuilds missing or damaged statistics sidecars for
+// sealed segments from the replayed records, making them durable before
+// a manifest rewrite binds their CRCs. Quarantined segments are skipped
+// (their records are not in memory to rebuild from). Runs during load,
+// writable opens only.
+func (r *Repository) regenStatsLocked() (int, error) {
+	n := 0
+	view := r.store.snapshot()
+	for i := 0; i < len(r.segs)-1; i++ {
+		sm := &r.segs[i]
+		if sm.quarantined || sm.stats != nil {
+			continue
+		}
+		st := statsOfSnap(view, sm.first, r.segs[i+1].first)
+		data := encodeStats(st)
+		if err := writeStatsFile(r.fsys, r.dir, sm.name, data); err != nil {
+			return n, err
+		}
+		sm.stats = st
+		sm.hasStats = true
+		sm.statsCRC = statsCRCOf(data)
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if err := syncDir(r.fsys, r.dir); err != nil {
+		return n, err
+	}
+	if _, err := writeManifest(r.fsys, r.dir, r.segs); err != nil {
+		return n, err
+	}
+	return n, nil
 }
 
 // loadNoManifestReadOnly opens a manifest-less directory for reading:
@@ -674,6 +790,9 @@ func (r *Repository) appendLocked(rec Record) (uint64, error) {
 	}
 	r.nextID++
 	r.index(rec)
+	if r.activeStats != nil {
+		r.activeStats.add(rec)
+	}
 	return rec.ID, nil
 }
 
@@ -696,6 +815,16 @@ func (r *Repository) rollLocked() error {
 		r.writeFault = true
 		return fmt.Errorf("metadata: syncing sealing segment: %w", err)
 	}
+	// Write the sealing segment's statistics sidecar before anything
+	// references it. A failure aborts the roll cleanly (the sidecar is
+	// unreferenced; appends continue on the old active segment and the
+	// next roll rewrites it); a crash before the manifest lands leaves
+	// an unreferenced sidecar the next open sweeps.
+	sealingStats := r.activeStats.build()
+	statsData := encodeStats(sealingStats)
+	if err := writeStatsFile(r.fsys, r.dir, r.segs[len(r.segs)-1].name, statsData); err != nil {
+		return err
+	}
 	newName := segFileName(r.nextSegID)
 	f, err := r.fsys.OpenFile(filepath.Join(r.dir, newName), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -709,6 +838,9 @@ func (r *Repository) rollLocked() error {
 	segs := make([]segMeta, len(r.segs)+1)
 	copy(segs, r.segs)
 	segs[len(segs)-2].sealed = true
+	segs[len(segs)-2].stats = sealingStats
+	segs[len(segs)-2].hasStats = true
+	segs[len(segs)-2].statsCRC = statsCRCOf(statsData)
 	segs[len(segs)-1] = segMeta{name: newName, first: r.store.n}
 	installed, err := writeManifest(r.fsys, r.dir, segs)
 	if err != nil && !installed {
@@ -729,6 +861,7 @@ func (r *Repository) rollLocked() error {
 	r.active = f
 	r.activeBuf.Reset(f)
 	r.activeBytes = 0
+	r.activeStats.reset()
 	if err != nil {
 		r.pendingDirSync = true
 		return fmt.Errorf("metadata: sealing cutover not durable: %w", err)
@@ -947,6 +1080,17 @@ type SegmentStat struct {
 	// Records/Bytes then repeat the manifest's claims for a file whose
 	// records are not in memory (see Health for the gap it leaves).
 	Quarantined bool
+	// Skipped reports a sealed segment excluded wholesale by
+	// WithOpenFilter: its statistics proved no record could match, so it
+	// was never decoded (Records/Bytes repeat the manifest's counts).
+	Skipped bool
+	// HasStats reports a verified statistics sidecar; the zone-map
+	// fields below are meaningful only when it is set and Records > 0.
+	HasStats bool
+	// MinFrame/MaxFrame bound the segment's Frame values (−1 =
+	// time-invariant records); MinTime/MaxTime bound its timestamps.
+	MinFrame, MaxFrame int
+	MinTime, MaxTime   time.Duration
 }
 
 // Stats reports repository storage statistics. Segments is nil for
@@ -960,6 +1104,9 @@ type Stats struct {
 	DiskBytes int64
 	// Quarantined counts segments isolated by WithQuarantine.
 	Quarantined int
+	// SkippedSegments counts sealed segments WithOpenFilter excluded at
+	// open (never decoded; their records are absent from Records).
+	SkippedSegments int
 }
 
 // Stats returns storage statistics for the repository.
@@ -971,13 +1118,26 @@ func (r *Repository) Stats() (Stats, error) {
 	}
 	st := Stats{Records: r.store.n}
 	for _, s := range r.segs {
-		st.Segments = append(st.Segments, SegmentStat{
+		seg := SegmentStat{
 			Name: s.name, Records: s.count, Bytes: s.bytes,
-			Sealed: s.sealed, Quarantined: s.quarantined,
-		})
+			Sealed: s.sealed, Quarantined: s.quarantined, Skipped: s.skipped,
+		}
+		if s.stats != nil {
+			seg.HasStats = true
+			if s.stats.count > 0 {
+				seg.MinFrame = int(s.stats.minFrame)
+				seg.MaxFrame = int(s.stats.maxFrame)
+				seg.MinTime = time.Duration(s.stats.minTime)
+				seg.MaxTime = time.Duration(s.stats.maxTime)
+			}
+		}
+		st.Segments = append(st.Segments, seg)
 		st.DiskBytes += s.bytes
 		if s.quarantined {
 			st.Quarantined++
+		}
+		if s.skipped {
+			st.SkippedSegments++
 		}
 	}
 	return st, nil
@@ -1141,6 +1301,7 @@ func (r *Repository) Compact() error {
 		last := r.segs[nSealed-1]
 		mergeCount = last.first + last.count
 	}
+	sealedMeta := append([]segMeta(nil), r.segs[:nSealed]...)
 	mergeID := r.nextSegID
 	dir := r.dir
 	if nSealed > 1 {
@@ -1151,13 +1312,44 @@ func (r *Repository) Compact() error {
 		return nil // nothing to merge
 	}
 
+	// Validate every sealed segment's statistics block against the
+	// records it decoded to before folding them into one segment: a
+	// divergence means either the sidecar or the segment is lying, and
+	// compaction must not launder that into a clean-looking merged
+	// segment. The rebuild is deterministic, so a byte-compare of the
+	// encodings is exact.
+	for i := range sealedMeta {
+		sm := sealedMeta[i]
+		if sm.stats == nil {
+			continue
+		}
+		end := mergeCount
+		if i+1 < len(sealedMeta) {
+			end = sealedMeta[i+1].first
+		}
+		rebuilt := statsOfSnap(view, sm.first, end)
+		if !bytes.Equal(encodeStats(rebuilt), encodeStats(sm.stats)) {
+			return fmt.Errorf("metadata: segment %s statistics diverge from decoded contents: %w", sm.name, ErrCorrupt)
+		}
+	}
+
 	// Phase 2 (no lock): write the merged segment from the snapshot.
 	// Sealed records are immutable, so the snapshot prefix re-encodes
-	// byte-identically to the original entries.
+	// byte-identically to the original entries. The merged segment's
+	// statistics sidecar is written (and fsynced) alongside, under its
+	// final name — harmless and unreferenced until the manifest binds
+	// its CRC at cutover.
 	mergedName := segFileName(mergeID)
 	tmp := filepath.Join(dir, mergedName+".tmp")
 	mergedBytes, err := writeSegmentFile(r.fsys, tmp, view, mergeCount)
 	if err != nil {
+		r.fsys.Remove(tmp)
+		return err
+	}
+	mergedStats := statsOfSnap(view, 0, mergeCount)
+	mergedStatsData := encodeStats(mergedStats)
+	mergedStatsPath := filepath.Join(dir, statsFileName(mergedName))
+	if err := writeStatsFile(r.fsys, dir, mergedName, mergedStatsData); err != nil {
 		r.fsys.Remove(tmp)
 		return err
 	}
@@ -1170,33 +1362,41 @@ func (r *Repository) Compact() error {
 	if r.closed {
 		r.mu.Unlock()
 		r.fsys.Remove(tmp)
+		r.fsys.Remove(mergedStatsPath)
 		return ErrClosed
 	}
-	old := make([]string, nSealed)
+	old := make([]string, 0, 2*nSealed)
 	for i := 0; i < nSealed; i++ {
-		old[i] = r.segs[i].name
+		old = append(old, r.segs[i].name)
+		if r.segs[i].hasStats {
+			old = append(old, statsFileName(r.segs[i].name))
+		}
 	}
 	if err := r.fsys.Rename(tmp, filepath.Join(dir, mergedName)); err != nil {
 		r.mu.Unlock()
 		r.fsys.Remove(tmp)
+		r.fsys.Remove(mergedStatsPath)
 		return fmt.Errorf("metadata: installing merged segment: %w", err)
 	}
 	if err := syncDir(r.fsys, dir); err != nil {
 		r.mu.Unlock()
 		r.fsys.Remove(filepath.Join(dir, mergedName))
+		r.fsys.Remove(mergedStatsPath)
 		return err
 	}
 	segs := make([]segMeta, 0, len(r.segs)-nSealed+1)
 	segs = append(segs, segMeta{
 		name: mergedName, bytes: mergedBytes, count: mergeCount, sealed: true,
+		hasStats: true, statsCRC: statsCRCOf(mergedStatsData), stats: mergedStats,
 	})
 	segs = append(segs, r.segs[nSealed:]...)
 	installed, err := writeManifest(r.fsys, dir, segs)
 	if err != nil && !installed {
-		// Old manifest still reigns; the merged file is an orphan (also
-		// cleaned at next Open if this remove fails).
+		// Old manifest still reigns; the merged file and its sidecar are
+		// orphans (also cleaned at next Open if these removes fail).
 		r.mu.Unlock()
 		r.fsys.Remove(filepath.Join(dir, mergedName))
+		r.fsys.Remove(mergedStatsPath)
 		return err
 	}
 	r.segs = segs

@@ -54,6 +54,17 @@ type segMeta struct {
 	// WithQuarantine: its manifest entry (and file) stay in place, its
 	// records are absent from memory, and Compact refuses to run.
 	quarantined bool
+	// hasStats reports that the manifest entry references a statistics
+	// sidecar (sts=<crc>); statsCRC is the sidecar version it binds to.
+	hasStats bool
+	statsCRC uint32
+	// stats is the loaded (or freshly built) statistics block; nil when
+	// the sidecar is absent or failed verification. Runtime only.
+	stats *segStats
+	// skipped marks a sealed segment excluded wholesale by an open-time
+	// filter (WithOpenFilter): its records were never decoded and it
+	// covers a zero-width position range. Runtime only, read-only opens.
+	skipped bool
 }
 
 // segFileName renders the numbered segment file name.
@@ -92,12 +103,15 @@ const manifestHeader = "dievent-manifest v1"
 // encodeManifest renders the segment list:
 //
 //	dievent-manifest v1
-//	seg 000001.seg sealed 12345 678
+//	seg 000001.seg sealed 12345 678 sts=deadbeef
 //	seg 000002.seg active 90 12
 //	crc32 deadbeef
 //
 // The trailing CRC covers every preceding byte; sealed byte/record
-// counts are validated against the files at open.
+// counts are validated against the files at open. The optional sts=
+// token on sealed entries names the CRC of the segment's statistics
+// sidecar (NNNNNN.sts, see stats.go) — entries without it are the
+// pre-stats format and their sidecars regenerate on a writable open.
 func encodeManifest(segs []segMeta) []byte {
 	var b strings.Builder
 	b.WriteString(manifestHeader)
@@ -107,7 +121,11 @@ func encodeManifest(segs []segMeta) []byte {
 		if s.sealed {
 			state = "sealed"
 		}
-		fmt.Fprintf(&b, "seg %s %s %d %d\n", s.name, state, s.bytes, s.count)
+		fmt.Fprintf(&b, "seg %s %s %d %d", s.name, state, s.bytes, s.count)
+		if s.sealed && s.hasStats {
+			fmt.Fprintf(&b, " sts=%08x", s.statsCRC)
+		}
+		b.WriteByte('\n')
 	}
 	body := b.String()
 	return []byte(fmt.Sprintf("%scrc32 %08x\n", body, crc32.ChecksumIEEE([]byte(body))))
@@ -134,12 +152,27 @@ func parseManifest(data []byte) ([]segMeta, error) {
 		return nil, fmt.Errorf("metadata: manifest header: %w", ErrCorrupt)
 	}
 	var segs []segMeta
+	seen := make(map[string]bool)
 	for _, line := range lines[1:] {
-		var name, state string
-		var bytes int64
-		var count int
-		if _, err := fmt.Sscanf(line, "seg %s %s %d %d", &name, &state, &bytes, &count); err != nil {
-			return nil, fmt.Errorf("metadata: manifest entry %q: %w", line, ErrCorrupt)
+		// Token-exact parsing: Sscanf would accept negative counts and
+		// silently ignore trailing garbage, letting a CRC-valid but
+		// hand-damaged entry flow a negative count into first-position
+		// arithmetic and compaction's mergeCount.
+		fields := strings.Fields(line)
+		entryErr := func(what string) ([]segMeta, error) {
+			return nil, fmt.Errorf("metadata: manifest entry %q: %s: %w", line, what, ErrCorrupt)
+		}
+		if len(fields) < 5 || fields[0] != "seg" {
+			return entryErr("malformed")
+		}
+		name, state := fields[1], fields[2]
+		nbytes, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil || nbytes < 0 {
+			return entryErr("bad byte count")
+		}
+		count, err := strconv.Atoi(fields[4])
+		if err != nil || count < 0 {
+			return entryErr("bad record count")
 		}
 		if _, ok := segFileID(name); !ok {
 			return nil, fmt.Errorf("metadata: manifest segment name %q: %w", name, ErrCorrupt)
@@ -147,7 +180,25 @@ func parseManifest(data []byte) ([]segMeta, error) {
 		if state != "sealed" && state != "active" {
 			return nil, fmt.Errorf("metadata: manifest segment state %q: %w", state, ErrCorrupt)
 		}
-		segs = append(segs, segMeta{name: name, bytes: bytes, count: count, sealed: state == "sealed"})
+		if seen[name] {
+			return entryErr("duplicate segment name")
+		}
+		seen[name] = true
+		sm := segMeta{name: name, bytes: nbytes, count: count, sealed: state == "sealed"}
+		rest := fields[5:]
+		if len(rest) > 0 && sm.sealed && strings.HasPrefix(rest[0], "sts=") {
+			hex := strings.TrimPrefix(rest[0], "sts=")
+			crc, err := strconv.ParseUint(hex, 16, 32)
+			if err != nil || len(hex) != 8 {
+				return entryErr("bad stats reference")
+			}
+			sm.hasStats, sm.statsCRC = true, uint32(crc)
+			rest = rest[1:]
+		}
+		if len(rest) > 0 {
+			return entryErr("trailing tokens")
+		}
+		segs = append(segs, sm)
 	}
 	if len(segs) == 0 {
 		return nil, fmt.Errorf("metadata: manifest lists no segments: %w", ErrCorrupt)
@@ -217,11 +268,19 @@ func readManifest(fsys vfs.FS, dir string) (segs []segMeta, ok bool, err error) 
 // fsynced before the manifest referenced them, so corruption there is
 // real damage, not a torn tail. In lenient mode (the active segment)
 // decoding stops at the first bad entry and validBytes reports the end
-// of the valid prefix, which the caller truncates to. A missing file
+// of the valid prefix, which the caller truncates to. A missing file is
+// real damage in strict mode — a sealed segment was durable before its
+// manifest entry existed, so its absence is ErrCorrupt even when the
+// manifest records it as empty (0 bytes, 0 records); the byte/count
+// cross-check alone would wave that case through. Leniently (the active
+// segment, which a first open may not have created yet) a missing file
 // decodes as empty.
 func decodeSegment(fsys vfs.FS, path string, strict bool) (recs []Record, validBytes int64, err error) {
 	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if errors.Is(err, os.ErrNotExist) {
+		if strict {
+			return nil, 0, fmt.Errorf("metadata: sealed segment %s missing: %w", filepath.Base(path), ErrCorrupt)
+		}
 		return nil, 0, nil
 	}
 	if err != nil {
@@ -248,13 +307,19 @@ func decodeSegment(fsys vfs.FS, path string, strict bool) (recs []Record, validB
 
 // removeOrphans deletes files a crash may have stranded: segment files
 // the manifest does not reference (created before a manifest write that
-// never landed, or left behind by an interrupted compaction cutover)
-// and stale temporaries. Runs after the manifest is loaded, before
-// replay.
+// never landed, or left behind by an interrupted compaction cutover),
+// statistics sidecars no manifest entry binds to (written just before a
+// seal or regeneration whose manifest never landed — their CRC is
+// unreferenced, so they can never be trusted anyway), and stale
+// temporaries. Runs after the manifest is loaded, before replay.
 func removeOrphans(fsys vfs.FS, dir string, segs []segMeta) (removed int, err error) {
 	known := make(map[string]bool, len(segs))
+	knownStats := make(map[string]bool, len(segs))
 	for _, s := range segs {
 		known[s.name] = true
+		if s.hasStats {
+			knownStats[statsFileName(s.name)] = true
+		}
 	}
 	entries, err := fsys.ReadDir(dir)
 	if err != nil {
@@ -264,6 +329,9 @@ func removeOrphans(fsys vfs.FS, dir string, segs []segMeta) (removed int, err er
 		name := e.Name()
 		stray := strings.HasSuffix(name, ".tmp") || name == staleLockName
 		if _, isSeg := segFileID(name); isSeg && !known[name] {
+			stray = true
+		}
+		if strings.HasSuffix(name, statsSuffix) && !knownStats[name] {
 			stray = true
 		}
 		if stray {

@@ -1,0 +1,914 @@
+package metadata
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// Seal-time segment statistics (stats.go): sidecar encoding, bloom
+// soundness, write-at-seal, in-place regeneration for pre-stats
+// repositories, cold-open pushdown (WithOpenFilter), plan-time segment
+// pruning, and the Compact/Fsck cross-checks. The governing invariant
+// everywhere: statistics may only ever exclude conservatively, so every
+// pruned result must stay byte-identical to the naive full-scan oracle.
+
+// statsFixture builds a persisted repository whose frame-ordered
+// records land in several small sealed segments, so zone maps are
+// disjoint and pruning has something to prove.
+func statsFixture(t *testing.T, dir string, n int) {
+	t.Helper()
+	r, err := Open(dir, WithSegmentSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []string{"happy", "sad", "neutral", "eye-contact"}
+	for i := 0; i < n; i++ {
+		if _, err := r.Append(obs(i, i%5, labels[i%len(labels)], float64(i%7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sealedSegs(t *testing.T, dir string) []segMeta {
+	t.Helper()
+	segs, ok, err := readManifest(vfs.OS, dir)
+	if err != nil || !ok {
+		t.Fatalf("reading manifest: ok=%v err=%v", ok, err)
+	}
+	return segs
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("label-%d-%d", i, rng.Int63())
+	}
+	b := newBloom(len(keys))
+	for _, k := range keys {
+		b.add(bloomHashString(k))
+	}
+	for _, k := range keys {
+		if !b.has(bloomHashString(k)) {
+			t.Fatalf("bloom false negative for %q", k)
+		}
+	}
+	// An empty filter definitely contains nothing.
+	var empty bloomFilter
+	if empty.has(bloomHashString("anything")) {
+		t.Fatal("empty bloom claims membership")
+	}
+	// Integer keys behave the same.
+	ib := newBloom(50)
+	for p := 0; p < 50; p++ {
+		ib.add(bloomHashInt(p))
+	}
+	for p := 0; p < 50; p++ {
+		if !ib.has(bloomHashInt(p)) {
+			t.Fatalf("bloom false negative for person %d", p)
+		}
+	}
+	// ~1% false positives at 10 bits/key: spot-check the rate is sane,
+	// not a degenerate all-ones filter.
+	fp := 0
+	for i := 0; i < 1000; i++ {
+		if b.has(bloomHashString(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	if fp > 100 {
+		t.Fatalf("bloom false-positive rate %d/1000 — filter degenerate", fp)
+	}
+}
+
+func TestStatsEncodeDecodeRoundtrip(t *testing.T) {
+	recs := []Record{
+		obs(10, 0, "happy", 1),
+		obs(500, 3, "sad", 2),
+		{Kind: KindEvent, Frame: 20, FrameEnd: 25, Person: 1, Other: 4, Label: "eye-contact"},
+		{Kind: KindContext, Frame: -1, FrameEnd: -1, Person: -1, Other: -1, Label: "location"},
+	}
+	s := statsOfRecords(recs)
+	data := encodeStats(s)
+	got, err := decodeStats(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("roundtrip diverged:\n got  %+v\n want %+v", got, s)
+	}
+	// Determinism: rebuilding from a permuted record multiset encodes
+	// byte-identically (bloom bits are an OR of per-key masks).
+	perm := []Record{recs[2], recs[0], recs[3], recs[1]}
+	if !reflect.DeepEqual(encodeStats(statsOfRecords(perm)), data) {
+		t.Fatal("statistics encoding depends on insertion order")
+	}
+	if s.count != 4 || s.minFrame != -1 || s.maxFrame != 500 {
+		t.Fatalf("zone maps wrong: %+v", s)
+	}
+	if s.kinds[KindObservation] != 2 || s.kinds[KindEvent] != 1 || s.kinds[KindContext] != 1 {
+		t.Fatalf("kind counts wrong: %v", s.kinds)
+	}
+	// The person bloom indexes Person and Other.
+	if !s.persons.has(bloomHashInt(4)) {
+		t.Fatal("Other participant missing from person bloom")
+	}
+
+	// Damage in any byte fails decode with ErrCorrupt.
+	for _, mut := range []struct {
+		name string
+		f    func([]byte) []byte
+	}{
+		{"flipped bit", func(d []byte) []byte { d[10] ^= 1; return d }},
+		{"truncated", func(d []byte) []byte { return d[:len(d)-3] }},
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }},
+		{"empty", func(d []byte) []byte { return nil }},
+	} {
+		bad := mut.f(append([]byte(nil), data...))
+		if _, err := decodeStats(bad); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: decode err = %v, want ErrCorrupt", mut.name, err)
+		}
+	}
+}
+
+func TestSealWritesStatsSidecar(t *testing.T) {
+	dir := t.TempDir()
+	statsFixture(t, dir, 100)
+
+	// Every sealed manifest entry carries an sts= reference and its
+	// sidecar file exists with the matching CRC.
+	segs := sealedSegs(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("fixture produced only %d segments", len(segs))
+	}
+	for _, sm := range segs[:len(segs)-1] {
+		if !sm.hasStats {
+			t.Fatalf("sealed %s has no sts= reference", sm.name)
+		}
+		st, err := readStats(vfs.OS, dir, sm)
+		if err != nil {
+			t.Fatalf("sidecar for %s: %v", sm.name, err)
+		}
+		if st.count != sm.count {
+			t.Fatalf("%s: stats count %d, manifest count %d", sm.name, st.count, sm.count)
+		}
+	}
+
+	// Reopen: Stats surfaces the loaded zone maps; frame-ordered ingest
+	// means sealed segments partition the frame axis in order.
+	r, err := Open(dir, WithSegmentSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastMax := -1
+	for _, s := range st.Segments {
+		if !s.Sealed {
+			continue
+		}
+		if !s.HasStats {
+			t.Fatalf("sealed %s reopened without statistics", s.Name)
+		}
+		if s.MinFrame <= lastMax || s.MaxFrame < s.MinFrame {
+			t.Fatalf("zone maps not ordered: %s [%d, %d] after max %d",
+				s.Name, s.MinFrame, s.MaxFrame, lastMax)
+		}
+		lastMax = s.MaxFrame
+	}
+}
+
+func TestPlanStatsPruning(t *testing.T) {
+	dir := t.TempDir()
+	statsFixture(t, dir, 100)
+	r, err := Open(dir, WithSegmentSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// A frame window confined to one segment prunes the rest; results
+	// stay byte-identical to the oracle.
+	for _, q := range []string{
+		"frame >= 90",
+		"frame >= 10 AND frame < 20",
+		"label = 'happy' AND frame < 8",
+		"frame < 5 OR frame >= 95",                 // OR of zone-prunable branches
+		"(frame < 5 AND value > 1) OR frame >= 95", // branches with residuals
+	} {
+		expr, err := Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := r.NaiveQueryExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planned, err := r.QueryExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(planned, naive) {
+			t.Fatalf("%q: pruned plan diverged from oracle (%d vs %d rows)", q, len(planned), len(naive))
+		}
+		plan, err := r.Explain(q, QueryOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(plan, "stats: pruned") {
+			t.Errorf("%q: explain lacks pruning step:\n%s", q, plan)
+		}
+	}
+
+	// The OR shape has no index probe: it must scan surviving runs, not
+	// the full store.
+	plan, err := r.Explain("frame < 5 OR frame >= 95", QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "run(s)") || strings.Contains(plan, "full scan") {
+		t.Errorf("OR query not run-pruned:\n%s", plan)
+	}
+
+	// Unprunable shapes still work and skip the pruning step.
+	plan, err = r.Explain("value > 3", QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "stats: pruned") {
+		t.Errorf("value-only query claims pruning:\n%s", plan)
+	}
+}
+
+func TestOpenFilterRequiresReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	statsFixture(t, dir, 20)
+	expr, err := Parse("frame >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, WithOpenFilter(expr)); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("writable open with filter: err = %v, want ErrBadQuery", err)
+	}
+}
+
+func TestColdOpenFilterSkipsSegments(t *testing.T) {
+	dir := t.TempDir()
+	statsFixture(t, dir, 100)
+
+	// Oracle: a plain read-only open replays everything.
+	full, err := Open(dir, WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr, err := Parse("frame >= 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := full.NaiveQueryExpr(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(naive) != 10 {
+		t.Fatalf("oracle rows = %d, want 10", len(naive))
+	}
+
+	r, err := Open(dir, WithReadOnly(), WithOpenFilter(expr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SkippedSegments == 0 {
+		t.Fatal("selective cold open skipped no segments")
+	}
+	skipped := 0
+	for _, s := range st.Segments {
+		if s.Skipped {
+			skipped++
+			if s.MaxFrame >= 90 && s.Records > 0 {
+				t.Fatalf("skipped segment %s overlaps the filter window [%d, %d]",
+					s.Name, s.MinFrame, s.MaxFrame)
+			}
+		}
+	}
+	if skipped != st.SkippedSegments {
+		t.Fatalf("per-segment Skipped (%d) disagrees with SkippedSegments (%d)", skipped, st.SkippedSegments)
+	}
+	got, err := r.QueryExpr(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, naive) {
+		t.Fatalf("cold-open results diverged: %d vs %d rows", len(got), len(naive))
+	}
+
+	// A filter nothing matches skips every sealed segment.
+	none, err := Parse("label = 'nonexistent'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir, WithReadOnly(), WithOpenFilter(none))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	st2, err := r2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nSealed := len(st2.Segments) - 1; st2.SkippedSegments != nSealed {
+		t.Fatalf("all-miss filter skipped %d of %d sealed segments", st2.SkippedSegments, nSealed)
+	}
+	if recs, err := r2.QueryExpr(none); err != nil || len(recs) != 0 {
+		t.Fatalf("all-miss query: %d rows, err %v", len(recs), err)
+	}
+}
+
+// TestColdOpenEquivalenceProperty is the pushdown soundness property:
+// over a randomized record population and random queries spanning the
+// full grammar, opening with the query as filter and executing it must
+// be byte-identical to the full-replay naive interpreter. Statistics
+// can only exclude; never a record the query would match.
+func TestColdOpenEquivalenceProperty(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1207))
+	r, err := Open(dir, WithSegmentSize(2048), WithSyncPolicy(SyncNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRepo(t, r, rng, 1200)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := 40
+	if testing.Short() {
+		queries = 12
+	}
+	full, err := Open(dir, WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type oracle struct {
+		q    string
+		expr Expr
+		want []Record
+	}
+	var oracles []oracle
+	for i := 0; i < queries; i++ {
+		q := genQuery(rng, 3)
+		expr, err := Parse(q)
+		if err != nil {
+			t.Fatalf("generated query %q failed to parse: %v", q, err)
+		}
+		want, err := full.NaiveQueryExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles = append(oracles, oracle{q, expr, want})
+	}
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, o := range oracles {
+		cold, err := Open(dir, WithReadOnly(), WithOpenFilter(o.expr))
+		if err != nil {
+			t.Fatalf("cold open for %q: %v", o.q, err)
+		}
+		got, err := cold.QueryExpr(o.expr)
+		if cerr := cold.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("cold query %q: %v", o.q, err)
+		}
+		if !reflect.DeepEqual(got, o.want) {
+			t.Fatalf("cold-open pushdown diverged for %q: %d vs %d rows", o.q, len(got), len(o.want))
+		}
+	}
+}
+
+// TestStatsRegenerateInPlace simulates a pre-stats repository (no
+// sidecars, no sts= references): read-only opens serve it unpruned,
+// and the first writable open upgrades it in place.
+func TestStatsRegenerateInPlace(t *testing.T) {
+	dir := t.TempDir()
+	statsFixture(t, dir, 100)
+
+	// Strip the statistics: rewrite the manifest without sts= tokens and
+	// delete every sidecar.
+	segs := sealedSegs(t, dir)
+	for i := range segs {
+		segs[i].hasStats, segs[i].statsCRC = false, 0
+	}
+	if _, err := writeManifest(vfs.OS, dir, segs); err != nil {
+		t.Fatal(err)
+	}
+	removed := 0
+	for _, sm := range segs[:len(segs)-1] {
+		if err := os.Remove(filepath.Join(dir, statsFileName(sm.name))); err == nil {
+			removed++
+		}
+	}
+	if removed == 0 {
+		t.Fatal("fixture had no sidecars to strip")
+	}
+
+	// Read-only: opens fine, no statistics, queries still exact.
+	ro, err := Open(dir, WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ro.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range st.Segments {
+		if s.HasStats {
+			t.Fatalf("%s has statistics after strip", s.Name)
+		}
+	}
+	naive, err := ro.Query("frame >= 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roh, err := ro.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roh.StatsMissing) != len(segs)-1 || roh.Degraded {
+		t.Fatalf("read-only health after strip: missing=%v degraded=%v", roh.StatsMissing, roh.Degraded)
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writable: regenerates every sidecar and rebinds the manifest.
+	w, err := Open(dir, WithSegmentSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := w.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRegen := false
+	for _, line := range h.Recovery {
+		if strings.Contains(line, "regenerated statistics") {
+			foundRegen = true
+		}
+	}
+	if !foundRegen {
+		t.Fatalf("no regeneration recovery line: %v", h.Recovery)
+	}
+	if len(h.StatsMissing) != 0 {
+		t.Fatalf("statistics still missing after regeneration: %v", h.StatsMissing)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range sealedSegs(t, dir) {
+		if !sm.sealed {
+			continue
+		}
+		if !sm.hasStats {
+			t.Fatalf("%s not rebound after regeneration", sm.name)
+		}
+		if _, err := readStats(vfs.OS, dir, sm); err != nil {
+			t.Fatalf("regenerated sidecar for %s: %v", sm.name, err)
+		}
+	}
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fsck after regeneration not clean: %+v", rep.Segments)
+	}
+
+	// The upgraded repository prunes cold opens again.
+	expr, err := Parse("frame >= 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Open(dir, WithReadOnly(), WithOpenFilter(expr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	cst, err := cold.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.SkippedSegments == 0 {
+		t.Fatal("regenerated statistics prune nothing")
+	}
+	got, err := cold.QueryExpr(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, naive) {
+		t.Fatalf("post-upgrade cold open diverged: %d vs %d rows", len(got), len(naive))
+	}
+}
+
+// TestStatsDamagedSidecarRegenerates covers a torn or stale sidecar: a
+// writable open rejects it via the CRC binding and rewrites it.
+func TestStatsDamagedSidecarRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	statsFixture(t, dir, 100)
+	segs := sealedSegs(t, dir)
+	victim := segs[0]
+	path := filepath.Join(dir, statsFileName(victim.name))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("fsck missed the damaged sidecar")
+	}
+	if q := rep.Quarantinable(); len(q) != 0 {
+		t.Fatalf("sidecar damage must not quarantine the segment: %v", q)
+	}
+
+	r, err := Open(dir, WithSegmentSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("writable open did not repair the sidecar: %+v", rep.Segments)
+	}
+}
+
+// TestStatsVersionMismatchDetected rebinds nothing: a sidecar replaced
+// by a different-but-valid version (CRC intact internally, not the
+// version the manifest recorded) is rejected and regenerated.
+func TestStatsVersionMismatchDetected(t *testing.T) {
+	dir := t.TempDir()
+	statsFixture(t, dir, 100)
+	segs := sealedSegs(t, dir)
+	victim := segs[0]
+	// A structurally valid sidecar built from the wrong records.
+	wrong := encodeStats(statsOfRecords([]Record{obs(777777, 0, "bogus", 1)}))
+	if err := writeStatsFile(vfs.OS, dir, victim.name, wrong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readStats(vfs.OS, dir, victim); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("stale sidecar accepted: %v", err)
+	}
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range rep.Segments {
+		if s.Name == statsFileName(victim.name) && strings.Contains(s.Err, "version") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fsck did not flag the version mismatch: %+v", rep.Segments)
+	}
+	r, err := Open(dir, WithSegmentSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err = Fsck(dir); err != nil || !rep.Clean() {
+		t.Fatalf("writable open did not regenerate: err=%v rep=%+v", err, rep)
+	}
+}
+
+// TestCompactValidatesStats pins the compaction cross-check: a sidecar
+// that is internally valid and manifest-bound but lies about the
+// segment's contents fails Compact with ErrCorrupt instead of merging
+// the lie forward.
+func TestCompactValidatesStats(t *testing.T) {
+	dir := t.TempDir()
+	statsFixture(t, dir, 100)
+	segs := sealedSegs(t, dir)
+	victim := &segs[0]
+	lie := encodeStats(statsOfRecords([]Record{obs(777777, 0, "bogus", 1)}))
+	if err := writeStatsFile(vfs.OS, dir, victim.name, lie); err != nil {
+		t.Fatal(err)
+	}
+	victim.hasStats, victim.statsCRC = true, statsCRCOf(lie)
+	if _, err := writeManifest(vfs.OS, dir, segs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fsck catches the divergence even though the CRC binding holds.
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range rep.Segments {
+		if s.Name == statsFileName(victim.name) && strings.Contains(s.Err, "diverge") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fsck did not flag the divergence: %+v", rep.Segments)
+	}
+
+	r, err := Open(dir, WithSegmentSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Compact(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("compact over lying statistics: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStatsOrphanSidecarSwept(t *testing.T) {
+	dir := t.TempDir()
+	statsFixture(t, dir, 100)
+	stray := filepath.Join(dir, "000099.sts")
+	if err := os.WriteFile(stray, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, WithSegmentSize(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stray sidecar survived the orphan sweep: %v", err)
+	}
+	// Referenced sidecars stay.
+	for _, sm := range sealedSegs(t, dir) {
+		if !sm.sealed {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, statsFileName(sm.name))); err != nil {
+			t.Fatalf("referenced sidecar swept: %v", err)
+		}
+	}
+}
+
+// TestMissingSealedSegmentIsCorrupt is the satellite-2 regression: a
+// sealed segment file that vanished is ErrCorrupt in strict mode even
+// when the manifest records it as empty (0 bytes, 0 records) — the
+// byte/count cross-check alone would wave that through.
+func TestMissingSealedSegmentIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	statsFixture(t, dir, 100)
+	segs := sealedSegs(t, dir)
+	if err := os.Remove(filepath.Join(dir, segs[0].name)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, WithSegmentSize(300)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over missing sealed segment: err = %v, want ErrCorrupt", err)
+	}
+	r, err := Open(dir, WithSegmentSize(300), WithQuarantine())
+	if err != nil {
+		t.Fatalf("quarantine open: %v", err)
+	}
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The empty-entry case: a manifest listing a sealed `0 0` segment
+	// whose file does not exist.
+	dir2 := t.TempDir()
+	empty := []segMeta{
+		{name: segFileName(1), sealed: true},
+		{name: segFileName(2)},
+	}
+	if _, err := writeManifest(vfs.OS, dir2, empty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over missing empty sealed segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// rawManifest renders manifest bytes with a correct CRC trailer, so the
+// parser's per-entry validation — not the checksum — is what the
+// rejection table exercises.
+func rawManifest(lines ...string) []byte {
+	body := manifestHeader + "\n"
+	for _, l := range lines {
+		body += l + "\n"
+	}
+	return []byte(fmt.Sprintf("%scrc32 %08x\n", body, crc32.ChecksumIEEE([]byte(body))))
+}
+
+// TestParseManifestRejections is the satellite-1 regression table: the
+// old Sscanf parser accepted negative counts, ignored trailing garbage
+// and admitted duplicate names — all CRC-valid, all able to corrupt
+// first-position arithmetic downstream.
+func TestParseManifestRejections(t *testing.T) {
+	active := "seg 000002.seg active 0 0"
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"negative bytes", "seg 000001.seg sealed -5 2"},
+		{"negative count", "seg 000001.seg sealed 10 -2"},
+		{"float bytes", "seg 000001.seg sealed 1.5 2"},
+		{"missing fields", "seg 000001.seg sealed 10"},
+		{"trailing garbage", "seg 000001.seg sealed 10 2 extra"},
+		{"bad keyword", "wat 000001.seg sealed 10 2"},
+		{"bad name", "seg nope.seg sealed 10 2"},
+		{"bad state", "seg 000001.seg melted 10 2"},
+		{"bad stats hex", "seg 000001.seg sealed 10 2 sts=xyzxyzxy"},
+		{"short stats hex", "seg 000001.seg sealed 10 2 sts=abc"},
+		{"stats on active", "seg 000001.seg active 0 0 sts=00000000"},
+		{"token after stats", "seg 000001.seg sealed 10 2 sts=00000000 junk"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			lines := []string{c.line}
+			if !strings.Contains(c.line, "active") {
+				lines = append(lines, active)
+			}
+			if _, err := parseManifest(rawManifest(lines...)); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("line %q: err = %v, want ErrCorrupt", c.line, err)
+			}
+		})
+	}
+	// Duplicate names across entries.
+	if _, err := parseManifest(rawManifest(
+		"seg 000001.seg sealed 10 2", "seg 000001.seg active 0 0")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("duplicate names: err = %v, want ErrCorrupt", err)
+	}
+	// The happy path, with and without a stats reference.
+	segs, err := parseManifest(rawManifest(
+		"seg 000001.seg sealed 10 2 sts=00c0ffee", active))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !segs[0].hasStats || segs[0].statsCRC != 0x00c0ffee {
+		t.Fatalf("stats reference not parsed: %+v", segs[0])
+	}
+	if segs[1].hasStats {
+		t.Fatal("active entry grew a stats reference")
+	}
+}
+
+// TestStatsCrashMatrix extends the crash-consistency matrix to the
+// statistics machinery: for a snapshot before every counted filesystem
+// operation of a seal/compact-heavy workload (sidecar writes included —
+// FaultFS counts them like any other op), crash with and without a torn
+// tail, reopen writable, and require that (a) recovery holds the usual
+// prefix contract, (b) the repaired directory fscks clean — every
+// sealed segment has a valid, bound, content-accurate sidecar — and
+// (c) a cold open with a pushdown filter returns exactly what the
+// full-replay oracle returns.
+func TestStatsCrashMatrix(t *testing.T) {
+	fsys := vfs.NewFaultFS()
+	var points []crashPoint
+	acked := 0
+	fsys.OnOp = func(n int, op vfs.Op, path string, snap *vfs.FaultFS) {
+		points = append(points, crashPoint{n: n, op: op, path: path, snap: snap, acked: acked})
+	}
+	r, err := Open("repo", WithFS(fsys), WithSegmentSize(300), WithSyncPolicy(SyncOnSeal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracle []Record
+	for i := 0; i < 60; i++ {
+		rec := obs(i, i%3, "crash", 1)
+		id, err := r.Append(rec)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		rec.ID = id
+		oracle = append(oracle, rec)
+		acked = len(oracle)
+		if i == 30 {
+			if err := r.Compact(); err != nil {
+				t.Fatalf("compact: %v", err)
+			}
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fsys.OnOp = nil
+	if len(points) == 0 {
+		t.Fatal("workload produced no fault points")
+	}
+
+	expr, err := Parse("frame >= 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+	for _, torn := range []int{0, 3} {
+		for pi := 0; pi < len(points); pi += stride {
+			pt := points[pi]
+			ctx := fmt.Sprintf("op %d (%s %s) torn=%d", pt.n, pt.op, pt.path, torn)
+			world := pt.snap.Clone()
+			world.Crash(torn)
+
+			// (a) writable reopen recovers a prefix and repairs in place.
+			r, err := Open("repo", WithFS(world), WithSegmentSize(300))
+			if err != nil {
+				t.Fatalf("%s: reopen after crash: %v", ctx, err)
+			}
+			got := scanAll(t, r)
+			if len(got) > len(oracle) {
+				t.Fatalf("%s: recovered %d records, more than the %d acknowledged", ctx, len(got), len(oracle))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], oracle[i]) {
+					t.Fatalf("%s: recovered record %d diverged", ctx, i)
+				}
+			}
+			if err := r.Close(); err != nil {
+				t.Fatalf("%s: close: %v", ctx, err)
+			}
+
+			// (b) after repair the statistics are whole again.
+			rep, err := fsck(world, "repo")
+			if err != nil {
+				t.Fatalf("%s: fsck: %v", ctx, err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("%s: fsck not clean after writable reopen: %+v", ctx, rep.Segments)
+			}
+
+			// (c) pushdown over the repaired store matches full replay.
+			full, err := Open("repo", WithFS(world), WithReadOnly())
+			if err != nil {
+				t.Fatalf("%s: read-only reopen: %v", ctx, err)
+			}
+			want, err := full.NaiveQueryExpr(expr)
+			if err != nil {
+				t.Fatalf("%s: oracle query: %v", ctx, err)
+			}
+			if err := full.Close(); err != nil {
+				t.Fatalf("%s: oracle close: %v", ctx, err)
+			}
+			cold, err := Open("repo", WithFS(world), WithReadOnly(), WithOpenFilter(expr))
+			if err != nil {
+				t.Fatalf("%s: cold open: %v", ctx, err)
+			}
+			pruned, err := cold.QueryExpr(expr)
+			if err != nil {
+				t.Fatalf("%s: cold query: %v", ctx, err)
+			}
+			if err := cold.Close(); err != nil {
+				t.Fatalf("%s: cold close: %v", ctx, err)
+			}
+			if !reflect.DeepEqual(pruned, want) {
+				t.Fatalf("%s: pushdown diverged from oracle (%d vs %d rows)", ctx, len(pruned), len(want))
+			}
+		}
+	}
+}

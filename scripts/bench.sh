@@ -2,19 +2,23 @@
 # bench.sh — record the headline benchmark numbers.
 #
 #   scripts/bench.sh [N]      run the headline benchmarks and write
-#                             BENCH_<N>.json (default N=5) at the repo
+#                             BENCH_<N>.json (default N=6) at the repo
 #                             root, so the perf trajectory is recorded
 #                             PR over PR.
 #
 # Headline set: the detection hot path (FaceDetect, FaceDetectShared),
 # the end-to-end pipelines (PipelineEndToEnd, PipelineParallel), the
-# metadata ingest path (MetadataIngestSegmented), and the stage-graph
+# metadata ingest path (MetadataIngestSegmented), the stage-graph
 # incremental re-run (PipelineIncremental vs PipelineFull610 — the
-# stale-emotion re-run must land under 50% of the full run).
+# stale-emotion re-run must land under 50% of the full run), and the
+# cold-open statistics pushdown (ColdOpenQuery/pushdown vs /fullReplay
+# — the pushdown open must land ≥3× under full replay; it runs in a
+# separate low-count invocation because one fullReplay iteration
+# replays a 1M-record store).
 set -eu
 cd "$(dirname "$0")/.."
 
-N="${1:-5}"
+N="${1:-6}"
 OUT="BENCH_${N}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -31,6 +35,7 @@ fi
 go test -run '^$' \
 	-bench 'BenchmarkFaceDetect$|BenchmarkFaceDetectShared$|BenchmarkPipelineEndToEnd$|BenchmarkPipelineParallel$|BenchmarkPipelineIncremental$|BenchmarkPipelineFull610$|BenchmarkMetadataIngestSegmented$' \
 	-benchtime 100x -count 1 . > "$RAW"
+go test -run '^$' -bench 'BenchmarkColdOpenQuery' -benchtime 5x -count 1 . >> "$RAW"
 cat "$RAW"
 
 awk -v out="$OUT" -v keep="$KEEP" '

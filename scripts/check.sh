@@ -7,10 +7,12 @@
 # Both modes additionally run the metadata engine under the race
 # detector (concurrent AppendBatch/QueryIter/Compact stress plus the
 # compact-under-load oracle check), the torn-write recovery matrix,
-# the injected-fault crash-consistency matrix, the degraded-mode gates
-# (quarantine under raced load, stage panic isolation), and a short
-# fuzz smoke of the query parser so the checked-in corpus executes on
-# every check.
+# the injected-fault crash-consistency matrix (including the segment-
+# statistics sidecar matrix), the statistics-pruning soundness gates
+# (cold-open pushdown ≡ full-replay oracle, raced), the degraded-mode
+# gates (quarantine under raced load, stage panic isolation), and a
+# short fuzz smoke of the query parser so the checked-in corpus
+# executes on every check.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -42,6 +44,13 @@ else
 	# and reopened, must preserve the acknowledged prefix; transient
 	# faults must surface the error and keep the store usable.
 	go test -run 'TestCrashConsistencyMatrix|TestTransientFaultMatrix' ./internal/metadata
+	# Statistics crash matrix: a crash at any counted op (sidecar writes
+	# included) must leave a store that a writable reopen repairs to a
+	# clean fsck, with cold-open pushdown matching the full-replay oracle.
+	go test -run 'TestStatsCrashMatrix' ./internal/metadata
+	# Pruning-soundness gate, raced: statistics pushdown and plan-time
+	# segment pruning must stay byte-identical to the naive oracle.
+	go test -race -run 'TestColdOpenEquivalenceProperty|TestPlanStatsPruning' ./internal/metadata
 	# Degraded-mode gates, raced: quarantined segments served under
 	# concurrent load, and stage panic isolation on the worker pool.
 	go test -race -run 'TestQuarantineUnderConcurrentLoad' ./internal/metadata
