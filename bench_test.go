@@ -5,8 +5,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -882,6 +884,59 @@ func buildColdOpenFixture(b *testing.B, dir string) {
 	if err := r.Close(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkFollowLatency measures the append→deliver latency of a tail
+// cursor (DESIGN.md §10): a follower Tails the live repository, then
+// each round appends one durable record and blocks in Next until the
+// CDC feed delivers it. The headline FOLLOW numbers are the p50/p99 of
+// the per-round latencies (reported as p50-ns / p99-ns).
+func BenchmarkFollowLatency(b *testing.B) {
+	dir := b.TempDir()
+	repo, err := metadata.Open(dir, metadata.WithSyncPolicy(metadata.SyncNone))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	expr, follow, err := metadata.ParseFollow("frame >= 0 FOLLOW")
+	if err != nil || !follow {
+		b.Fatalf("ParseFollow: %v (follow=%v)", err, follow)
+	}
+	cur, err := repo.Tail(expr, metadata.TailOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cur.Close()
+	ctx := context.Background()
+	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		_, err := repo.Append(metadata.Record{
+			Kind: metadata.KindObservation, Frame: i, FrameEnd: i + 1,
+			Time:   time.Duration(i) * 40 * time.Millisecond,
+			Person: i % 4, Other: -1, Label: "happy", Value: 0.9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cur.Next(ctx); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p int) float64 {
+		idx := len(lat) * p / 100
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return float64(lat[idx].Nanoseconds())
+	}
+	b.ReportMetric(pct(50), "p50-ns")
+	b.ReportMetric(pct(99), "p99-ns")
 }
 
 // BenchmarkMetadataParse measures query compilation alone.

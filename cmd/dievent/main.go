@@ -15,12 +15,29 @@
 //	-repo DIR                    persist the metadata repository to DIR
 //	-segbytes N                  repository segment roll threshold in bytes
 //	-seed N                      estimator noise seed
+//	-stream N                    run as an online stream of N frames (cycling
+//	                             the scenario past its end) instead of a batch
+//	-follow QUERY                with -stream: subscribe to the live record
+//	                             feed and print matches while ingesting
+//
+// Streaming mode (DESIGN.md §10) runs the pipeline as an online process
+// with the live stages enabled (dining-phase, live-summary,
+// attention-span): windowed operators emit live- records mid-stream,
+// and -follow tails them from the very repository the run is still
+// writing — e.g.
+//
+//	dievent -stream 5000 -follow "label = 'live-phase' FOLLOW"
+//
+// Ctrl-C winds the stream down at the next frame boundary and the
+// partial result is finalized and printed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/dievent"
@@ -37,6 +54,8 @@ func main() {
 		repoDir   = flag.String("repo", "", "persist metadata repository to this directory")
 		segBytes  = flag.Int64("segbytes", 0, "repository segment roll threshold in bytes (0 = default)")
 		seed      = flag.Int64("seed", 1, "noise seed")
+		stream    = flag.Int("stream", 0, "run as an online stream of N frames (0 = batch run)")
+		follow    = flag.String("follow", "", "with -stream: tail this query live while ingesting")
 	)
 	flag.Parse()
 
@@ -75,6 +94,14 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
+	if *follow != "" && *stream == 0 {
+		fatal(fmt.Errorf("-follow needs -stream (a batch run has no live feed)"))
+	}
+	if *stream > 0 {
+		runStreaming(cfg, *stream, *follow, *mode)
+		return
+	}
+
 	pipe, err := dievent.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -99,6 +126,94 @@ func main() {
 	if *repoDir != "" {
 		fmt.Printf("metadata repository: %d records in %s\n", res.Repo.Len(), *repoDir)
 	}
+}
+
+// runStreaming drives the online mode: the pipeline ingests frames
+// (cycling the scenario when frames exceeds it) into a repository the
+// main goroutine can Tail concurrently. The live stages are enabled so
+// the stream emits live-phase / live-summary / attention-span records;
+// past the scenario's end the run is bounded so memory stays flat no
+// matter how long the stream.
+func runStreaming(cfg dievent.Config, frames int, follow, mode string) {
+	cfg.Stages = append(cfg.Stages,
+		dievent.StageAttention, dievent.StageDiningPhase, dievent.StageLiveSummary)
+	// The stream owns its repository handle so a follower can share it;
+	// -repo persists it, otherwise it lives in memory.
+	var repo *dievent.Repository
+	var err error
+	if cfg.RepoDir != "" {
+		repo, err = dievent.OpenRepository(cfg.RepoDir, cfg.RepoOptions...)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.RepoDir = ""
+	} else {
+		repo = dievent.NewMemRepository()
+	}
+	defer repo.Close()
+
+	pipe, err := dievent.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	unbounded := frames > cfg.Scenario.NumFrames
+	start := time.Now()
+	var res *dievent.Result
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, runErr = pipe.RunStream(dievent.StreamOptions{
+			Ctx: ctx, Frames: frames, Cycle: unbounded,
+			Live: true, Bounded: unbounded, FlushEvery: 32, Repo: repo,
+		})
+	}()
+
+	if follow != "" {
+		cur, err := dievent.Follow(repo, follow, dievent.TailOpts{})
+		if err != nil {
+			fatal(err)
+		}
+		// Stop following once the ingest finishes (or Ctrl-C fires),
+		// with a short grace so the queued tail of the feed drains.
+		fctx, fcancel := context.WithCancel(ctx)
+		go func() {
+			<-done
+			time.Sleep(200 * time.Millisecond)
+			fcancel()
+		}()
+		n := 0
+		for {
+			rec, err := cur.Next(fctx)
+			if err != nil {
+				break
+			}
+			fmt.Println(rec)
+			n++
+		}
+		cur.Close()
+		fmt.Printf("follow: %d rows\n", n)
+	}
+
+	<-done
+	if runErr != nil {
+		fatal(runErr)
+	}
+	if res.Interrupted {
+		fmt.Printf("stream interrupted — finalized partial result\n")
+	}
+	fmt.Printf("stream: %d frames in %v (%s vision, %d records)\n",
+		res.FramesAnalyzed, time.Since(start).Round(time.Millisecond), mode, repo.Len())
+	if len(res.Phases) > 0 {
+		fmt.Println("decoded dining phases:")
+		for _, sp := range res.Phases {
+			fmt.Printf("  %-10s frames [%d, %d)\n", sp.Phase, sp.Start, sp.End)
+		}
+	}
+	fmt.Println(res.Summary.Digest)
 }
 
 func fatal(err error) {

@@ -6,7 +6,17 @@
 //
 //	dieventql -repo DIR "label = 'eye-contact' AND person = 1"
 //	dieventql -repo DIR "EXPLAIN label = 'happy' AND frame < 500"
+//	dieventql -repo DIR -limit 0 "label = 'alert-negative-spike' FOLLOW"
 //	dieventql -repo DIR -i          # interactive REPL
+//
+// A query ending in FOLLOW subscribes instead of scanning: matching
+// history streams first (in append order), then the cursor blocks and
+// yields matching records as they are appended — the repository's
+// change-data-capture feed (DESIGN.md §10). -limit bounds the total
+// rows (0 = follow until Ctrl-C). Ctrl-C during any query — a long
+// scan or a FOLLOW — cancels just that query; in the REPL it returns
+// to the prompt.
+//
 //	dieventql -repo DIR -stats     # records + on-disk segment layout
 //	dieventql -repo DIR -compact   # merge sealed segments, reclaim space
 //	dieventql -repo DIR -fsck      # offline integrity check (exits 1 on damage)
@@ -49,10 +59,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/metadata"
@@ -129,16 +141,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dieventql: no query given (try: \"label = 'eye-contact'\" or -i)")
 			os.Exit(2)
 		}
-		if err := runQuery(os.Stdout, repo, q, *limit); err != nil {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		err := runQuery(ctx, os.Stdout, repo, q, *limit)
+		stop()
+		if err != nil {
 			fatal(err)
 		}
 	}
 }
 
-// runQuery executes one line: EXPLAIN renders the plan, anything else
-// streams results through the planner's cursor, printing the first
-// limit rows while counting the rest.
-func runQuery(w *os.File, repo *metadata.Repository, q string, limit int) error {
+// runQuery executes one line: EXPLAIN renders the plan; a trailing
+// FOLLOW keyword turns the query into a live subscription (history,
+// then new appends as they happen, until limit rows — 0 = forever — or
+// Ctrl-C); anything else streams results through the planner's cursor,
+// printing the first limit rows while counting the rest. The context
+// cancels mid-flight execution (Ctrl-C) and returns cleanly.
+func runQuery(ctx context.Context, w *os.File, repo *metadata.Repository, q string, limit int) error {
 	if rest, ok := cutExplain(q); ok {
 		plan, err := repo.Explain(rest, metadata.QueryOpts{})
 		if err != nil {
@@ -147,7 +165,14 @@ func runQuery(w *os.File, repo *metadata.Repository, q string, limit int) error 
 		fmt.Fprint(w, plan)
 		return nil
 	}
-	it, err := repo.QueryIter(q, metadata.QueryOpts{})
+	expr, follow, err := metadata.ParseFollow(q)
+	if err != nil {
+		return err
+	}
+	if follow {
+		return runFollow(ctx, w, repo, expr, limit)
+	}
+	it, err := repo.QueryIter(q, metadata.QueryOpts{Ctx: ctx})
 	if err != nil {
 		return err
 	}
@@ -164,10 +189,41 @@ func runQuery(w *os.File, repo *metadata.Repository, q string, limit int) error 
 		n++
 	}
 	if err := it.Err(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(w, "interrupted after %d rows\n", n)
+			return nil
+		}
 		return err
 	}
 	if limit > 0 && n > limit {
 		fmt.Fprintf(w, "… %d more rows (raise -limit)\n", n-limit)
+	}
+	fmt.Fprintf(w, "%d rows\n", n)
+	return nil
+}
+
+// runFollow drives a QUERY ... FOLLOW subscription: matching history in
+// ID order, then the live append feed, each record exactly once. On a
+// read-only lease the live phase never fires (no writer in this
+// process), so FOLLOW there is history-then-wait until Ctrl-C.
+func runFollow(ctx context.Context, w *os.File, repo *metadata.Repository, expr metadata.Expr, limit int) error {
+	cur, err := repo.Tail(expr, metadata.TailOpts{})
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	n := 0
+	for limit <= 0 || n < limit {
+		rec, err := cur.Next(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(w, "interrupted after %d rows\n", n)
+				return nil
+			}
+			return fmt.Errorf("follow after %d rows: %w", n, err)
+		}
+		fmt.Fprintln(w, rec)
+		n++
 	}
 	fmt.Fprintf(w, "%d rows\n", n)
 	return nil
@@ -216,7 +272,13 @@ func repl(repo *metadata.Repository, limit int) {
 				}
 			}
 		default:
-			if err := runQuery(os.Stdout, repo, line, limit); err != nil {
+			// Ctrl-C during a query (a long scan, a FOLLOW subscription)
+			// cancels just that query and returns to the prompt; at the
+			// prompt itself the default signal disposition applies.
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+			err := runQuery(ctx, os.Stdout, repo, line, limit)
+			stop()
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "dieventql:", err)
 			}
 		}

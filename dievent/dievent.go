@@ -145,6 +145,32 @@ func NewStageRegistry() *StageRegistry { return core.NewRegistry() }
 // enabled via Config.Stages.
 const StageAttention = core.StageAttention
 
+// Online stages (DESIGN.md §10), enabled via Config.Stages: the sliding
+// window HMM dining-phase decoder and the rolling happiness/dominance
+// digest. Both publish live- records mid-stream on Live streams.
+const (
+	StageDiningPhase = core.StageDiningPhase
+	StageLiveSummary = core.StageLiveSummary
+)
+
+// Streaming execution (DESIGN.md §10). RunStream drives the pipeline as
+// an online process over a finite or cycled-unbounded frame stream:
+//
+//	repo := dievent.NewMemRepository()
+//	go pipe.RunStream(dievent.StreamOptions{
+//	    Repo: repo, Live: true, FlushEvery: 32,
+//	    Frames: 100000, Cycle: true, Bounded: true,
+//	})
+//	cur, _ := dievent.Follow(repo, "label = 'live-phase' FOLLOW", dievent.TailOpts{})
+//	for { rec, _ := cur.Next(ctx); ... }
+type (
+	// StreamOptions configures Pipeline.RunStream (live emission,
+	// bounded memory, cycling, cancellation, a caller-owned repository).
+	StreamOptions = core.StreamOptions
+	// PhaseSpan is one contiguous decoded dining phase in Result.Phases.
+	PhaseSpan = core.PhaseSpan
+)
+
 // ErrNoManifest reports that a repository holds no run manifest, so
 // RunIncremental cannot diff against it (run with Config.Incremental
 // to write one).
@@ -242,7 +268,38 @@ type (
 	// QueryExpr is a compiled query predicate (see ParseQuery) — usable
 	// with Repository.QueryExprIter and WithOpenFilter.
 	QueryExpr = metadata.Expr
+	// TailCursor is a live query subscription (Repository.Tail, Follow):
+	// matching history first, then new appends as they happen.
+	TailCursor = metadata.TailCursor
+	// TailOpts tunes a tail subscription (per-subscriber buffer).
+	TailOpts = metadata.TailOpts
 )
+
+// ErrLagging terminates a tail cursor whose consumer fell behind the
+// append rate past its buffer; re-subscribe to resume from current
+// history.
+var ErrLagging = metadata.ErrLagging
+
+// ParseFollowQuery compiles a query that may carry a trailing FOLLOW
+// keyword, reporting whether it did — the dieventql grammar behind
+// "QUERY ... FOLLOW".
+func ParseFollowQuery(q string) (QueryExpr, bool, error) { return metadata.ParseFollow(q) }
+
+// Follow subscribes to a repository as a live query: the cursor yields
+// the matching history, then matching records as they are appended — in
+// order, exactly once, across segment rolls and compactions. The query
+// may (but need not) end with the FOLLOW keyword.
+func Follow(repo *Repository, q string, opts TailOpts) (*TailCursor, error) {
+	expr, _, err := metadata.ParseFollow(q)
+	if err != nil {
+		return nil, err
+	}
+	return repo.Tail(expr, opts)
+}
+
+// NewMemRepository builds an empty in-memory repository — the natural
+// sink for a live RunStream that in-process followers Tail.
+func NewMemRepository() *Repository { return metadata.NewMem() }
 
 // Storage-engine options for OpenRepository / Config.RepoOptions.
 var (

@@ -49,7 +49,10 @@ type AttentionResult struct {
 }
 
 // attentionAnalyzer accumulates per-person fixation runs from the raw
-// look-at matrices.
+// look-at matrices. Stats accumulate incrementally as runs close, so a
+// bounded stream can drain closed spans out of memory (drainClosed)
+// without changing what finalize reports — the rolling variant is
+// byte-identical to the end-of-run rescan on finite streams.
 type attentionAnalyzer struct {
 	ids    []int
 	cur    []int // current target per person index; -1 = none
@@ -57,15 +60,25 @@ type attentionAnalyzer struct {
 	startT []time.Duration
 	last   int
 	spans  []AttentionSpan
+	// emitted counts the prefix of spans already emitted live, so the
+	// final record pass writes each span exactly once.
+	emitted int
+	// Per-person running stats, updated at close time.
+	statSpans   []int
+	statTotal   []int
+	statLongest []int
 }
 
 func newAttentionAnalyzer(ids []int) *attentionAnalyzer {
 	a := &attentionAnalyzer{
-		ids:    ids,
-		cur:    make([]int, len(ids)),
-		start:  make([]int, len(ids)),
-		startT: make([]time.Duration, len(ids)),
-		last:   -1,
+		ids:         ids,
+		cur:         make([]int, len(ids)),
+		start:       make([]int, len(ids)),
+		startT:      make([]time.Duration, len(ids)),
+		last:        -1,
+		statSpans:   make([]int, len(ids)),
+		statTotal:   make([]int, len(ids)),
+		statLongest: make([]int, len(ids)),
 	}
 	for i := range a.cur {
 		a.cur[i] = -1
@@ -100,49 +113,81 @@ func (a *attentionAnalyzer) push(fa *FrameArtifacts) {
 }
 
 // close ends person pi's open run at frame end, keeping it if long
-// enough.
+// enough and folding it into the running stats.
 func (a *attentionAnalyzer) close(pi, end int) {
 	if a.cur[pi] < 0 {
 		return
 	}
-	if end-a.start[pi] >= minAttentionFrames {
+	n := end - a.start[pi]
+	if n >= minAttentionFrames {
 		a.spans = append(a.spans, AttentionSpan{
 			Person: a.ids[pi], Target: a.cur[pi],
 			Start: a.start[pi], End: end, StartTime: a.startT[pi],
 		})
+		a.statSpans[pi]++
+		a.statTotal[pi] += n
+		if n > a.statLongest[pi] {
+			a.statLongest[pi] = n
+		}
 	}
 }
 
-// finalize closes open runs and computes the per-person stats.
+// drainClosed returns the spans closed since the last drain. With trim
+// set (bounded streams) the drained spans leave memory — the running
+// stats already carry their contribution, so finalize's aggregates are
+// unaffected; only the retained Spans list shortens.
+func (a *attentionAnalyzer) drainClosed(trim bool) []AttentionSpan {
+	fresh := a.spans[a.emitted:]
+	if trim {
+		fresh = append([]AttentionSpan(nil), fresh...)
+		a.spans = a.spans[:0]
+		a.emitted = 0
+	} else {
+		a.emitted = len(a.spans)
+	}
+	return fresh
+}
+
+// finalize closes open runs and reports the per-person stats from the
+// running counters (identical to a rescan of every span ever closed).
 func (a *attentionAnalyzer) finalize() *AttentionResult {
 	for pi := range a.ids {
 		a.close(pi, a.last+1)
 		a.cur[pi] = -1
 	}
 	res := &AttentionResult{Spans: a.spans}
-	for _, id := range a.ids {
-		st := AttentionStat{Person: id}
-		total := 0
-		for _, s := range a.spans {
-			if s.Person != id {
-				continue
-			}
-			st.Spans++
-			total += s.Frames()
-			if s.Frames() > st.LongestFrames {
-				st.LongestFrames = s.Frames()
-			}
+	for pi, id := range a.ids {
+		st := AttentionStat{
+			Person: id, Spans: a.statSpans[pi], LongestFrames: a.statLongest[pi],
 		}
 		if st.Spans > 0 {
-			st.MeanFrames = float64(total) / float64(st.Spans)
+			st.MeanFrames = float64(a.statTotal[pi]) / float64(st.Spans)
 		}
 		res.Stats = append(res.Stats, st)
 	}
 	return res
 }
 
+// attentionSpanRecord is the span's record schema, shared by the live
+// (RunEmit) and end-of-run emission paths so each span is written with
+// identical bytes wherever it surfaces.
+func attentionSpanRecord(s AttentionSpan) metadata.Record {
+	return metadata.Record{
+		Kind: metadata.KindEvent, Frame: s.Start, FrameEnd: s.End,
+		Time: s.StartTime, Person: s.Person, Other: s.Target,
+		Label: "attention-span", Value: float64(s.Frames()),
+	}
+}
+
+// attentionEmitEvery is the rolling emission cadence in frames.
+const attentionEmitEvery = 32
+
 // attentionStage wires the analyzer into the graph as a frame stage
-// with an end-of-run record emission.
+// with an end-of-run record emission. On live/bounded streams the stage
+// is a rolling windowed operator: every attentionEmitEvery frames it
+// drains the spans closed since the last tick (queueing them as records
+// when Live, freeing them when Bounded); each span is emitted exactly
+// once across the rolling and final passes.
 func attentionStage(b *stageBuild) (*Stage, error) {
 	an := newAttentionAnalyzer(b.ids)
 	numFrames := b.numFrames
@@ -152,20 +197,29 @@ func attentionStage(b *stageBuild) (*Stage, error) {
 		Phase:   PhaseFrame,
 		Needs:   []ArtifactKey{ArtLookAt},
 		Config:  itoa(minAttentionFrames),
+		Emit:    attentionEmitEvery,
 		RunFrame: func(_ *runEnv, fa *FrameArtifacts) error {
 			an.push(fa)
 			return nil
 		},
+		RunEmit: func(env *runEnv, _ *FrameArtifacts) error {
+			fresh := an.drainClosed(env.bounded)
+			if env.live {
+				for _, s := range fresh {
+					env.QueueDerived(attentionSpanRecord(s))
+				}
+			}
+			return nil
+		},
 		RunFinal: func(env *runEnv) error {
+			// finalize closes the still-open runs into an.spans; the
+			// prefix already emitted live is skipped, so each span is
+			// written exactly once across the rolling and final passes.
 			att := an.finalize()
 			env.res.Attention = att
 			recs := make([]metadata.Record, 0, len(att.Spans)+len(att.Stats))
-			for _, s := range att.Spans {
-				recs = append(recs, metadata.Record{
-					Kind: metadata.KindEvent, Frame: s.Start, FrameEnd: s.End,
-					Time: s.StartTime, Person: s.Person, Other: s.Target,
-					Label: "attention-span", Value: float64(s.Frames()),
-				})
+			for _, s := range an.spans[an.emitted:] {
+				recs = append(recs, attentionSpanRecord(s))
 			}
 			for _, st := range att.Stats {
 				if st.Spans == 0 {

@@ -34,6 +34,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -174,6 +175,13 @@ type Result struct {
 	// manifest diff: which stages re-ran and which extraction stages
 	// were replayed from the previous repository. Empty on full runs.
 	StaleStages, ReusedStages []string
+	// Phases is the dining-phase stage's decoded activity timeline (nil
+	// unless the "dining-phase" stage was enabled on a finite run).
+	Phases []PhaseSpan
+	// Interrupted reports that a streaming run's context was cancelled
+	// mid-stream: the result covers the FramesAnalyzed frames consumed
+	// before cancellation, finalized normally.
+	Interrupted bool
 	// Quarantined reports the stages disabled mid-run after a panic
 	// (Config.Degraded only); empty on healthy and strict runs. Fields
 	// a quarantined stage would have filled (Layers, Summary,
@@ -344,6 +352,19 @@ type runEnv struct {
 	quar *stageQuarantine
 	// pending is the raw-layer record batch queue (see Queue).
 	pending []metadata.Record
+
+	// Streaming state (RunStream; all zero on plain runs). ring holds
+	// the last len(ring) merged frames so windowed stages can reach back
+	// through Window; a slot is overwritten — evicting its frame — as
+	// soon as no stage's declared Window can still reference it.
+	ring     []*FrameArtifacts
+	curFrame int
+	// framesDone counts frames fully through the frame phase, so an
+	// interrupted stream reports exactly what it consumed.
+	framesDone int
+	live       bool // emit live- records at stage Emit ticks
+	bounded    bool // drain/trim derived state at Emit ticks
+	discard    bool // drop queued raw records (monitoring-only stream)
 }
 
 // Env is one run's shared state as seen by stage callbacks.
@@ -353,7 +374,45 @@ type Env = runEnv
 // once per metadataBatch records). End-of-run stages writing derived
 // layers should append through Repository directly instead.
 func (env *runEnv) Queue(recs ...metadata.Record) {
+	if env.discard {
+		return
+	}
 	env.pending = append(env.pending, recs...)
+}
+
+// QueueDerived buffers a live derived record from a RunEmit tick. Like
+// Queue but exempt from DiscardRecords: a monitoring-only stream drops
+// the raw per-frame layer yet keeps its live derived output.
+func (env *runEnv) QueueDerived(recs ...metadata.Record) {
+	env.pending = append(env.pending, recs...)
+}
+
+// Live reports whether the run is a live stream: windowed stages emit
+// live- records from RunEmit only when set.
+func (env *runEnv) Live() bool { return env.live }
+
+// Bounded reports whether the run must hold memory steady on unbounded
+// streams: windowed stages drain and trim accumulated derived state at
+// their Emit ticks when set.
+func (env *runEnv) Bounded() bool { return env.bounded }
+
+// Window returns the merged artifacts of the frame k frames before the
+// current one (k = 0 is the current frame), or nil once the frame has
+// been evicted — k beyond the stage's declared Window, or before the
+// stream's first frame.
+func (env *runEnv) Window(k int) *FrameArtifacts {
+	if k < 0 || env.ring == nil || k >= len(env.ring) {
+		return nil
+	}
+	idx := env.curFrame - k
+	if idx < 0 {
+		return nil
+	}
+	fa := env.ring[idx%len(env.ring)]
+	if fa == nil || fa.Index != idx {
+		return nil
+	}
+	return fa
 }
 
 // Result is the run's accumulating result (Layers is nil until the
@@ -387,6 +446,13 @@ func (env *runEnv) flushIfFull() error {
 // buildRunGraph resolves and builds the run's stage graph. The
 // incremental flag forces manifest-keeping (RunIncremental implies it).
 func (p *Pipeline) buildRunGraph(incremental bool) (*stageGraph, *stageBuild, error) {
+	return p.buildRunGraphFrames(incremental, 0)
+}
+
+// buildRunGraphFrames additionally overrides the run's frame count —
+// how RunStream sizes stages for a cycled unbounded stream (0 keeps the
+// scenario's own length, capped by MaxFrames).
+func (p *Pipeline) buildRunGraphFrames(incremental bool, framesOverride int) (*stageGraph, *stageBuild, error) {
 	cfg := p.cfg
 	if incremental {
 		cfg.Incremental = true
@@ -401,6 +467,9 @@ func (p *Pipeline) buildRunGraph(incremental bool) (*stageGraph, *stageBuild, er
 	numFrames := p.sim.NumFrames()
 	if cfg.MaxFrames > 0 && cfg.MaxFrames < numFrames {
 		numFrames = cfg.MaxFrames
+	}
+	if framesOverride > 0 {
+		numFrames = framesOverride
 	}
 	ctx := p.Context()
 	ids := make([]int, 0, len(ctx.Participants))
@@ -431,30 +500,64 @@ func (p *Pipeline) Run() (*Result, error) {
 	return p.runGraph(graph, b, nil)
 }
 
+// streamRun is the extra drive state of a RunStream invocation; nil for
+// plain end-of-run executions.
+type streamRun struct {
+	ctx     context.Context
+	frameAt func(int) scene.FrameState // nil = the simulator's FrameState
+	live    bool
+	bounded bool
+	discard bool
+	// flushEvery forces the pending raw-record batch out every N frames
+	// (in addition to the metadataBatch size trigger), bounding the
+	// append→follower latency of a live stream. 0 keeps batch-only.
+	flushEvery int
+	// repo, when non-nil, is a caller-owned repository the stream
+	// ingests into — how in-process followers Tail data the run is still
+	// producing. The caller keeps ownership of Close.
+	repo *metadata.Repository
+	// monitor, when non-nil, observes the stream after every frame — the
+	// bounded-memory gate's probe point.
+	monitor func(frame int)
+}
+
 // runGraph drives one run of a built stage graph: full extraction
 // through the engine when rd is nil, the incremental replay loop
 // otherwise.
 func (p *Pipeline) runGraph(graph *stageGraph, b *stageBuild, rd *replayData) (*Result, error) {
+	return p.runGraphStream(graph, b, rd, nil)
+}
+
+// runGraphStream is runGraph with an optional streaming drive: a frame
+// source that may cycle an unbounded synthetic stream, cancellation,
+// windowed-stage Emit ticks, and bounded-memory eviction.
+func (p *Pipeline) runGraphStream(graph *stageGraph, b *stageBuild, rd *replayData, sr *streamRun) (*Result, error) {
 	cfg := b.cfg
 
 	var repo *metadata.Repository
 	var err error
-	if cfg.RepoDir != "" {
+	ownedRepo := true
+	switch {
+	case sr != nil && sr.repo != nil:
+		repo = sr.repo
+		ownedRepo = false
+	case cfg.RepoDir != "":
 		repo, err = metadata.Open(cfg.RepoDir, cfg.RepoOptions...)
 		if err != nil {
 			return nil, fmt.Errorf("core: opening repository: %w", err)
 		}
-	} else {
+	default:
 		repo = metadata.NewMem()
 	}
 	// On any error return the repository must be closed: callers never
 	// see it, and a persistent repository holds the directory's
 	// exclusive lease until closed — leaking it would wedge every
 	// retry on the same RepoDir with ErrLocked for the process
-	// lifetime.
+	// lifetime. (Caller-owned streaming repositories stay the caller's:
+	// followers may still be tailing them.)
 	finished := false
 	defer func() {
-		if !finished {
+		if !finished && ownedRepo {
 			repo.Close()
 		}
 	}()
@@ -466,6 +569,22 @@ func (p *Pipeline) runGraph(graph *stageGraph, b *stageBuild, rd *replayData) (*
 		graph: graph, res: res, repo: repo, timer: timer,
 		numFrames: b.numFrames, identity: p.runIdentity(b.numFrames, b.nCams),
 		pending: make([]metadata.Record, 0, metadataBatch),
+	}
+	// The frame ring is sized to the widest declared stage window, so a
+	// frame's artifacts are evicted (slot overwritten) exactly when no
+	// window can still reference them — the memory bound of an unbounded
+	// stream.
+	maxWindow := 0
+	for _, st := range graph.byPhase[PhaseFrame] {
+		if st.Window > maxWindow {
+			maxWindow = st.Window
+		}
+	}
+	env.ring = make([]*FrameArtifacts, maxWindow+1)
+	if sr != nil {
+		env.live = sr.live
+		env.bounded = sr.bounded
+		env.discard = sr.discard
 	}
 	if cfg.Degraded {
 		env.quar = newStageQuarantine(graph)
@@ -500,8 +619,14 @@ func (p *Pipeline) runGraph(graph *stageGraph, b *stageBuild, rd *replayData) (*
 			workers = runtime.GOMAXPROCS(0)
 		}
 		vision := newGraphVision(graph, env, b.nCams)
+		// RunEmit fires only on live/bounded streams, so plain finite
+		// runs (streamed or not) stay byte-identical to the end-of-run
+		// oracle.
+		emitting := sr != nil && (sr.live || sr.bounded)
 		sink := func(i int, fs scene.FrameState, out any) error {
 			fa := out.(*FrameArtifacts)
+			env.curFrame = i
+			env.ring[i%len(env.ring)] = fa
 			for _, st := range graph.byPhase[PhaseFrame] {
 				timer.start(st.Name)
 				err := env.invoke(st, func() error { return st.RunFrame(env, fa) })
@@ -510,10 +635,54 @@ func (p *Pipeline) runGraph(graph *stageGraph, b *stageBuild, rd *replayData) (*
 					return fmt.Errorf("core: frame %d: stage %s: %w", i, st.Name, err)
 				}
 			}
-			return env.flushIfFull()
+			if emitting {
+				for _, st := range graph.byPhase[PhaseFrame] {
+					if st.RunEmit == nil || (i+1)%st.Emit != 0 {
+						continue
+					}
+					timer.start(st.Name)
+					err := env.invoke(st, func() error { return st.RunEmit(env, fa) })
+					timer.stop(st.Name)
+					if err != nil {
+						return fmt.Errorf("core: frame %d: stage %s emit: %w", i, st.Name, err)
+					}
+				}
+			}
+			if err := env.flushIfFull(); err != nil {
+				return err
+			}
+			if sr != nil && sr.flushEvery > 0 && (i+1)%sr.flushEvery == 0 && len(env.pending) > 0 {
+				env.timer.start("metadata")
+				err := repo.AppendBatch(env.pending)
+				env.pending = env.pending[:0]
+				env.timer.stop("metadata")
+				if err != nil {
+					return fmt.Errorf("core: flushing observations: %w", err)
+				}
+			}
+			env.framesDone = i + 1
+			if sr != nil && sr.monitor != nil {
+				sr.monitor(i)
+			}
+			return nil
 		}
-		if err := p.runFrames(b.numFrames, workers, vision, timer, sink); err != nil {
-			return nil, err
+		var ctx context.Context
+		frameAt := p.sim.FrameState
+		if sr != nil {
+			ctx = sr.ctx
+			if sr.frameAt != nil {
+				frameAt = sr.frameAt
+			}
+		}
+		if err := p.runFrames(ctx, frameAt, b.numFrames, workers, vision, timer, sink); err != nil {
+			// A cancelled streaming context ends the stream gracefully:
+			// the frames consumed so far are finalized into a partial
+			// result instead of being thrown away.
+			if sr == nil || sr.ctx == nil || sr.ctx.Err() == nil ||
+				!(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				return nil, err
+			}
+			res.Interrupted = true
 		}
 	} else {
 		if err := p.runReplay(env, rd); err != nil {
@@ -533,6 +702,9 @@ func (p *Pipeline) runGraph(graph *stageGraph, b *stageBuild, rd *replayData) (*
 	timer.stop("metadata")
 
 	res.FramesAnalyzed = b.numFrames
+	if res.Interrupted {
+		res.FramesAnalyzed = env.framesDone
+	}
 
 	// Frame-stage finalizers (multilayer finalize, analyzer summaries),
 	// then the end-of-run stages, in graph order.
@@ -596,22 +768,35 @@ func writeContext(repo *metadata.Repository, ctx layers.Context) error {
 }
 
 // writeDerived stores events, alerts, summary counts, shots and scenes.
+// ecEventRecord is the eye-contact event's record schema, shared by the
+// live (RunEmit) and end-of-run emission paths.
+func ecEventRecord(e layers.ECEvent) metadata.Record {
+	return metadata.Record{
+		Kind: metadata.KindEvent, Frame: e.Start, FrameEnd: e.End,
+		Time: e.StartTime, Person: e.A, Other: e.B,
+		Label: "eye-contact", Value: float64(e.Frames()),
+	}
+}
+
+// alertRecord is the alert's record schema, shared the same way.
+func alertRecord(a layers.Alert) metadata.Record {
+	return metadata.Record{
+		Kind: metadata.KindEvent, Frame: a.Frame, FrameEnd: a.Frame + 1,
+		Time: a.Time, Person: a.Person, Other: a.Other,
+		Label: "alert-" + a.Kind.String(),
+		Tags:  map[string]string{"detail": a.Detail},
+	}
+}
+
 func writeDerived(repo *metadata.Repository, res *Result) error {
 	var recs []metadata.Record
-	for _, e := range res.Layers.Events {
-		recs = append(recs, metadata.Record{
-			Kind: metadata.KindEvent, Frame: e.Start, FrameEnd: e.End,
-			Time: e.StartTime, Person: e.A, Other: e.B,
-			Label: "eye-contact", Value: float64(e.Frames()),
-		})
+	// Fresh* excludes events and alerts already drained live by the
+	// multilayer stage's rolling pass, so each surfaces exactly once.
+	for _, e := range res.Layers.FreshEvents() {
+		recs = append(recs, ecEventRecord(e))
 	}
-	for _, a := range res.Layers.Alerts {
-		recs = append(recs, metadata.Record{
-			Kind: metadata.KindEvent, Frame: a.Frame, FrameEnd: a.Frame + 1,
-			Time: a.Time, Person: a.Person, Other: a.Other,
-			Label: "alert-" + a.Kind.String(),
-			Tags:  map[string]string{"detail": a.Detail},
-		})
+	for _, a := range res.Layers.FreshAlerts() {
+		recs = append(recs, alertRecord(a))
 	}
 	sum := res.Layers.Summary
 	for i, from := range sum.IDs {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -52,12 +53,19 @@ type streamedVision interface {
 // runFrames drives the per-frame extraction loop. With one worker (or a
 // vision that cannot be staged) it runs the plain sequential loop;
 // otherwise it hands off to the pipelined engine. Both paths deliver
-// frames to sink in strict index order.
-func (p *Pipeline) runFrames(numFrames, workers int, vision frameVision, timer *stageTimer, sink frameSink) error {
+// frames to sink in strict index order. frameAt supplies frame states
+// (the simulator's FrameState for finite runs, a cycling wrapper for
+// unbounded streams); a nil ctx means not cancellable.
+func (p *Pipeline) runFrames(ctx context.Context, frameAt func(int) scene.FrameState, numFrames, workers int, vision frameVision, timer *stageTimer, sink frameSink) error {
 	sv, staged := vision.(streamedVision)
 	if workers <= 1 || !staged || numFrames == 0 {
 		for i := 0; i < numFrames; i++ {
-			fs := p.sim.FrameState(i)
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			fs := frameAt(i)
 			timer.start("feature-extraction")
 			out, err := vision.extract(fs)
 			timer.stop("feature-extraction")
@@ -70,7 +78,7 @@ func (p *Pipeline) runFrames(numFrames, workers int, vision frameVision, timer *
 		}
 		return nil
 	}
-	return runStreamed(p.sim, numFrames, workers, sv, timer, sink)
+	return runStreamed(ctx, frameAt, numFrames, workers, sv, timer, sink)
 }
 
 // prepPayload travels from a feeder through a worker to a stream
@@ -101,7 +109,7 @@ type stepPayload struct {
 // The merger collects one step result per stream per frame (stream
 // order) and calls finish + sink, so downstream consumers observe
 // exactly the sequential frame order.
-func runStreamed(sim *scene.Simulator, numFrames, workers int, sv streamedVision, timer *stageTimer, sink frameSink) error {
+func runStreamed(ctx context.Context, frameAt func(int) scene.FrameState, numFrames, workers int, sv streamedVision, timer *stageTimer, sink frameSink) error {
 	nStreams := sv.streams()
 	window := workers + 2
 
@@ -115,6 +123,19 @@ func runStreamed(sim *scene.Simulator, numFrames, workers int, sv streamedVision
 	var once sync.Once
 	cancel := func() { once.Do(func() { close(done) }) }
 	defer cancel()
+
+	// External cancellation folds into the engine's own teardown signal:
+	// the watcher trips cancel when ctx fires, every select on done
+	// unwinds, and the merger reports the context error.
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				cancel()
+			case <-done:
+			}
+		}()
+	}
 
 	// Worker pool: stateless prepare, any stream, any order. Each
 	// worker owns one scratch so per-frame tables (detection integrals)
@@ -190,7 +211,7 @@ func runStreamed(sim *scene.Simulator, numFrames, workers int, sv streamedVision
 	go func() {
 		defer feedWG.Done()
 		for i := 0; i < numFrames; i++ {
-			fs := sim.FrameState(i)
+			fs := frameAt(i)
 			for s := 0; s < nStreams; s++ {
 				select {
 				case sems[s] <- struct{}{}:
@@ -220,6 +241,20 @@ merge:
 				perStream[s] = sp.res
 				fs = sp.fs
 			case runErr = <-errs:
+				break merge
+			case <-done:
+				// Externally cancelled (ctx) — or a consumer error whose
+				// errs send raced the close. Prefer the concrete error.
+				select {
+				case runErr = <-errs:
+				default:
+					if ctx != nil {
+						runErr = ctx.Err()
+					}
+					if runErr == nil {
+						runErr = context.Canceled
+					}
+				}
 				break merge
 			}
 		}

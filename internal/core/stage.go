@@ -130,6 +130,24 @@ type Stage struct {
 	RunFrame func(env *runEnv, fa *FrameArtifacts) error
 	// RunFinal executes once after the frame loop.
 	RunFinal func(env *runEnv) error
+
+	// Window declares how many merged frames of history the stage reads
+	// through Env.Window (0 = only the current frame). The engine
+	// retains a ring of the last max(Window) FrameArtifacts and evicts a
+	// frame as soon as no stage's window can still reference it, so
+	// unbounded streams run in bounded memory (PhaseFrame only).
+	Window int
+	// Emit is the stage's incremental emission cadence in frames: during
+	// streaming runs (RunStream with Live or Bounded set) the engine
+	// invokes RunEmit after every Emit-th merged frame. 0 = never.
+	Emit int
+	// RunEmit is the stage's incremental windowed operator: it emits or
+	// drains derived output mid-stream (live records, span draining,
+	// series trimming) every Emit frames. It is never invoked by the
+	// end-of-run Run path nor by a plain finite RunStream, so stage
+	// output on finite streams stays byte-identical to the end-of-run
+	// oracle (PhaseFrame only; requires Emit > 0).
+	RunEmit func(env *runEnv, fa *FrameArtifacts) error
 }
 
 // StageFactory builds a fresh Stage instance for one run. Factories own
@@ -323,6 +341,18 @@ func checkStageShape(st *Stage) error {
 	}
 	if st.NewScratch != nil && st.Phase != PhasePrepare {
 		return bad("worker scratch is prepare-only")
+	}
+	if st.Window < 0 || st.Emit < 0 {
+		return bad("negative Window or Emit")
+	}
+	if (st.Window > 0 || st.Emit > 0 || st.RunEmit != nil) && st.Phase != PhaseFrame {
+		return bad("windowed operators (Window/Emit/RunEmit) are frame-phase only")
+	}
+	if st.RunEmit != nil && st.Emit <= 0 {
+		return bad("RunEmit requires an Emit cadence")
+	}
+	if st.Emit > 0 && st.RunEmit == nil {
+		return bad("Emit cadence without RunEmit")
 	}
 	return nil
 }

@@ -409,7 +409,7 @@ func TestRunStreamedSinkFailureStopsWorkers(t *testing.T) {
 			}
 			return nil
 		}
-		err := runStreamed(sim, 400, 8, &failVision{lanes: lanes, slow: 20 * time.Microsecond},
+		err := runStreamed(nil, sim.FrameState, 400, 8, &failVision{lanes: lanes, slow: 20 * time.Microsecond},
 			newStageTimer(), sink)
 		if !errors.Is(err, boom) {
 			t.Fatalf("lanes=%d: err = %v, want the sink error", lanes, err)

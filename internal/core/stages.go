@@ -64,6 +64,8 @@ func registerBuiltins(r *Registry) {
 		{StageMultilayer, multilayerStage},
 		{StageObservations, observationsStage},
 		{StageAttention, attentionStage},
+		{StageDiningPhase, diningPhaseStage},
+		{StageLiveSummary, liveSummaryStage},
 		{StageVideoParsing, videoParsingStage},
 		{StageDerived, derivedRecordsStage},
 		{StageManifest, manifestStage},
@@ -362,8 +364,21 @@ func gazeAnalysisStage(b *stageBuild) (*Stage, error) {
 	}, nil
 }
 
+// multilayerEmitEvery is the multilayer stage's rolling cadence, and
+// multilayerKeepFrames how much per-frame series tail a bounded stream
+// retains (a smoothing window plus slack for late inspection).
+const (
+	multilayerEmitEvery  = 32
+	multilayerKeepFrames = 128
+)
+
 // multilayerStage pushes each frame through the multilayer analyzer
-// and finalizes the derived layers at end of run.
+// and finalizes the derived layers at end of run. On live/bounded
+// streams it is a windowed operator: every multilayerEmitEvery frames
+// it drains freshly closed eye-contact events and alerts (queued as
+// records when Live — the paper's live alerting functionality) and, when
+// Bounded, trims the per-frame series so memory stays flat; the exact
+// aggregates (MeanOH, SatisfactionScore) are carried by counters.
 func multilayerStage(b *stageBuild) (*Stage, error) {
 	ctx := contextOf(b.sim, b.cfg)
 	analyzer, err := layers.NewAnalyzer(ctx, b.cfg.Layers)
@@ -376,11 +391,27 @@ func multilayerStage(b *stageBuild) (*Stage, error) {
 		Phase:   PhaseFrame,
 		Needs:   []ArtifactKey{ArtLookAt, ArtEmotions},
 		Config:  fmt.Sprintf("layers=%+v", b.cfg.Layers),
+		Emit:    multilayerEmitEvery,
 		RunFrame: func(_ *runEnv, fa *FrameArtifacts) error {
 			return analyzer.Push(layers.FrameInput{
 				Index: fa.Index, Time: fa.FS.Time,
 				LookAt: fa.LookAt, Emotions: fa.Emotions,
 			})
+		},
+		RunEmit: func(env *runEnv, _ *FrameArtifacts) error {
+			ev, al := analyzer.DrainDerived(env.bounded)
+			if env.live {
+				for _, e := range ev {
+					env.QueueDerived(ecEventRecord(e))
+				}
+				for _, a := range al {
+					env.QueueDerived(alertRecord(a))
+				}
+			}
+			if env.bounded {
+				analyzer.TrimSeries(multilayerKeepFrames)
+			}
+			return nil
 		},
 		RunFinal: func(env *runEnv) error {
 			env.res.Layers = analyzer.Finalize()

@@ -171,7 +171,25 @@ type Result struct {
 	InferredSpeakers []int
 	// Frames is the number of frames analysed.
 	Frames int
+
+	// Streaming bookkeeping. emittedEvents/emittedAlerts mark the prefix
+	// already drained live (DrainDerived), so end-of-run consumers can
+	// write only the remainder and each event surfaces exactly once.
+	// trimmedOH/trimmedNeg/trimmedFrames carry the contribution of
+	// Overall entries evicted by TrimSeries, keeping MeanOH and
+	// SatisfactionScore exact on bounded streams whose series were cut.
+	emittedEvents, emittedAlerts int
+	trimmedOH, trimmedNeg        float64
+	trimmedFrames                int
 }
+
+// FreshEvents returns the events not yet drained live — everything for
+// a plain end-of-run analysis, only the tail closed since the last
+// DrainDerived on a live stream.
+func (r *Result) FreshEvents() []ECEvent { return r.Events[r.emittedEvents:] }
+
+// FreshAlerts is FreshEvents for alerts.
+func (r *Result) FreshAlerts() []Alert { return r.Alerts[r.emittedAlerts:] }
 
 // Options tune the analyzer.
 type Options struct {
@@ -433,6 +451,59 @@ func (a *Analyzer) updateEmotionAlerts(in FrameInput) {
 	}
 }
 
+// DrainDerived returns the eye-contact events and alerts closed since
+// the last drain — the live feed a streaming run emits at its window
+// cadence. With trim set (bounded streams) the drained entries leave
+// the retained lists entirely; otherwise they stay, marked emitted, so
+// FreshEvents/FreshAlerts exclude them at end of run. Either way each
+// event and alert is surfaced exactly once across the rolling and
+// final passes.
+func (a *Analyzer) DrainDerived(trim bool) ([]ECEvent, []Alert) {
+	r := a.result
+	ev, al := r.Events[r.emittedEvents:], r.Alerts[r.emittedAlerts:]
+	if trim {
+		ev = append([]ECEvent(nil), ev...)
+		al = append([]Alert(nil), al...)
+		r.Events = r.Events[:0]
+		r.Alerts = r.Alerts[:0]
+		r.emittedEvents, r.emittedAlerts = 0, 0
+	} else {
+		r.emittedEvents = len(r.Events)
+		r.emittedAlerts = len(r.Alerts)
+	}
+	return ev, al
+}
+
+// TrimSeries evicts all but the last keep entries of the per-frame
+// series (Overall, InferredSpeakers), folding the dropped Overall
+// contribution into running counters so MeanOH and SatisfactionScore
+// still aggregate over every frame ever analysed. The copy compacts in
+// place, so the backing arrays stop growing — the bounded-memory lever
+// for unbounded streams.
+func (a *Analyzer) TrimSeries(keep int) {
+	if keep < 0 {
+		keep = 0
+	}
+	r := a.result
+	if drop := len(r.Overall) - keep; drop > 0 {
+		for _, o := range r.Overall[:drop] {
+			r.trimmedOH += o.OH
+			for _, l := range emotion.AllLabels() {
+				if l.Negative() {
+					r.trimmedNeg += o.Share[l] * 100
+				}
+			}
+		}
+		r.trimmedFrames += drop
+		copy(r.Overall, r.Overall[drop:])
+		r.Overall = r.Overall[:keep]
+	}
+	if drop := len(r.InferredSpeakers) - keep; drop > 0 {
+		copy(r.InferredSpeakers, r.InferredSpeakers[drop:])
+		r.InferredSpeakers = r.InferredSpeakers[:keep]
+	}
+}
+
 // Finalize closes open runs and returns the result. The analyzer cannot
 // be reused afterwards.
 func (a *Analyzer) Finalize() *Result {
@@ -443,7 +514,10 @@ func (a *Analyzer) Finalize() *Result {
 	for p, start := range a.openRuns {
 		a.closeRun(p, start, a.lastIndex+1, a.lastTime)
 	}
-	sortEvents(a.result.Events)
+	// Only the undrained tail may be reordered: the drained prefix was
+	// already emitted downstream in close order. A plain analysis has an
+	// empty prefix, so this is the full historical sort.
+	sortEvents(a.result.Events[a.result.emittedEvents:])
 	return a.result
 }
 
@@ -461,24 +535,26 @@ func sortEvents(ev []ECEvent) {
 // scalar satisfaction score the smart-restaurant application reads per
 // table.
 func (r *Result) MeanOH() float64 {
-	if len(r.Overall) == 0 {
+	n := len(r.Overall) + r.trimmedFrames
+	if n == 0 {
 		return 0
 	}
-	var s float64
+	s := r.trimmedOH
 	for _, o := range r.Overall {
 		s += o.OH
 	}
-	return s / float64(len(r.Overall))
+	return s / float64(n)
 }
 
 // SatisfactionScore is MeanOH minus the mean negative-affect share (in
 // percent), clamped to [0, 100] — a single customer-satisfaction number
 // per the paper's smart-restaurant motivation.
 func (r *Result) SatisfactionScore() float64 {
-	if len(r.Overall) == 0 {
+	n := len(r.Overall) + r.trimmedFrames
+	if n == 0 {
 		return 0
 	}
-	var neg float64
+	neg := r.trimmedNeg
 	for _, o := range r.Overall {
 		for _, l := range emotion.AllLabels() {
 			if l.Negative() {
@@ -486,7 +562,7 @@ func (r *Result) SatisfactionScore() float64 {
 			}
 		}
 	}
-	neg /= float64(len(r.Overall))
+	neg /= float64(n)
 	score := r.MeanOH() - neg + 50
 	if score < 0 {
 		return 0

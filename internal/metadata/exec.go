@@ -1,6 +1,7 @@
 package metadata
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -55,6 +56,10 @@ type QueryOpts struct {
 	// nil keeps full records. Unprojected fields are zeroed to their
 	// absent sentinels (−1 for frame/person fields).
 	Project []string
+	// Ctx, when non-nil, cancels the query: segment scans stop at their
+	// next cancellation check and Next reports false with Err returning
+	// the context's error. nil means not cancellable.
+	Ctx context.Context
 }
 
 func (o QueryOpts) validate() error {
@@ -219,6 +224,7 @@ type Iter struct {
 	heap    []int // segment indexes, min-heap by current head position
 	yielded int
 	closed  bool
+	ctx     context.Context // nil when the query is not cancellable
 }
 
 func newIter(p *queryPlan, opts QueryOpts, mask projMask) *Iter {
@@ -228,6 +234,7 @@ func newIter(p *queryPlan, opts QueryOpts, mask projMask) *Iter {
 		mask:  mask,
 		less:  orderLess(opts.Order, p.recs),
 		sortS: opts.Order != OrderID,
+		ctx:   opts.Ctx,
 	}
 	it.start()
 	return it
@@ -287,8 +294,16 @@ func (it *Iter) evalSegment(si int) {
 		runPos = it.p.runs[runIdx][0] + (lo - base)
 	}
 	for i := lo; i < hi; i++ {
-		if i&1023 == 0 && it.cancel.Load() {
-			return
+		if i&1023 == 0 {
+			if it.cancel.Load() {
+				return
+			}
+			if it.ctx != nil {
+				if err := it.ctx.Err(); err != nil {
+					it.errs[si] = err
+					return
+				}
+			}
 		}
 		var pos int
 		switch {
@@ -388,6 +403,14 @@ func (it *Iter) siftDown(i int) {
 func (it *Iter) Next() (Record, bool) {
 	if it.closed || it.err != nil {
 		return Record{}, false
+	}
+	if it.ctx != nil {
+		if err := it.ctx.Err(); err != nil {
+			it.cancel.Store(true)
+			it.wait()
+			it.err = err
+			return Record{}, false
+		}
 	}
 	it.wait()
 	if it.err != nil || len(it.heap) == 0 {

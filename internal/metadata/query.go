@@ -171,6 +171,32 @@ func Parse(q string) (Expr, error) {
 	return e, nil
 }
 
+// ParseFollow compiles a query string that may carry a trailing FOLLOW
+// keyword (`<expr> FOLLOW`), the dieventql form of a tail subscription
+// (Repository.Tail). It reports whether FOLLOW was present; a query
+// without the keyword parses exactly as Parse does.
+func ParseFollow(q string) (Expr, bool, error) {
+	p := &parser{lex: &lexer{src: q}}
+	if err := p.advance(); err != nil {
+		return nil, false, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, false, err
+	}
+	follow := false
+	if p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, "follow") {
+		follow = true
+		if err := p.advance(); err != nil {
+			return nil, false, err
+		}
+	}
+	if p.cur.kind != tokEOF {
+		return nil, false, fmt.Errorf("metadata: trailing input %q at %d: %w", p.cur.text, p.cur.pos, ErrBadQuery)
+	}
+	return e, follow, nil
+}
+
 func (p *parser) advance() error {
 	t, err := p.lex.next()
 	if err != nil {

@@ -86,6 +86,13 @@ type Repository struct {
 	// compactMu serialises Compact calls; it is held across the
 	// unlocked segment rewrite while mu is free for appends and queries.
 	compactMu sync.Mutex
+
+	// subs are the live tail-cursor subscribers (see Tail). Membership
+	// and each subscriber's lifecycle transition are guarded by mu; the
+	// append path publishes to every subscriber while already holding
+	// the write lock, so subscription registration and the history
+	// watermark are atomic with respect to appends.
+	subs []*tailSub
 }
 
 // SyncPolicy selects when the repository fsyncs the active segment.
@@ -793,6 +800,7 @@ func (r *Repository) appendLocked(rec Record) (uint64, error) {
 	if r.activeStats != nil {
 		r.activeStats.add(rec)
 	}
+	r.publishLocked(rec)
 	return rec.ID, nil
 }
 
@@ -1024,6 +1032,10 @@ func (r *Repository) Close() error {
 		return nil
 	}
 	r.closed = true
+	for _, s := range r.subs {
+		r.killSubLocked(s, ErrClosed)
+	}
+	r.subs = nil
 	var err error
 	if r.activeBuf != nil {
 		err = r.flushLocked(r.opts.sync != SyncNone)

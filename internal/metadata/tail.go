@@ -1,0 +1,243 @@
+package metadata
+
+import (
+	"context"
+	"fmt"
+)
+
+// Tail cursors (DESIGN.md §10): a query subscription that first drains
+// every matching record already in the repository, then switches to a
+// change-data-capture feed of new appends. Registration and the
+// history/live watermark are taken under the repository's write lock, so
+// the two phases partition the record sequence exactly: records appended
+// before Tail returns arrive from the history scan, records appended
+// after arrive from the live feed, each exactly once and in ID order
+// across the seam.
+//
+// The live feed is decoupled from segment layout — the append path
+// publishes in-memory record values, and neither a segment roll nor a
+// 3-phase Compact touches the in-memory store or the subscriber
+// registry — so cursors survive both without loss, duplication, or
+// reordering. The cost of a subscriber on the append hot path is one
+// non-blocking channel send per append.
+
+// defaultTailBuffer is the live-queue capacity when TailOpts.Buffer is 0.
+const defaultTailBuffer = 1024
+
+// TailOpts tunes a tail subscription.
+type TailOpts struct {
+	// Buffer is the live-feed queue capacity in records (default 1024).
+	// The append path never blocks on a slow subscriber: when the queue
+	// is full the subscription is dropped and the cursor, after draining
+	// what was queued, terminates with ErrLagging. The queue receives
+	// every append — filtering happens on the consumer side — so size it
+	// for the repository's total append rate, not the match rate.
+	Buffer int
+}
+
+// tailSub is the repository-side half of a tail cursor. Membership in
+// Repository.subs and the done transition are guarded by Repository.mu;
+// the consumer reads err only after done is closed, so the close
+// happens-before edge publishes it.
+type tailSub struct {
+	ch   chan Record   // live feed, publisher → consumer
+	done chan struct{} // closed (under mu) on overflow, cursor Close, or repository Close
+	err  error         // terminal reason, written before close(done)
+	dead bool          // guarded by mu; makes the done transition idempotent
+}
+
+// publishLocked feeds one freshly appended record to every live
+// subscriber. Caller holds the write lock. Sends never block: a full
+// queue drops that subscription with ErrLagging instead of stalling the
+// append path or buffering without bound.
+func (r *Repository) publishLocked(rec Record) {
+	if len(r.subs) == 0 {
+		return
+	}
+	live := r.subs[:0]
+	for _, s := range r.subs {
+		if s.dead {
+			continue
+		}
+		select {
+		case s.ch <- rec:
+			live = append(live, s)
+		default:
+			r.killSubLocked(s, ErrLagging)
+		}
+	}
+	for i := len(live); i < len(r.subs); i++ {
+		r.subs[i] = nil
+	}
+	r.subs = live
+}
+
+// killSubLocked terminates a subscription with the given reason.
+// Idempotent; caller holds the write lock.
+func (r *Repository) killSubLocked(s *tailSub, err error) {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	s.err = err
+	close(s.done)
+}
+
+// dropSubLocked removes s from the registry (cursor Close path).
+func (r *Repository) dropSubLocked(s *tailSub) {
+	for i, cur := range r.subs {
+		if cur == s {
+			last := len(r.subs) - 1
+			r.subs[i] = r.subs[last]
+			r.subs[last] = nil
+			r.subs = r.subs[:last]
+			return
+		}
+	}
+}
+
+// TailCursor streams query matches: history first, then live appends.
+// Like Iter it is a single-consumer cursor — Next and Close must be
+// called from one goroutine — but it may run concurrently with appends,
+// segment rolls, and Compact on the same repository.
+type TailCursor struct {
+	repo *Repository
+	sub  *tailSub
+	expr Expr
+	hist *Iter // history phase; nil once drained
+	err  error // terminal state for the consumer side
+}
+
+// Tail subscribes to expr: the cursor first yields every matching record
+// already appended (in ID order, via the query planner), then blocks on
+// a live feed of matching future appends. The cursor must be Closed when
+// abandoned. Works on read-only repositories too (the live phase then
+// simply never fires). See TailOpts for the overflow contract.
+func (r *Repository) Tail(expr Expr, opts TailOpts) (*TailCursor, error) {
+	if expr == nil {
+		return nil, fmt.Errorf("metadata: nil tail expression: %w", ErrBadQuery)
+	}
+	if opts.Buffer < 0 {
+		return nil, fmt.Errorf("metadata: negative tail buffer %d: %w", opts.Buffer, ErrBadQuery)
+	}
+	buf := opts.Buffer
+	if buf == 0 {
+		buf = defaultTailBuffer
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Plan and subscribe under one write-lock hold: the plan's snapshot
+	// ends exactly where the live feed begins.
+	p := r.planLocked(expr)
+	sub := &tailSub{ch: make(chan Record, buf), done: make(chan struct{})}
+	r.subs = append(r.subs, sub)
+	r.mu.Unlock()
+	return &TailCursor{
+		repo: r,
+		sub:  sub,
+		expr: expr,
+		hist: newIter(p, QueryOpts{Order: OrderID}, 0),
+	}, nil
+}
+
+// Next blocks until the next matching record, the context is cancelled,
+// or the subscription terminates. A context error is returned as-is and
+// is not terminal — the cursor remains usable. Terminal errors are
+// ErrLagging (queue overflow), ErrClosed (repository or cursor closed),
+// or a query-evaluation error.
+func (c *TailCursor) Next(ctx context.Context) (Record, error) {
+	if c.err != nil {
+		return Record{}, c.err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// History phase: drain the planner's snapshot in ID order.
+	if c.hist != nil {
+		if err := ctx.Err(); err != nil {
+			return Record{}, err
+		}
+		if rec, ok := c.hist.Next(); ok {
+			return rec, nil
+		}
+		if err := c.hist.Err(); err != nil {
+			c.fail(err)
+			return Record{}, err
+		}
+		c.hist.Close()
+		c.hist = nil
+	}
+	// Live phase: the feed carries every append; filter consumer-side so
+	// the publisher stays O(1) per subscriber regardless of expression.
+	for {
+		select {
+		case rec := <-c.sub.ch:
+			ok, err := c.expr.Eval(rec)
+			if err != nil {
+				c.fail(err)
+				return Record{}, err
+			}
+			if ok {
+				return rec, nil
+			}
+		case <-c.sub.done:
+			// Drain what the publisher queued before the subscription
+			// terminated, then surface the terminal reason.
+			for {
+				select {
+				case rec := <-c.sub.ch:
+					ok, err := c.expr.Eval(rec)
+					if err != nil {
+						c.fail(err)
+						return Record{}, err
+					}
+					if ok {
+						return rec, nil
+					}
+				default:
+					c.err = c.sub.err
+					if c.err == nil {
+						c.err = ErrClosed
+					}
+					return Record{}, c.err
+				}
+			}
+		case <-ctx.Done():
+			return Record{}, ctx.Err()
+		}
+	}
+}
+
+// fail records a terminal consumer-side error and unsubscribes so the
+// publisher stops feeding a cursor nobody will drain.
+func (c *TailCursor) fail(err error) {
+	c.err = err
+	r := c.repo
+	r.mu.Lock()
+	r.dropSubLocked(c.sub)
+	r.killSubLocked(c.sub, err)
+	r.mu.Unlock()
+}
+
+// Err returns the cursor's terminal error, if any (nil while live).
+func (c *TailCursor) Err() error { return c.err }
+
+// Close unsubscribes and releases the cursor. Idempotent.
+func (c *TailCursor) Close() error {
+	if c.hist != nil {
+		c.hist.Close()
+		c.hist = nil
+	}
+	if c.err == nil {
+		c.err = ErrClosed
+	}
+	r := c.repo
+	r.mu.Lock()
+	r.dropSubLocked(c.sub)
+	r.killSubLocked(c.sub, ErrClosed)
+	r.mu.Unlock()
+	return nil
+}

@@ -10,7 +10,9 @@
 # the end-to-end pipelines (PipelineEndToEnd, PipelineParallel), the
 # metadata ingest path (MetadataIngestSegmented), the stage-graph
 # incremental re-run (PipelineIncremental vs PipelineFull610 — the
-# stale-emotion re-run must land under 50% of the full run), and the
+# stale-emotion re-run must land under 50% of the full run), the live
+# FOLLOW subscription path (FollowLatency — append→deliver p50/p99 of
+# a tail cursor over a durable repository), and the
 # cold-open statistics pushdown (ColdOpenQuery/pushdown vs /fullReplay
 # — the pushdown open must land ≥3× under full replay; it runs in a
 # separate low-count invocation because one fullReplay iteration
@@ -33,7 +35,7 @@ fi
 # Redirect (not pipe) so a benchmark failure aborts under set -e
 # before the JSON is rewritten.
 go test -run '^$' \
-	-bench 'BenchmarkFaceDetect$|BenchmarkFaceDetectShared$|BenchmarkPipelineEndToEnd$|BenchmarkPipelineParallel$|BenchmarkPipelineIncremental$|BenchmarkPipelineFull610$|BenchmarkMetadataIngestSegmented$' \
+	-bench 'BenchmarkFaceDetect$|BenchmarkFaceDetectShared$|BenchmarkPipelineEndToEnd$|BenchmarkPipelineParallel$|BenchmarkPipelineIncremental$|BenchmarkPipelineFull610$|BenchmarkMetadataIngestSegmented$|BenchmarkFollowLatency$' \
 	-benchtime 100x -count 1 . > "$RAW"
 go test -run '^$' -bench 'BenchmarkColdOpenQuery' -benchtime 5x -count 1 . >> "$RAW"
 cat "$RAW"
@@ -47,6 +49,8 @@ awk -v out="$OUT" -v keep="$KEEP" '
 		if ($(i+1) == "B/op")        bytes[name] = $i
 		if ($(i+1) == "allocs/op")   allocs[name] = $i
 		if ($(i+1) == "windows/s")   extra[name] = $i
+		if ($(i+1) == "p50-ns")      p50[name] = $i
+		if ($(i+1) == "p99-ns")      p99[name] = $i
 	}
 	order[n++] = name
 }
@@ -62,6 +66,8 @@ END {
 		if (name in bytes)  printf ", \"bytes_per_op\": %s", bytes[name] >> out
 		if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name] >> out
 		if (name in extra)  printf ", \"windows_per_sec\": %s", extra[name] >> out
+		if (name in p50)    printf ", \"follow_p50_ns\": %s", p50[name] >> out
+		if (name in p99)    printf ", \"follow_p99_ns\": %s", p99[name] >> out
 		printf "}%s\n", (i < n-1 ? "," : "") >> out
 	}
 	printf "}\n" >> out

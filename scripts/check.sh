@@ -10,9 +10,13 @@
 # the injected-fault crash-consistency matrix (including the segment-
 # statistics sidecar matrix), the statistics-pruning soundness gates
 # (cold-open pushdown ≡ full-replay oracle, raced), the degraded-mode
-# gates (quarantine under raced load, stage panic isolation), and a
-# short fuzz smoke of the query parser so the checked-in corpus
-# executes on every check.
+# gates (quarantine under raced load, stage panic isolation), the
+# streaming gates (finite-stream ≡ batch oracle raced on the worker
+# pool, tail cursors surviving segment roll + compaction under raced
+# append load, the live-FOLLOW exactly-once contract, and the
+# bounded-memory check on a 24k-frame cycled stream), and a short fuzz
+# smoke of the query parser so the checked-in corpus executes on every
+# check.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -65,6 +69,18 @@ else
 	# suite explicitly so the geometric half always executes raced),
 	# plus the engine's failing-sink goroutine-accounting gate.
 	go test -race -run 'TestStageGraphMatchesOracle|TestRunStreamedSinkFailureStopsWorkers|TestIncremental' ./internal/core
+	# Streaming gates (DESIGN.md §10), raced: tail cursors must survive
+	# active-segment roll and incremental compaction under concurrent
+	# append load (exactly-once, in order), query iterators must release
+	# their workers on Close/cancel, and the grammar must accept FOLLOW.
+	go test -race -run 'TestTailCursor|TestTailMany|TestIterCloseReleasesWorkers|TestQueryCtxCancel|TestParseFollowGrammar' ./internal/metadata
+	# Finite-stream oracle identity on the worker pool plus the live
+	# follower's exactly-once view while ingest and flushes race it.
+	go test -race -run 'TestRunStreamMatchesRun|TestStreamFollowExactlyOnceDuringIngest|TestRunStreamCancelGraceful' ./internal/core
+	# Bounded-memory gate: a 24k-frame cycled Bounded stream must hold
+	# heap flat between the 8k- and 24k-frame probes (skips under
+	# -short, so run it explicitly).
+	go test -run 'TestStreamBoundedMemory' ./internal/core
 fi
 go test -run '^$' -fuzz FuzzParseQuery -fuzztime 5s ./internal/metadata
 # Detection-bench smoke: one iteration of the fused-matcher hot path
