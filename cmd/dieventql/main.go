@@ -15,7 +15,13 @@
 // change-data-capture feed (DESIGN.md §10). -limit bounds the total
 // rows (0 = follow until Ctrl-C). Ctrl-C during any query — a long
 // scan or a FOLLOW — cancels just that query; in the REPL it returns
-// to the prompt.
+// to the prompt. -timeout puts a hard deadline on a one-shot query or
+// FOLLOW (propagated into the engine via QueryOpts.Ctx); exceeding it
+// exits 1 so scripts never hang on an idle subscription. On a
+// read-only lease a FOLLOW ends cleanly (exit 0) once history is
+// exhausted — there is no live feed without a writer — while a
+// subscription the writer killed for lagging exits 1: the stream has
+// a gap and downstream consumers must not treat it as complete.
 //
 //	dieventql -repo DIR -stats     # records + on-disk segment layout
 //	dieventql -repo DIR -compact   # merge sealed segments, reclaim space
@@ -78,6 +84,7 @@ func main() {
 		fsck        = flag.Bool("fsck", false, "verify the repository offline; exit non-zero on damage")
 		quarantine  = flag.Bool("quarantine", false, "open in degraded mode: isolate corrupt sealed segments instead of refusing")
 		limit       = flag.Int("limit", 50, "maximum rows to print (0 = all)")
+		timeout     = flag.Duration("timeout", 0, "deadline for a one-shot query or FOLLOW (0 = none); exceeded ⇒ exit 1")
 		interactive = flag.Bool("i", false, "interactive REPL")
 	)
 	flag.Parse()
@@ -142,6 +149,15 @@ func main() {
 			os.Exit(2)
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		if *timeout > 0 {
+			// The deadline propagates into the engine through
+			// QueryOpts.Ctx (and into Tail for FOLLOW), so a stuck scan
+			// or an idle subscription ends deterministically: scripts
+			// get exit 1 instead of a hang.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
 		err := runQuery(ctx, os.Stdout, repo, q, *limit)
 		stop()
 		if err != nil {
@@ -189,6 +205,9 @@ func runQuery(ctx context.Context, w *os.File, repo *metadata.Repository, q stri
 		n++
 	}
 	if err := it.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("-timeout exceeded after %d rows", n)
+		}
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(w, "interrupted after %d rows\n", n)
 			return nil
@@ -205,7 +224,11 @@ func runQuery(ctx context.Context, w *os.File, repo *metadata.Repository, q stri
 // runFollow drives a QUERY ... FOLLOW subscription: matching history in
 // ID order, then the live append feed, each record exactly once. On a
 // read-only lease the live phase never fires (no writer in this
-// process), so FOLLOW there is history-then-wait until Ctrl-C.
+// process), so after the history the cursor ends with ErrTailEnded —
+// reported as a clean end here, exit 0. A subscription the writer
+// terminated for falling behind (ErrLagging) is a real failure: the
+// stream has a gap, so the error propagates and the process exits 1,
+// letting scripts gate on it.
 func runFollow(ctx context.Context, w *os.File, repo *metadata.Repository, expr metadata.Expr, limit int) error {
 	cur, err := repo.Tail(expr, metadata.TailOpts{})
 	if err != nil {
@@ -216,7 +239,13 @@ func runFollow(ctx context.Context, w *os.File, repo *metadata.Repository, expr 
 	for limit <= 0 || n < limit {
 		rec, err := cur.Next(ctx)
 		if err != nil {
-			if errors.Is(err, context.Canceled) {
+			switch {
+			case errors.Is(err, metadata.ErrTailEnded):
+				fmt.Fprintf(w, "%d rows (read-only repository: history complete, no live feed)\n", n)
+				return nil
+			case errors.Is(err, context.DeadlineExceeded):
+				return fmt.Errorf("follow: -timeout exceeded after %d rows", n)
+			case errors.Is(err, context.Canceled):
 				fmt.Fprintf(w, "interrupted after %d rows\n", n)
 				return nil
 			}

@@ -65,6 +65,12 @@
 //	tuned, _ := dievent.New(tunedCfg)        // e.g. retrained emotions
 //	res, err := tuned.RunIncremental(prev.Repo)
 //
+// For multi-process deployments, cmd/dieventd serves many tenant
+// repositories over HTTP — ingest, planned queries, live FOLLOW
+// streams — with admission control, per-tenant quotas and graceful
+// drain; repro/dievent/client is its retrying Go client (DESIGN.md
+// §11).
+//
 // The types below are aliases into the implementation packages, so the
 // whole framework is drivable from this single import; advanced users
 // can reach the subsystem packages directly.
@@ -271,14 +277,27 @@ type (
 	// TailCursor is a live query subscription (Repository.Tail, Follow):
 	// matching history first, then new appends as they happen.
 	TailCursor = metadata.TailCursor
-	// TailOpts tunes a tail subscription (per-subscriber buffer).
+	// TailOpts tunes a tail subscription (per-subscriber buffer,
+	// overflow policy).
 	TailOpts = metadata.TailOpts
+	// TailOverflow is a pluggable backpressure policy for tail
+	// subscriptions (TailOpts.Overflow): when a subscriber's channel
+	// fills, records divert through the policy — e.g. spooled to disk —
+	// instead of killing the subscription with ErrLagging. The dieventd
+	// service's SpillToDisk backpressure mode is built on it.
+	TailOverflow = metadata.TailOverflow
 )
 
 // ErrLagging terminates a tail cursor whose consumer fell behind the
 // append rate past its buffer; re-subscribe to resume from current
 // history.
 var ErrLagging = metadata.ErrLagging
+
+// ErrTailEnded ends a tail cursor on a read-only repository once the
+// matching history is exhausted: without the writer lease there is no
+// live feed to wait on, so the cursor reports a clean end instead of
+// blocking forever. TailCursor.Close returns nil for it.
+var ErrTailEnded = metadata.ErrTailEnded
 
 // ParseFollowQuery compiles a query that may carry a trailing FOLLOW
 // keyword, reporting whether it did — the dieventql grammar behind

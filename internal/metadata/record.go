@@ -135,6 +135,12 @@ var (
 	// buffer without bound. The consumer drains what was queued, then
 	// Next returns this error; re-subscribe with Tail to resume.
 	ErrLagging = errors.New("metadata: tail cursor lagging, subscription dropped")
+	// ErrTailEnded terminates a tail cursor on a read-only repository
+	// once its history is exhausted: no writer can exist in that
+	// process, so the live phase can never fire and blocking would
+	// block forever. It is the cursor's natural end (like io.EOF), not
+	// a failure — TailCursor.Close does not report it.
+	ErrTailEnded = errors.New("metadata: tail ended, repository is read-only (no live feed)")
 )
 
 // String renders a record compactly.

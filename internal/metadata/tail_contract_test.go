@@ -1,0 +1,468 @@
+package metadata
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTailReadOnlyEndsWithSentinel is the regression test for the
+// read-only Tail contract: the live phase can never fire on a read-only
+// repository (no writer exists in the process), so the cursor must
+// terminate with ErrTailEnded once history is exhausted instead of
+// blocking forever.
+func TestTailReadOnlyEndsWithSentinel(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		label := "hit"
+		if i%2 == 1 {
+			label = "miss"
+		}
+		if _, err := w.Append(tailRecord(i, label)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cur, err := r.Tail(mustParse(t, "label = 'hit'"), TailOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	// History must drain in full, in ID order.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for want := 0; want < 20; want += 2 {
+		rec, err := cur.Next(ctx)
+		if err != nil {
+			t.Fatalf("history Next(frame %d): %v", want, err)
+		}
+		if rec.Frame != want {
+			t.Fatalf("history record frame %d, want %d", rec.Frame, want)
+		}
+	}
+	// Then the sentinel, immediately — not a block until ctx expiry.
+	start := time.Now()
+	if _, err := cur.Next(ctx); !errors.Is(err, ErrTailEnded) {
+		t.Fatalf("post-history Next = %v, want ErrTailEnded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("ErrTailEnded took seconds to surface; cursor blocked")
+	}
+	// Terminal: sticky across Next, visible via Err, benign for Close.
+	if _, err := cur.Next(ctx); !errors.Is(err, ErrTailEnded) {
+		t.Fatalf("second post-history Next = %v, want ErrTailEnded", err)
+	}
+	if !errors.Is(cur.Err(), ErrTailEnded) {
+		t.Fatalf("Err() = %v, want ErrTailEnded", cur.Err())
+	}
+	if cerr := cur.Close(); cerr != nil {
+		t.Fatalf("Close after natural end = %v, want nil", cerr)
+	}
+}
+
+// mustParse compiles a query or fails the test.
+func mustParse(t *testing.T, q string) Expr {
+	t.Helper()
+	expr, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return expr
+}
+
+// badEvalExpr evaluates fine on most records but errors on a trigger
+// label, driving the cursor's evaluation-failure path.
+type badEvalExpr struct{ trigger string }
+
+func (e badEvalExpr) Eval(rec Record) (bool, error) {
+	if rec.Label == e.trigger {
+		return false, fmt.Errorf("metadata: boom on %q: %w", rec.Label, ErrBadQuery)
+	}
+	return true, nil
+}
+func (e badEvalExpr) String() string { return "label != '" + e.trigger + "'" }
+
+// TestTailCloseContract is the table test for the Close/Err/Next
+// contracts: Close surfaces prior terminal failures, treats benign ends
+// (clean close, ErrTailEnded, repository ErrClosed) as nil, is
+// idempotent, and Next after Close reports the terminal state.
+func TestTailCloseContract(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		// arrange returns a cursor driven into the desired pre-Close
+		// state plus the error Close should return.
+		arrange func(t *testing.T) (*TailCursor, error)
+		// wantNext is what Next must report after Close.
+		wantNext error
+	}{
+		{
+			name: "clean close while live",
+			arrange: func(t *testing.T) (*TailCursor, error) {
+				r := NewMem()
+				t.Cleanup(func() { r.Close() })
+				cur, err := r.Tail(mustParse(t, "label = 'hit'"), TailOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cur, nil
+			},
+			wantNext: ErrClosed,
+		},
+		{
+			name: "after ErrLagging",
+			arrange: func(t *testing.T) (*TailCursor, error) {
+				r := NewMem()
+				t.Cleanup(func() { r.Close() })
+				cur, err := r.Tail(mustParse(t, "label = 'hit'"), TailOpts{Buffer: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 5; i++ {
+					if _, err := r.Append(tailRecord(i, "hit")); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for { // drain the queued prefix to the terminal error
+					if _, err := cur.Next(ctx); err != nil {
+						if !errors.Is(err, ErrLagging) {
+							t.Fatalf("drive to lagging: %v", err)
+						}
+						break
+					}
+				}
+				return cur, ErrLagging
+			},
+			wantNext: ErrLagging,
+		},
+		{
+			name: "after evaluation error",
+			arrange: func(t *testing.T) (*TailCursor, error) {
+				r := NewMem()
+				t.Cleanup(func() { r.Close() })
+				cur, err := r.Tail(badEvalExpr{trigger: "boom"}, TailOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := r.Append(tailRecord(0, "boom")); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cur.Next(ctx); err == nil || !errors.Is(err, ErrBadQuery) {
+					t.Fatalf("drive to eval error: %v", err)
+				}
+				return cur, ErrBadQuery
+			},
+			wantNext: ErrBadQuery,
+		},
+		{
+			name: "after repository close",
+			arrange: func(t *testing.T) (*TailCursor, error) {
+				r := NewMem()
+				cur, err := r.Tail(mustParse(t, "label = 'hit'"), TailOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cur.Next(ctx); !errors.Is(err, ErrClosed) {
+					t.Fatalf("drive to repo-closed: %v", err)
+				}
+				return cur, nil // benign: not the cursor's fault
+			},
+			wantNext: ErrClosed,
+		},
+		{
+			name: "after ErrTailEnded (read-only natural end)",
+			arrange: func(t *testing.T) (*TailCursor, error) {
+				dir := t.TempDir()
+				w, err := Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := w.Append(tailRecord(0, "hit")); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+				r, err := Open(dir, WithReadOnly())
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { r.Close() })
+				cur, err := r.Tail(mustParse(t, "label = 'hit'"), TailOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cur.Next(ctx); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cur.Next(ctx); !errors.Is(err, ErrTailEnded) {
+					t.Fatalf("drive to tail end: %v", err)
+				}
+				return cur, nil // benign: the cursor's io.EOF
+			},
+			wantNext: ErrTailEnded,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cur, wantClose := c.arrange(t)
+			got := cur.Close()
+			if (wantClose == nil) != (got == nil) || (wantClose != nil && !errors.Is(got, wantClose)) {
+				t.Fatalf("Close() = %v, want %v", got, wantClose)
+			}
+			// Idempotent: the second Close returns the same value.
+			if got2 := cur.Close(); (got == nil) != (got2 == nil) || (got != nil && !errors.Is(got2, got)) {
+				t.Fatalf("double Close() = %v, first was %v", got2, got)
+			}
+			// Next after Close is terminal with the documented state.
+			if _, err := cur.Next(ctx); !errors.Is(err, c.wantNext) {
+				t.Fatalf("Next after Close = %v, want %v", err, c.wantNext)
+			}
+			// Err stays consistent: a prior terminal failure is never
+			// masked by Close; a clean close reads ErrClosed.
+			if c.wantNext != nil && !errors.Is(cur.Err(), c.wantNext) {
+				t.Fatalf("Err() after Close = %v, want %v", cur.Err(), c.wantNext)
+			}
+		})
+	}
+}
+
+// TestTailLaggingDrainContract deterministically pins the drain loop: a
+// subscription killed by overflow still delivers every already-queued
+// matching record, in order, before surfacing ErrLagging — interleaved
+// with non-matching records the consumer-side filter must skip during
+// the drain.
+func TestTailLaggingDrainContract(t *testing.T) {
+	r := NewMem()
+	defer r.Close()
+	const buffer = 8
+	cur, err := r.Tail(mustParse(t, "label = 'hit'"), TailOpts{Buffer: buffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	// Fill the queue exactly (alternating hit/miss), then overflow it.
+	// All appends run on this goroutine, so the queue contents are
+	// deterministic: frames 0..7 queued, frame 8+ dropped the sub.
+	for i := 0; i < buffer+4; i++ {
+		label := "hit"
+		if i%2 == 1 {
+			label = "miss"
+		}
+		if _, err := r.Append(tailRecord(i, label)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The subscription is already dead (killed at frame 8), but the
+	// queued prefix must drain first: hits 0, 2, 4, 6 in order.
+	ctx := context.Background()
+	for want := 0; want < buffer; want += 2 {
+		rec, err := cur.Next(ctx)
+		if err != nil {
+			t.Fatalf("drain Next(frame %d) = %v; terminal error surfaced before the queue drained", want, err)
+		}
+		if rec.Frame != want || rec.Label != "hit" {
+			t.Fatalf("drain record frame %d %q, want frame %d \"hit\"", rec.Frame, rec.Label, want)
+		}
+	}
+	// Only now the terminal reason.
+	if _, err := cur.Next(ctx); !errors.Is(err, ErrLagging) {
+		t.Fatalf("post-drain Next = %v, want ErrLagging", err)
+	}
+	if !errors.Is(cur.Err(), ErrLagging) {
+		t.Fatalf("Err() = %v, want ErrLagging", cur.Err())
+	}
+	// And Close reports the failure too (satellite: no silent discard).
+	if cerr := cur.Close(); !errors.Is(cerr, ErrLagging) {
+		t.Fatalf("Close() = %v, want ErrLagging", cerr)
+	}
+}
+
+// memOverflow is an in-memory TailOverflow policy for the hook's
+// contract tests: an unbounded (optionally capped) FIFO with the
+// capacity-1 ready notification the interface documents.
+type memOverflow struct {
+	mu      sync.Mutex
+	recs    []Record
+	ready   chan struct{}
+	cap     int // 0 = unbounded
+	divErr  error
+	diverts int
+}
+
+func newMemOverflow(capacity int) *memOverflow {
+	return &memOverflow{ready: make(chan struct{}, 1), cap: capacity}
+}
+
+func (m *memOverflow) Divert(rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cap > 0 && len(m.recs) >= m.cap {
+		m.divErr = fmt.Errorf("overflow policy full at %d records: %w", m.cap, ErrLagging)
+		return m.divErr
+	}
+	m.diverts++
+	m.recs = append(m.recs, rec)
+	select {
+	case m.ready <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (m *memOverflow) TryNext() (Record, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.recs) == 0 {
+		return Record{}, false, nil
+	}
+	rec := m.recs[0]
+	m.recs = m.recs[1:]
+	return rec, true, nil
+}
+
+func (m *memOverflow) Ready() <-chan struct{} { return m.ready }
+
+// TestTailOverflowPolicyPreservesOrder: with a TailOverflow policy, an
+// overflowing subscription is not killed — the stream continues through
+// the policy, in order, across the queue→policy seam, and concurrent
+// appends keep flowing while the consumer lags.
+func TestTailOverflowPolicyPreservesOrder(t *testing.T) {
+	r := NewMem()
+	defer r.Close()
+	pol := newMemOverflow(0)
+	const buffer = 4
+	cur, err := r.Tail(mustParse(t, "label = 'hit'"), TailOpts{Buffer: buffer, Overflow: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	const total = 100
+	for i := 0; i < total; i++ {
+		label := "hit"
+		if i%3 == 2 {
+			label = "miss"
+		}
+		if _, err := r.Append(tailRecord(i, label)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pol.diverts == 0 {
+		t.Fatal("policy never consulted despite a full queue")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for want := 0; want < total; want++ {
+		if want%3 == 2 {
+			continue
+		}
+		rec, err := cur.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next(frame %d): %v", want, err)
+		}
+		if rec.Frame != want {
+			t.Fatalf("got frame %d, want %d (loss/dup/reorder across the spill seam)", rec.Frame, want)
+		}
+	}
+	// Appends after the consumer catches up still arrive (via the
+	// policy — diversion is permanent once it starts).
+	if _, err := r.Append(tailRecord(total, "hit")); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := cur.Next(ctx)
+	if err != nil || rec.Frame != total {
+		t.Fatalf("post-catch-up Next = (%d, %v), want frame %d", rec.Frame, err, total)
+	}
+}
+
+// TestTailOverflowPolicyDivertErrorKills: a Divert failure (e.g. spill
+// quota exhausted) terminates the subscription with that error — after
+// the already-accepted records drain.
+func TestTailOverflowPolicyDivertErrorKills(t *testing.T) {
+	r := NewMem()
+	defer r.Close()
+	pol := newMemOverflow(3) // accepts 3 diverted records, then fails
+	const buffer = 2
+	cur, err := r.Tail(mustParse(t, "label = 'hit'"), TailOpts{Buffer: buffer, Overflow: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	// 2 queued + 3 diverted + 1 that overflows the policy and kills.
+	for i := 0; i < buffer+3+1; i++ {
+		if _, err := r.Append(tailRecord(i, "hit")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	for want := 0; want < buffer+3; want++ {
+		rec, err := cur.Next(ctx)
+		if err != nil {
+			t.Fatalf("accepted record %d lost to early termination: %v", want, err)
+		}
+		if rec.Frame != want {
+			t.Fatalf("got frame %d, want %d", rec.Frame, want)
+		}
+	}
+	if _, err := cur.Next(ctx); !errors.Is(err, ErrLagging) {
+		t.Fatalf("post-drain Next = %v, want the policy's quota error (ErrLagging chain)", err)
+	}
+	if cerr := cur.Close(); !errors.Is(cerr, ErrLagging) {
+		t.Fatalf("Close() = %v, want the terminal failure", cerr)
+	}
+}
+
+// TestTailOverflowPolicyConcurrent races a slow consumer against a fast
+// producer through the policy seam under -race: every matching record
+// arrives exactly once, in order.
+func TestTailOverflowPolicyConcurrent(t *testing.T) {
+	r := NewMem()
+	defer r.Close()
+	pol := newMemOverflow(0)
+	cur, err := r.Tail(mustParse(t, "label = 'hit'"), TailOpts{Buffer: 8, Overflow: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	const total = 5000
+	go func() {
+		for i := 0; i < total; i++ {
+			label := "hit"
+			if i%2 == 1 {
+				label = "miss"
+			}
+			if _, err := r.Append(tailRecord(i, label)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for want := 0; want < total; want += 2 {
+		rec, err := cur.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next(frame %d): %v", want, err)
+		}
+		if rec.Frame != want {
+			t.Fatalf("got frame %d, want %d", rec.Frame, want)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metadata"
+)
+
+func spillRecord(i int) metadata.Record {
+	return metadata.Record{
+		Kind:     metadata.KindObservation,
+		Frame:    i,
+		FrameEnd: i + 1,
+		Time:     time.Duration(i) * time.Millisecond,
+		Person:   i % 4,
+		Other:    -1,
+		Label:    "hit",
+		Value:    float64(i),
+		Tags:     map[string]string{"pad": strings.Repeat("x", 64)},
+	}
+}
+
+// TestDiskSpillOrderAndReclaim pushes enough frames through a
+// diskSpill to force multiple chunk flushes and refills, then drains
+// and checks order, quota return, and file reclamation.
+func TestDiskSpillOrderAndReclaim(t *testing.T) {
+	var mu sync.Mutex
+	var charged int64
+	d, err := newDiskSpill(t.TempDir(), func(delta int64) error {
+		mu.Lock()
+		charged += delta
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	const total = 20000 // ~150B/frame ≫ spillChunk, forces file traffic
+	for i := 0; i < total; i++ {
+		rec := spillRecord(i)
+		rec.ID = uint64(i + 1)
+		if err := d.Divert(rec); err != nil {
+			t.Fatalf("Divert(%d): %v", i, err)
+		}
+	}
+	if d.wOff == 0 {
+		t.Fatal("no chunk ever reached the file; chunking is broken or the test is too small")
+	}
+	for i := 0; i < total; i++ {
+		rec, ok, err := d.TryNext()
+		if err != nil {
+			t.Fatalf("TryNext(%d): %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("TryNext(%d): empty with %d frames outstanding", i, total-i)
+		}
+		if rec.Frame != i || rec.ID != uint64(i+1) {
+			t.Fatalf("frame %d id %d, want frame %d id %d (order broken)", rec.Frame, rec.ID, i, i+1)
+		}
+	}
+	if _, ok, err := d.TryNext(); ok || err != nil {
+		t.Fatalf("TryNext after drain = (ok=%v, err=%v), want empty", ok, err)
+	}
+	mu.Lock()
+	left := charged
+	mu.Unlock()
+	if left != 0 {
+		t.Fatalf("quota charge after full drain = %d, want 0", left)
+	}
+	if d.wOff != 0 {
+		t.Fatalf("file not reclaimed after catch-up: wOff=%d", d.wOff)
+	}
+}
+
+// TestDiskSpillInterleaved alternates producer and consumer so frames
+// cross the file/pending seam in every combination.
+func TestDiskSpillInterleaved(t *testing.T) {
+	d, err := newDiskSpill(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	next := 0 // next frame to divert
+	want := 0 // next frame expected out
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 37; i++ {
+			rec := spillRecord(next)
+			if err := d.Divert(rec); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		for i := 0; i < 23; i++ {
+			rec, ok, err := d.TryNext()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("round %d: empty with %d outstanding", round, next-want)
+			}
+			if rec.Frame != want {
+				t.Fatalf("round %d: frame %d, want %d", round, rec.Frame, want)
+			}
+			want++
+		}
+	}
+	for want < next {
+		rec, ok, err := d.TryNext()
+		if err != nil || !ok {
+			t.Fatalf("final drain at %d: ok=%v err=%v", want, ok, err)
+		}
+		if rec.Frame != want {
+			t.Fatalf("final drain: frame %d, want %d", rec.Frame, want)
+		}
+		want++
+	}
+}
+
+// TestDiskSpillQuota: a charge-hook refusal propagates out of Divert
+// so the subscription terminates with the tenant's quota error.
+func TestDiskSpillQuota(t *testing.T) {
+	var used int64
+	limit := int64(1024)
+	d, err := newDiskSpill(t.TempDir(), func(delta int64) error {
+		if delta > 0 && used+delta > limit {
+			return fmt.Errorf("quota: %w", metadata.ErrLagging)
+		}
+		used += delta
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var derr error
+	n := 0
+	for i := 0; i < 100; i++ {
+		if derr = d.Divert(spillRecord(i)); derr != nil {
+			break
+		}
+		n++
+	}
+	if derr == nil {
+		t.Fatal("quota never enforced")
+	}
+	if !errors.Is(derr, metadata.ErrLagging) {
+		t.Fatalf("Divert over quota = %v, want ErrLagging chain", derr)
+	}
+	// Already-accepted frames still drain in order.
+	for i := 0; i < n; i++ {
+		rec, ok, err := d.TryNext()
+		if err != nil || !ok || rec.Frame != i {
+			t.Fatalf("drain %d: (%d, %v, %v)", i, rec.Frame, ok, err)
+		}
+	}
+}
+
+// TestDiskSpillCloseReturnsQuota: closing with frames outstanding
+// returns the whole charge.
+func TestDiskSpillCloseReturnsQuota(t *testing.T) {
+	var used int64
+	d, err := newDiskSpill(t.TempDir(), func(delta int64) error {
+		used += delta
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := d.Divert(spillRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if used == 0 {
+		t.Fatal("nothing charged")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if used != 0 {
+		t.Fatalf("charge after Close = %d, want 0", used)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("double Close = %v", err)
+	}
+}
+
+// TestTokenBucket pins the refill/refusal arithmetic.
+func TestTokenBucket(t *testing.T) {
+	b := newTokenBucket(10, 5) // 10 tokens/s, burst 5
+	now := time.Unix(1000, 0)
+	if ok, _ := b.take(5, now); !ok {
+		t.Fatal("burst refused")
+	}
+	ok, wait := b.take(1, now)
+	if ok {
+		t.Fatal("empty bucket granted")
+	}
+	if wait <= 0 || wait > 150*time.Millisecond {
+		t.Fatalf("wait = %v, want ~100ms for 1 token at 10/s", wait)
+	}
+	// After the advertised wait, the token is there.
+	if ok, _ := b.take(1, now.Add(wait)); !ok {
+		t.Fatal("token absent after advertised wait")
+	}
+	// Refill caps at burst.
+	if ok, _ := b.take(5, now.Add(time.Hour)); !ok {
+		t.Fatal("burst absent after long idle")
+	}
+	if ok, _ := b.take(1, now.Add(time.Hour)); ok {
+		t.Fatal("bucket exceeded burst cap")
+	}
+}
+
+// TestAdmission pins the bounded in-flight gate.
+func TestAdmission(t *testing.T) {
+	s, err := New(Config{Root: t.TempDir(), MaxInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.admit() || !s.admit() {
+		t.Fatal("slots refused below the bound")
+	}
+	if s.admit() {
+		t.Fatal("admitted past MaxInflight")
+	}
+	s.unadmit()
+	if !s.admit() {
+		t.Fatal("slot not returned")
+	}
+}
+
+// TestTenantNameValidation: names are path components; anything that
+// could traverse is refused.
+func TestTenantNameValidation(t *testing.T) {
+	s, err := New(Config{Root: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "..", "a/b", "a\\b", ".hidden", "UPPER", strings.Repeat("a", 65)} {
+		if _, err := s.tenant(bad); !errors.Is(err, errBadTenant) {
+			t.Fatalf("tenant(%q) = %v, want errBadTenant", bad, err)
+		}
+	}
+	for _, good := range []string{"a", "rig-07", "cam_3", "0abc"} {
+		if _, err := s.tenant(good); err != nil {
+			t.Fatalf("tenant(%q) = %v", good, err)
+		}
+	}
+}

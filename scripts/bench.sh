@@ -12,11 +12,14 @@
 # incremental re-run (PipelineIncremental vs PipelineFull610 — the
 # stale-emotion re-run must land under 50% of the full run), the live
 # FOLLOW subscription path (FollowLatency — append→deliver p50/p99 of
-# a tail cursor over a durable repository), and the
+# a tail cursor over a durable repository), the
 # cold-open statistics pushdown (ColdOpenQuery/pushdown vs /fullReplay
 # — the pushdown open must land ≥3× under full replay; it runs in a
 # separate low-count invocation because one fullReplay iteration
-# replays a 1M-record store).
+# replays a 1M-record store), and the dieventd service path
+# (ServiceAppend — sustained appends/s through HTTP + admission +
+# quota + wire decode; ServiceQueryUnderLoad — query round-trip
+# p50/p99 while four ingest clients hammer the same tenant).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -38,6 +41,9 @@ go test -run '^$' \
 	-bench 'BenchmarkFaceDetect$|BenchmarkFaceDetectShared$|BenchmarkPipelineEndToEnd$|BenchmarkPipelineParallel$|BenchmarkPipelineIncremental$|BenchmarkPipelineFull610$|BenchmarkMetadataIngestSegmented$|BenchmarkFollowLatency$' \
 	-benchtime 100x -count 1 . > "$RAW"
 go test -run '^$' -bench 'BenchmarkColdOpenQuery' -benchtime 5x -count 1 . >> "$RAW"
+go test -run '^$' \
+	-bench 'BenchmarkServiceAppend$|BenchmarkServiceQueryUnderLoad$' \
+	-benchtime 100x -count 1 ./internal/service >> "$RAW"
 cat "$RAW"
 
 awk -v out="$OUT" -v keep="$KEEP" '
@@ -49,6 +55,7 @@ awk -v out="$OUT" -v keep="$KEEP" '
 		if ($(i+1) == "B/op")        bytes[name] = $i
 		if ($(i+1) == "allocs/op")   allocs[name] = $i
 		if ($(i+1) == "windows/s")   extra[name] = $i
+		if ($(i+1) == "appends/s")   aps[name] = $i
 		if ($(i+1) == "p50-ns")      p50[name] = $i
 		if ($(i+1) == "p99-ns")      p99[name] = $i
 	}
@@ -66,8 +73,13 @@ END {
 		if (name in bytes)  printf ", \"bytes_per_op\": %s", bytes[name] >> out
 		if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name] >> out
 		if (name in extra)  printf ", \"windows_per_sec\": %s", extra[name] >> out
-		if (name in p50)    printf ", \"follow_p50_ns\": %s", p50[name] >> out
-		if (name in p99)    printf ", \"follow_p99_ns\": %s", p99[name] >> out
+		if (name in aps)    printf ", \"appends_per_sec\": %s", aps[name] >> out
+		# The follow-latency bench predates the generic names; keep its
+		# fields stable so the PR-over-PR trajectory stays diffable.
+		p50k = (name ~ /Follow/) ? "follow_p50_ns" : "p50_ns"
+		p99k = (name ~ /Follow/) ? "follow_p99_ns" : "p99_ns"
+		if (name in p50)    printf ", \"%s\": %s", p50k, p50[name] >> out
+		if (name in p99)    printf ", \"%s\": %s", p99k, p99[name] >> out
 		printf "}%s\n", (i < n-1 ? "," : "") >> out
 	}
 	printf "}\n" >> out

@@ -14,9 +14,15 @@
 # streaming gates (finite-stream ≡ batch oracle raced on the worker
 # pool, tail cursors surviving segment roll + compaction under raced
 # append load, the live-FOLLOW exactly-once contract, and the
-# bounded-memory check on a 24k-frame cycled stream), and a short fuzz
-# smoke of the query parser so the checked-in corpus executes on every
-# check.
+# bounded-memory check on a 24k-frame cycled stream), the dieventd
+# service gates (the drain contract under active ingest, ENOSPC
+# degradation instead of wedging, backpressure-policy order, and the
+# mixed connection soak — scaled down under -short; the full
+# ≥200-client / 1M-record shape in -full — all raced), an end-to-end
+# server smoke (build the real dieventd binary, drive concurrent
+# ingest+query+FOLLOW, SIGTERM it, require drain within its deadline
+# and a clean offline fsck), and a short fuzz smoke of the query
+# parser so the checked-in corpus executes on every check.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -32,9 +38,11 @@ go vet ./...
 go build ./...
 if [ "${1:-}" = "-full" ]; then
 	# The full (non-short) suites already include the torn-write
-	# recovery matrix and the raced compact-under-load stress.
+	# recovery matrix, the raced compact-under-load stress, and the
+	# full-shape service soak (≥200 concurrent clients over 1M records).
 	go test ./...
-	go test -race ./internal/metadata ./internal/core ./internal/face
+	go test -race ./internal/metadata ./internal/core ./internal/face \
+		./internal/service
 else
 	# The heavy durability tests skip under -short; run them once,
 	# explicitly, so every quick check still exercises them.
@@ -81,6 +89,20 @@ else
 	# heap flat between the 8k- and 24k-frame probes (skips under
 	# -short, so run it explicitly).
 	go test -run 'TestStreamBoundedMemory' ./internal/core
+	# Service gates (DESIGN.md §11), raced: the tail-cursor terminal
+	# contracts dieventd is built on (read-only sentinel, Close/Err
+	# consistency, deterministic lagging drain, overflow-policy order),
+	# then the server itself — graceful drain under active ingest,
+	# ENOSPC degrading a tenant to read-only instead of wedging it,
+	# both backpressure policies, and the scaled-down mixed soak.
+	go test -race -run 'TestTailReadOnlyEndsWithSentinel|TestTailCloseContract|TestTailLaggingDrainContract|TestTailOverflowPolicy' ./internal/metadata
+	go test -race -run 'TestDrainGraceful|TestENOSPCDegradesNotWedges|TestFollowSpill|TestFollowDropLagging|TestIdleCloseReadOnlyCoexistence' ./internal/service
+	go test -race -short -run 'TestServiceSoak' ./internal/service
+	# End-to-end server smoke: build the real dieventd binary, run
+	# concurrent ingest+query+FOLLOW against it, SIGTERM mid-traffic,
+	# and require drain-within-deadline, exit 0, and a clean offline
+	# fsck of every tenant store.
+	go test -run 'TestDieventdEndToEnd' ./internal/service
 fi
 go test -run '^$' -fuzz FuzzParseQuery -fuzztime 5s ./internal/metadata
 # Detection-bench smoke: one iteration of the fused-matcher hot path
