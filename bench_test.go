@@ -270,6 +270,88 @@ func BenchmarkNNForward(b *testing.B) {
 	}
 }
 
+// BenchmarkNNForwardBatch measures the batched forward pass on the
+// emotion network shape at a realistic per-frame batch (8 faces),
+// float and int8 — per-sample cost should beat BenchmarkNNForward
+// because one weight-row walk serves the whole batch.
+func BenchmarkNNForwardBatch(b *testing.B) {
+	net, err := nn.New(nn.Config{Sizes: []int{944, 48, 7}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 8
+	xs := make([][]float64, batch)
+	for s := range xs {
+		x := make([]float64, 944)
+		for i := range x {
+			x[i] = float64((i+s)%59) / 59
+		}
+		xs[s] = x
+	}
+	b.Run("float", func(b *testing.B) {
+		var cls []int
+		var conf []float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if cls, conf, err = net.ClassifyBatch(xs, cls, conf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	})
+	q := net.Quantize()
+	b.Run("int8", func(b *testing.B) {
+		var cls []int
+		var conf []float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if cls, conf, err = q.ClassifyBatch(xs, cls, conf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	})
+}
+
+// BenchmarkFaceInferenceBatch measures the per-face inference path the
+// classify stage runs each frame — batched identity (face.IdentifyBatch)
+// plus batched emotion classification — over an 8-face frame, reporting
+// faces/s. This is the headline number behind BENCH faces/s.
+func BenchmarkFaceInferenceBatch(b *testing.B) {
+	clf := benchClassifier(b)
+	rec := face.NewRecognizer()
+	var faces []*img.Gray
+	for p := 0; p < 4; p++ {
+		id := fmt.Sprintf("P%d", p)
+		tone := uint8(100 + 30*p)
+		for v := uint64(0); v < 2; v++ {
+			crop := emotion.GenerateFace(emotion.Neutral, uint64(p)*8+v, tone)
+			if err := rec.Enroll(id, crop); err != nil {
+				b.Fatal(err)
+			}
+			faces = append(faces, crop)
+		}
+	}
+	var ids []string
+	var sims []float64
+	var labels []emotion.Label
+	var confs []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, sims = rec.IdentifyBatch(faces, ids, sims)
+		var err error
+		if labels, confs, err = clf.ClassifyBatch(faces, labels, confs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(faces))*float64(b.N)/b.Elapsed().Seconds(), "faces/s")
+}
+
 // --- T-B: eye-contact ablation ---
 
 // BenchmarkECDetection measures the ray-sphere eye-contact test across

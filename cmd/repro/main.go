@@ -33,6 +33,7 @@ import (
 	"repro/internal/gaze"
 	"repro/internal/geom"
 	"repro/internal/hmm"
+	"repro/internal/img"
 	"repro/internal/layers"
 	"repro/internal/metadata"
 	"repro/internal/parsing"
@@ -570,6 +571,45 @@ func tableThroughput() error {
 		windows, perFrame.Round(time.Microsecond),
 		float64(windows)/perFrame.Seconds()/1e6,
 		float64(runs)/dtotal.Seconds())
+
+	// Per-face inference throughput on the batched paths (DESIGN.md
+	// §12): batched identity + batched emotion classification over an
+	// 8-face frame, the classify stage's steady-state shape.
+	clf, err := emotion.NewClassifier(48, 1)
+	if err != nil {
+		return err
+	}
+	if _, err := clf.Train(emotion.GenerateDataset(10, 1),
+		emotion.TrainOptions{Epochs: 5, Seed: 2, LearningRate: 0.01}); err != nil {
+		return err
+	}
+	rec := face.NewRecognizer()
+	var crops []*img.Gray
+	for p := 0; p < 4; p++ {
+		for v := uint64(0); v < 2; v++ {
+			crop := emotion.GenerateFace(emotion.Neutral, uint64(p)*8+v, uint8(100+30*p))
+			if err := rec.Enroll(fmt.Sprintf("P%d", p), crop); err != nil {
+				return err
+			}
+			crops = append(crops, crop)
+		}
+	}
+	var ids []string
+	var sims []float64
+	var labels []emotion.Label
+	var confs []float64
+	const faceRuns = 100
+	start = time.Now()
+	for i := 0; i < faceRuns; i++ {
+		ids, sims = rec.IdentifyBatch(crops, ids, sims)
+		if labels, confs, err = clf.ClassifyBatch(crops, labels, confs); err != nil {
+			return err
+		}
+	}
+	ftotal := time.Since(start)
+	fmt.Printf("face inference: %d faces/frame (identify + classify, batched) in %v/frame → %.0f faces/s\n",
+		len(crops), (ftotal / faceRuns).Round(time.Microsecond),
+		float64(len(crops)*faceRuns)/ftotal.Seconds())
 	return nil
 }
 

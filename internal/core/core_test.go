@@ -285,6 +285,42 @@ func TestPixelPipelineShortRun(t *testing.T) {
 	}
 }
 
+// TestQuantizedInferencePipeline runs the pixel path with int8
+// inference enabled: the oracle-equivalence gate must pass at build
+// (EnableQuantized fails fast on disagreement) and the run must still
+// produce emotion observations. Exact record equality with the float
+// run is not asserted — the gate guarantees top-1 labels per face, but
+// per-track fusion picks by confidence, which legitimately drifts
+// within tolerance.
+func TestQuantizedInferencePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pixel vision is expensive")
+	}
+	p, err := New(Config{
+		Scenario:           scene.PrototypeScenario(),
+		Mode:               PixelVision,
+		Gaze:               gaze.EstimatorOptions{Seed: 4},
+		MaxFrames:          24,
+		DetectEvery:        4,
+		QuantizedInference: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Repo.Close()
+	recs, err := res.Repo.Query("kind = observation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Error("quantized pixel run produced no emotion observations")
+	}
+}
+
 func TestPipelineWithVideoParsing(t *testing.T) {
 	p, err := New(Config{
 		Scenario:   scene.PrototypeScenario(),

@@ -161,6 +161,14 @@ func classifyStage(b *stageBuild) (*Stage, error) {
 			return nil, err
 		}
 	}
+	if b.cfg.QuantizedInference {
+		// Int8 inference is opt-in and gated: it only installs if every
+		// face of a held-out synthetic set classifies to the float
+		// network's top-1 label with confidence inside the tolerance.
+		if err := clf.EnableQuantized(emotion.GenerateDataset(6, 7), 0); err != nil {
+			return nil, fmt.Errorf("enabling quantized inference: %w", err)
+		}
+	}
 	rec := face.NewRecognizer()
 	nameToID := make(map[string]int)
 	for _, p := range b.sim.Persons() {
@@ -173,7 +181,14 @@ func classifyStage(b *stageBuild) (*Stage, error) {
 		}
 		nameToID[p.Name] = p.ID
 	}
-	crops := make([]*img.Gray, b.nCams)
+	// Per-camera batching scratch: the frame's live-track crops are
+	// collected first, identified under one gallery lock, and the
+	// recognised ones classified in one batched network pass. Per-face
+	// results are identical to the sequential path (the batched kernels
+	// are bit-identical per sample and fusion still walks tracks in
+	// order); the wins are one weight-matrix walk per frame instead of
+	// per face, and crop buffers that recycle instead of reallocating.
+	scr := make([]classifyScratch, b.nCams)
 	return &Stage{
 		Name:     StageClassify,
 		Version:  1,
@@ -183,23 +198,48 @@ func classifyStage(b *stageBuild) (*Stage, error) {
 		Config:   fmt.Sprintf("classifier=%016x", clf.Fingerprint()),
 		RunCam: func(_ *runEnv, a *Artifacts, _ any) error {
 			emotions := make(map[int]layers.EmotionObs)
+			sc := &scr[a.Cam]
+			sc.reset()
 			for _, tr := range a.Tracks {
 				if tr.State != face.Confirmed && a.FS.Index > 5 {
 					continue
 				}
-				crops[a.Cam] = a.Gray.CropClampedInto(clampBox(tr.Box, a.Gray), crops[a.Cam])
-				id, _, err := rec.Identify(crops[a.Cam])
-				if err != nil {
+				sc.addCrop(a.Gray, clampBox(tr.Box, a.Gray))
+			}
+			sc.ids, sc.sims = rec.IdentifyBatch(sc.crops, sc.ids, sc.sims)
+			for i, id := range sc.ids {
+				if id == "" {
 					continue // unknown face this frame
 				}
 				pid, ok := nameToID[id]
 				if !ok {
 					continue
 				}
-				label, conf, err := clf.Classify(crops[a.Cam])
-				if err != nil {
-					continue
+				sc.known = append(sc.known, sc.crops[i])
+				sc.pids = append(sc.pids, pid)
+			}
+			var err error
+			sc.labels, sc.confs, err = clf.ClassifyBatch(sc.known, sc.labels, sc.confs)
+			if err != nil {
+				// A batch fails wholesale if any one face does; the
+				// sequential path skipped just the offender. Degrade to
+				// per-face so one degenerate crop keeps the same
+				// drop-that-face semantics instead of erroring the stage.
+				sc.labels, sc.confs = sc.labels[:0], sc.confs[:0]
+				keep := sc.pids[:0]
+				for i, f := range sc.known {
+					label, conf, cerr := clf.Classify(f)
+					if cerr != nil {
+						continue
+					}
+					keep = append(keep, sc.pids[i])
+					sc.labels = append(sc.labels, label)
+					sc.confs = append(sc.confs, conf)
 				}
+				sc.pids = keep
+			}
+			for i, pid := range sc.pids {
+				label, conf := sc.labels[i], sc.confs[i]
 				// Within-camera fusion: keep the most confident reading.
 				if cur, exists := emotions[pid]; !exists || conf > cur.Confidence {
 					emotions[pid] = layers.EmotionObs{Label: label, Confidence: conf}
@@ -209,6 +249,37 @@ func classifyStage(b *stageBuild) (*Stage, error) {
 			return nil
 		},
 	}, nil
+}
+
+// classifyScratch is one camera's reusable batching workspace for
+// classifyStage. bufs owns the crop buffers (grown on demand, reused
+// across frames); the remaining slices are the per-frame batch views.
+type classifyScratch struct {
+	bufs   []*img.Gray
+	crops  []*img.Gray
+	known  []*img.Gray
+	pids   []int
+	ids    []string
+	sims   []float64
+	labels []emotion.Label
+	confs  []float64
+}
+
+func (sc *classifyScratch) reset() {
+	sc.crops = sc.crops[:0]
+	sc.known = sc.known[:0]
+	sc.pids = sc.pids[:0]
+}
+
+// addCrop crops the frame region into the next reusable buffer and
+// appends it to the frame's batch.
+func (sc *classifyScratch) addCrop(g *img.Gray, box img.Rect) {
+	i := len(sc.crops)
+	if i == len(sc.bufs) {
+		sc.bufs = append(sc.bufs, nil)
+	}
+	sc.bufs[i] = g.CropClampedInto(box, sc.bufs[i])
+	sc.crops = append(sc.crops, sc.bufs[i])
 }
 
 // pxGazeStage produces the pixel path's gaze observations from the

@@ -1,0 +1,206 @@
+package emotion
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/img"
+)
+
+// TestClassifyBatchMatchesClassify checks the batched entry point gives
+// the same label and confidence as per-face Classify, on both the
+// float and int8 paths.
+func TestClassifyBatchMatchesClassify(t *testing.T) {
+	clf, test := sharedClassifier(t)
+	labels, confs, err := clf.ClassifyBatch(test.Faces, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != len(test.Faces) || len(confs) != len(test.Faces) {
+		t.Fatalf("batch sizes %d/%d for %d faces", len(labels), len(confs), len(test.Faces))
+	}
+	for i, f := range test.Faces {
+		l, p, err := clf.Classify(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if labels[i] != l || confs[i] != p {
+			t.Fatalf("face %d: batch (%v,%v) != single (%v,%v)", i, labels[i], confs[i], l, p)
+		}
+	}
+	if _, _, err := clf.ClassifyBatch(nil, nil, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// quantTwins builds two bit-identical copies of the shared trained
+// classifier via the exact Save/Load roundtrip, then passes one
+// through the EnableQuantized oracle gate on a held-out dataset. The
+// float copy is the oracle for the equivalence property; cloning (not
+// retraining) keeps the suite fast and the weights provably equal.
+var quantOnce struct {
+	sync.Once
+	quant *Classifier
+	float *Classifier
+	err   error
+}
+
+func quantTwins(t *testing.T) (quant, float *Classifier) {
+	t.Helper()
+	base, _ := sharedClassifier(t)
+	quantOnce.Do(func() {
+		clone := func() (*Classifier, error) {
+			var buf bytes.Buffer
+			if err := base.Save(&buf); err != nil {
+				return nil, err
+			}
+			return LoadClassifier(&buf)
+		}
+		var err error
+		if quantOnce.float, err = clone(); err != nil {
+			quantOnce.err = err
+			return
+		}
+		if quantOnce.quant, err = clone(); err != nil {
+			quantOnce.err = err
+			return
+		}
+		quantOnce.err = quantOnce.quant.EnableQuantized(GenerateDataset(12, 9), 0)
+	})
+	if quantOnce.err != nil {
+		t.Fatal(quantOnce.err)
+	}
+	return quantOnce.quant, quantOnce.float
+}
+
+// TestQuantizedOracleEquivalence is the int8-vs-float property test
+// over both synthetic generators: the full GenerateDataset corpus
+// (several seeds, none seen by the gate) and a sweep of raw
+// GenerateFace crops across labels, variants and tones. Top-1 labels
+// must be identical and confidences within the gate tolerance.
+func TestQuantizedOracleEquivalence(t *testing.T) {
+	qc, fc := quantTwins(t)
+	if !qc.Quantized() {
+		t.Fatal("quantized path not installed")
+	}
+	check := func(name string, f *img.Gray) {
+		t.Helper()
+		ql, qp, err := qc.Classify(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, fp, err := fc.Classify(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ql != fl {
+			t.Fatalf("%s: int8 %v (%.3f) != float %v (%.3f)", name, ql, qp, fl, fp)
+		}
+		if math.Abs(qp-fp) > QuantizedTolerance {
+			t.Fatalf("%s: confidence drift %.4f", name, qp-fp)
+		}
+	}
+	for _, seed := range []uint64{4, 11, 27} {
+		ds := GenerateDataset(10, seed)
+		for i, f := range ds.Faces {
+			check(ds.Labels[i].String(), f)
+		}
+	}
+	for _, l := range AllLabels() {
+		for variant := uint64(0); variant < 6; variant++ {
+			for _, tone := range []uint8{70, 140, 210} {
+				check(l.String(), GenerateFace(l, variant, tone))
+			}
+		}
+	}
+}
+
+// TestQuantizedBatchMatchesFloatLabels runs the quantized batch path
+// over a full dataset and checks labels equal the float twin's.
+func TestQuantizedBatchMatchesFloatLabels(t *testing.T) {
+	qc, fc := quantTwins(t)
+	ds := GenerateDataset(8, 33)
+	ql, _, err := qc.ClassifyBatch(ds.Faces, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, _, err := fc.ClassifyBatch(ds.Faces, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ql {
+		if ql[i] != fl[i] {
+			t.Fatalf("face %d: int8 label %v != float %v", i, ql[i], fl[i])
+		}
+	}
+}
+
+// TestQuantizedFingerprintChanges: the int8 path is part of model
+// identity, so enabling it must change the fingerprint.
+func TestQuantizedFingerprintChanges(t *testing.T) {
+	qc, fc := quantTwins(t)
+	if qc.Fingerprint() == fc.Fingerprint() {
+		t.Fatal("fingerprint unchanged by quantization")
+	}
+}
+
+// TestSharedClassifierConcurrentBatch hammers one classifier (float and
+// quantized) from many goroutines mixing Classify and ClassifyBatch —
+// run under -race, this is the shared-scratch safety gate.
+func TestSharedClassifierConcurrentBatch(t *testing.T) {
+	qc, fc := quantTwins(t)
+	for _, tc := range []struct {
+		name string
+		clf  *Classifier
+	}{{"float", fc}, {"quant", qc}} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := GenerateDataset(2, 77)
+			wantL, wantC, err := tc.clf.ClassifyBatch(ds.Faces, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl := append([]Label(nil), wantL...)
+			wp := append([]float64(nil), wantC...)
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					var labels []Label
+					var confs []float64
+					for iter := 0; iter < 6; iter++ {
+						if g%2 == 0 {
+							var err error
+							labels, confs, err = tc.clf.ClassifyBatch(ds.Faces, labels, confs)
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							for i := range wl {
+								if labels[i] != wl[i] || confs[i] != wp[i] {
+									t.Errorf("batch result drifted at face %d", i)
+									return
+								}
+							}
+						} else {
+							for i, f := range ds.Faces {
+								l, p, err := tc.clf.Classify(f)
+								if err != nil {
+									t.Error(err)
+									return
+								}
+								if l != wl[i] || p != wp[i] {
+									t.Errorf("single result drifted at face %d", i)
+									return
+								}
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -93,6 +93,11 @@ type Detector struct {
 	// callers that don't supply their own, keeping concurrent Detect
 	// calls allocation-free in steady state.
 	tables sync.Pool
+	// scratch pools per-call cascade state (block pyramid, cell-skip
+	// bitmap, refinement memo) for DetectIntegrals, so the pooled and
+	// shared-table entry points run the identical machinery and both
+	// stay allocation-free in steady state.
+	scratch sync.Pool
 }
 
 // integralPair is one pooled (plain, squared) table pair.
@@ -100,6 +105,24 @@ type integralPair struct {
 	in *img.Integral
 	sq *img.IntegralSq
 }
+
+// detScratch is one pooled DetectIntegrals working set.
+type detScratch struct {
+	pyr  img.Pyramid
+	skip []bool
+	memo map[uint32]memoEntry
+}
+
+// memoEntry is one refinement-memo record for a window position: the
+// exact score when exact, otherwise an upper bound the true score is
+// strictly below.
+type memoEntry struct {
+	v     float64
+	exact bool
+}
+
+// memoKey packs a window anchor; frame dimensions are far below 64k.
+func memoKey(x, y int) uint32 { return uint32(y)<<16 | uint32(x) }
 
 // NewDetector builds a detector.
 func NewDetector(opt DetectorOptions) (*Detector, error) {
@@ -150,11 +173,22 @@ func (d *Detector) Detect(g *img.Gray) []Detection {
 // DetectIntegrals is Detect with caller-supplied summed-area tables of
 // g (plain and squared), sharing one table build across every consumer
 // of the frame. in and sq must have been built from exactly g.
+//
+// Scanning runs the reject cascade of DESIGN.md §12: a per-frame block
+// pyramid is built once and shared across every scale, a flat-cell
+// tier clears 2×2 groups of scan anchors with one dilated-window probe
+// where the contrast pre-filter provably fails, survivors bound
+// through the pyramid tier before any full-resolution kernel work, and
+// refinement climbs share an exact-score/upper-bound memo per scale.
+// Every skip is proven below the corresponding oracle threshold, so
+// output stays byte-identical to the exhaustive detectOracle.
 func (d *Detector) DetectIntegrals(g *img.Gray, in *img.Integral, sq *img.IntegralSq) []Detection {
+	sc, _ := d.scratch.Get().(*detScratch)
+	if sc == nil {
+		sc = &detScratch{memo: make(map[uint32]memoEntry, 256)}
+	}
+	img.BuildPyramid(g, in, &sc.pyr)
 	var raw []Detection
-	// visited is the refinement memo scratch, reused across candidates —
-	// function-local, so concurrent Detect calls stay independent.
-	var visited []img.Rect
 	for _, h := range d.opt.Scales {
 		m := d.matchers[h]
 		w := m.W
@@ -162,8 +196,17 @@ func (d *Detector) DetectIntegrals(g *img.Gray, in *img.Integral, sq *img.Integr
 			continue
 		}
 		stride := d.scanStride(h)
-		for y := 0; y+h <= g.H; y += stride {
-			for x := 0; x+w <= g.W; x += stride {
+		nax := (g.W-w)/stride + 1
+		nay := (g.H-h)/stride + 1
+		sc.buildCellSkip(in, sq, nax, nay, stride, w, h, d.opt.MinVariance)
+		clear(sc.memo)
+		for ay := 0; ay < nay; ay++ {
+			y := ay * stride
+			for ax := 0; ax < nax; ax++ {
+				if sc.skip[ay*nax+ax] {
+					continue
+				}
+				x := ax * stride
 				win := img.Rect{X: x, Y: y, W: w, H: h}
 				// Cheap integral-image pre-filter: faces have a
 				// bright centre against a darker surround. Scan
@@ -178,62 +221,122 @@ func (d *Detector) DetectIntegrals(g *img.Gray, in *img.Integral, sq *img.Integr
 				if diff*diff < d.opt.MinVariance/4 {
 					continue
 				}
-				// Variance gate + coarse score in one fused call: the
-				// matcher derives the gate, the prescreen and the
-				// kernel denominator from one corner-grid sample.
-				score, ok := m.ScoreVarBounded(g, in, sq, x, y, d.opt.CoarseScore, d.opt.MinVariance)
+				// Variance gate + coarse score behind the pyramid
+				// tier: full-resolution kernel work only for windows
+				// the block-level bound cannot reject.
+				score, ok := m.ScoreCascade(g, in, sq, &sc.pyr, x, y, d.opt.CoarseScore, d.opt.MinVariance)
+				if ok {
+					// Exact scores seed the refinement memo — climbs
+					// from neighbouring promotions revisit grid
+					// positions. A (0,false) reject is not memoised:
+					// it may come from the variance gate, which bounds
+					// nothing about the score.
+					sc.memo[memoKey(x, y)] = memoEntry{v: score, exact: true}
+				}
 				if !ok || score < d.opt.CoarseScore {
 					continue
 				}
 				var best Detection
-				if best, ok, visited = d.refine(g, m, in, sq, win, stride, score, visited); ok {
+				if best, ok = d.refine(g, m, in, sq, &sc.pyr, sc.memo, win, stride, score); ok {
 					raw = append(raw, best)
 				}
 			}
 		}
 	}
+	d.scratch.Put(sc)
 	return nms(raw, d.opt.NMSIoU)
+}
+
+// buildCellSkip fills sc.skip (one flag per scan anchor) by probing
+// 2×2 anchor cells through their dilated union window: with μ the
+// dilated region's mean and dev its deviation mass Σ(f−μ)², every
+// window inside the region has variance da ≤ dev, and the contrast
+// pre-filter's |centre−border| is at most 2√(da/n) (the centre rect is
+// a quarter of the window, and centre−border averages f−border over
+// it). So dev < n·MinVariance/16 proves all four windows fail the
+// pre-filter, and one 8-load probe replaces four. Cells are decided in
+// a separate pass so the scan loop's window order — and therefore the
+// NMS input order — is untouched.
+func (sc *detScratch) buildCellSkip(in *img.Integral, sq *img.IntegralSq, nax, nay, stride, w, h int, minVar float64) {
+	if cap(sc.skip) < nax*nay {
+		sc.skip = make([]bool, nax*nay)
+	}
+	sc.skip = sc.skip[:nax*nay]
+	clear(sc.skip)
+	// The margin covers the probe's single float rounding, mirroring
+	// the kernel's early-out discipline.
+	cellCut := float64(w*h)*minVar/16 - 1e-6
+	dw, dh := w+stride, h+stride
+	nD := uint64(dw * dh)
+	for ay := 0; ay+1 < nay; ay += 2 {
+		row0 := ay * nax
+		for ax := 0; ax+1 < nax; ax += 2 {
+			// The dilated rect is in-frame because anchor
+			// (ax+1, ay+1) is a valid scan anchor.
+			dr := img.Rect{X: ax * stride, Y: ay * stride, W: dw, H: dh}
+			s := in.RegionSumUnclipped(dr)
+			q := sq.RegionSumUnclipped(dr)
+			if float64(nD*q-s*s)/float64(nD) < cellCut {
+				sc.skip[row0+ax] = true
+				sc.skip[row0+ax+1] = true
+				sc.skip[row0+nax+ax] = true
+				sc.skip[row0+nax+ax+1] = true
+			}
+		}
+	}
 }
 
 // refine hill-climbs the window position at progressively finer steps
 // to undo the coarse grid's localisation loss, returning the best
-// detection if it clears MinScore. Candidates score through the fused
-// kernel with the current best as the early-out bound, and every
-// position visited is memoized so the climb never rescores a window:
-// a revisited position either was the best (and cannot strictly beat
-// itself) or already failed against an older, lower bound — best only
-// grows, so skipping is exact. The memo scratch is threaded through
-// and returned so one Detect call keeps reusing a single buffer.
-func (d *Detector) refine(g *img.Gray, m *img.TemplateMatcher, in *img.Integral, sq *img.IntegralSq, win img.Rect, stride int, score float64, visited []img.Rect) (Detection, bool, []img.Rect) {
+// detection if it clears MinScore. Candidates score through the reject
+// cascade with the current best as the early-out bound (no variance
+// gate — the oracle refine scores every candidate), and every scored
+// position lands in the per-scale memo shared across climbs: an exact
+// entry is reused directly (the oracle would recompute the identical
+// value), and a bound entry u proves score < u, so whenever u is at or
+// below the current best the candidate provably cannot improve —
+// decisions match the exhaustive climb exactly. When a candidate is
+// rescored past a stale higher bound, the lower bound replaces it.
+func (d *Detector) refine(g *img.Gray, m *img.TemplateMatcher, in *img.Integral, sq *img.IntegralSq, pyr *img.Pyramid, memo map[uint32]memoEntry, win img.Rect, stride int, score float64) (Detection, bool) {
 	best := Detection{Box: win, Score: score}
-	visited = append(visited[:0], win)
 	for step := stride / 2; step >= 1; step /= 2 {
 		improved := true
 		for improved {
 			improved = false
-		offsets:
 			for _, off := range [4][2]int{{-step, 0}, {step, 0}, {0, -step}, {0, step}} {
 				cand := img.Rect{X: best.Box.X + off[0], Y: best.Box.Y + off[1], W: win.W, H: win.H}
 				if cand.X < 0 || cand.Y < 0 || cand.X+cand.W > g.W || cand.Y+cand.H > g.H {
 					continue
 				}
-				for _, v := range visited {
-					if v == cand {
-						continue offsets
+				key := memoKey(cand.X, cand.Y)
+				if e, ok := memo[key]; ok {
+					if e.exact {
+						if e.v > best.Score {
+							best = Detection{Box: cand, Score: e.v}
+							improved = true
+						}
+						continue
+					}
+					if e.v <= best.Score {
+						continue
 					}
 				}
-				visited = append(visited, cand)
-				if s, ok := m.ScoreBounded(g, in, sq, cand.X, cand.Y, best.Score); ok && s > best.Score {
-					best = Detection{Box: cand, Score: s}
-					improved = true
+				if s, ok := m.ScoreCascade(g, in, sq, pyr, cand.X, cand.Y, best.Score, -1); ok {
+					memo[key] = memoEntry{v: s, exact: true}
+					if s > best.Score {
+						best = Detection{Box: cand, Score: s}
+						improved = true
+					}
+				} else {
+					memo[key] = memoEntry{v: best.Score}
 				}
 			}
 		}
 	}
 	if best.Score < d.opt.MinScore {
-		return Detection{}, false, visited
+		return Detection{}, false
 	}
-	return best, true, visited
+	return best, true
 }
 
 // scanStride is the coarse-grid step for one scale — shared by the

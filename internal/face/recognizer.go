@@ -77,11 +77,22 @@ func (e Embedding) Cosine(o Embedding) float64 {
 // Similarity combines patch cosine with a tone penalty; 1 means an
 // identical face, lower values increasingly different ones.
 func (e Embedding) Similarity(o Embedding) float64 {
+	return similarity(&e, &o)
+}
+
+// similarity is Similarity on pointers — the Identify hot loop calls
+// it once per centroid, and the value form would copy two 2KB structs
+// per call. Same expressions, same result.
+func similarity(e, o *Embedding) float64 {
 	d := e.Tone - o.Tone
 	if d < 0 {
 		d = -d
 	}
-	return e.Cosine(o) - toneWeight*d
+	var s float64
+	for i := range e.Patch {
+		s += e.Patch[i] * o.Patch[i]
+	}
+	return s - toneWeight*d
 }
 
 // Recognizer assigns identities to face crops by nearest enrolled
@@ -91,6 +102,10 @@ type Recognizer struct {
 	mu      sync.RWMutex
 	ids     []string
 	centres map[string]*centroid
+	// cents caches the centroids in ids order so the Identify hot loop
+	// walks a dense slice instead of hashing every identity per face.
+	// Rebuilt on Enroll.
+	cents []*centroid
 	// MinSim is the acceptance threshold: crops whose best similarity
 	// falls below it are reported unknown (default 0.6).
 	MinSim float64
@@ -151,6 +166,10 @@ func (r *Recognizer) Enroll(id string, face *img.Gray) error {
 		r.centres[id] = c
 		r.ids = append(r.ids, id)
 		sort.Strings(r.ids)
+		r.cents = r.cents[:0]
+		for _, name := range r.ids {
+			r.cents = append(r.cents, r.centres[name])
+		}
 	}
 	for i := range e.Patch {
 		c.sum.Patch[i] += e.Patch[i]
@@ -174,17 +193,50 @@ func (r *Recognizer) Identities() []string {
 func (r *Recognizer) Identify(face *img.Gray) (string, float64, error) {
 	e := Embed(face)
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	best, bestSim := "", math.Inf(-1)
-	for _, id := range r.ids {
-		sim := e.Similarity(r.centres[id].mean)
-		if sim > bestSim {
-			best, bestSim = id, sim
-		}
-	}
-	if best == "" || bestSim < r.MinSim {
+	best, bestSim := r.identifyLocked(&e)
+	r.mu.RUnlock()
+	if best == "" {
 		return "", bestSim, fmt.Errorf("face: best similarity %.3f below %.3f: %w",
 			bestSim, r.MinSim, ErrUnknownFace)
 	}
 	return best, bestSim, nil
+}
+
+// IdentifyBatch identifies a whole set of face crops under one gallery
+// lock, appending each crop's identity (empty when unknown — no error
+// value to allocate on the expected miss path) and best similarity to
+// ids and sims. Per-crop decisions are identical to Identify. Safe for
+// concurrent callers.
+func (r *Recognizer) IdentifyBatch(faces []*img.Gray, ids []string, sims []float64) ([]string, []float64) {
+	ids, sims = ids[:0], sims[:0]
+	if len(faces) == 0 {
+		return ids, sims
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, f := range faces {
+		e := Embed(f)
+		id, sim := r.identifyLocked(&e)
+		ids = append(ids, id)
+		sims = append(sims, sim)
+	}
+	return ids, sims
+}
+
+// identifyLocked scans the centroid cache for the best match; the
+// caller holds at least a read lock. Returns "" (with the best
+// similarity seen) when the gallery is empty or no centroid passes
+// MinSim.
+func (r *Recognizer) identifyLocked(e *Embedding) (string, float64) {
+	best, bestSim := -1, math.Inf(-1)
+	for i, c := range r.cents {
+		sim := similarity(e, &c.mean)
+		if sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	if best < 0 || bestSim < r.MinSim {
+		return "", bestSim
+	}
+	return r.ids[best], bestSim
 }

@@ -21,11 +21,14 @@ type Matrix struct {
 }
 
 // NewMatrix allocates an empty matrix over the given participant IDs.
+// Rows share one flat backing array, so construction is three
+// allocations regardless of n — this runs once per frame.
 func NewMatrix(ids []int) Matrix {
 	n := len(ids)
 	m := make([][]int, n)
+	flat := make([]int, n*n)
 	for i := range m {
-		m[i] = make([]int, n)
+		m[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
 	return Matrix{IDs: append([]int(nil), ids...), M: m}
 }

@@ -16,6 +16,10 @@ import (
 type FrameGraph struct {
 	mu    sync.RWMutex
 	edges map[string]map[string]Transform // edges[i][j] = iTj
+	// cache holds previously resolved (i,j) pairs. Rigs are static
+	// during a run, so after warm-up every Resolve is a single map hit
+	// instead of an allocating breadth-first search. Set invalidates it.
+	cache map[[2]string]Transform
 }
 
 // NewFrameGraph returns an empty frame graph.
@@ -32,6 +36,7 @@ func (g *FrameGraph) Set(i, j string, iTj Transform) {
 	defer g.mu.Unlock()
 	g.setLocked(i, j, iTj)
 	g.setLocked(j, i, iTj.Inverse())
+	g.cache = nil // any cached path may now be stale
 }
 
 func (g *FrameGraph) setLocked(i, j string, t Transform) {
@@ -61,7 +66,25 @@ func (g *FrameGraph) Frames() []string {
 // connected.
 func (g *FrameGraph) Resolve(i, j string) (Transform, error) {
 	g.mu.RLock()
-	defer g.mu.RUnlock()
+	if t, ok := g.cache[[2]string{i, j}]; ok {
+		g.mu.RUnlock()
+		return t, nil
+	}
+	t, err := g.resolveLocked(i, j)
+	g.mu.RUnlock()
+	if err != nil {
+		return t, err
+	}
+	g.mu.Lock()
+	if g.cache == nil {
+		g.cache = make(map[[2]string]Transform)
+	}
+	g.cache[[2]string{i, j}] = t
+	g.mu.Unlock()
+	return t, nil
+}
+
+func (g *FrameGraph) resolveLocked(i, j string) (Transform, error) {
 	if i == j {
 		if _, ok := g.edges[i]; !ok {
 			return IdentityTransform(), fmt.Errorf("geom: unknown frame %q: %w", i, ErrNoPath)

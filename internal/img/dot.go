@@ -1,0 +1,26 @@
+package img
+
+import "unsafe"
+
+// dotRowGeneric is the portable scalar Σ t[i]·f[i] kernel — the
+// reference implementation every architecture-specific dotRow must
+// match bit for bit (a pure-integer sum, so "match" is exact
+// equality). It also serves as the oracle in the equivalence tests.
+func dotRowGeneric(t, f *byte, n int) int64 {
+	ts := unsafe.Slice(t, n)
+	fs := unsafe.Slice(f, n)
+	var p0, p1, p2, p3 int64
+	i := 0
+	for ; i <= n-8; i += 8 {
+		tt := ts[i : i+8 : i+8]
+		ff := fs[i : i+8 : i+8]
+		p0 += int64(tt[0])*int64(ff[0]) + int64(tt[4])*int64(ff[4])
+		p1 += int64(tt[1])*int64(ff[1]) + int64(tt[5])*int64(ff[5])
+		p2 += int64(tt[2])*int64(ff[2]) + int64(tt[6])*int64(ff[6])
+		p3 += int64(tt[3])*int64(ff[3]) + int64(tt[7])*int64(ff[7])
+	}
+	for ; i < n; i++ {
+		p0 += int64(ts[i]) * int64(fs[i])
+	}
+	return (p0 + p1) + (p2 + p3)
+}

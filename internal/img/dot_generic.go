@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package img
+
+// dotRow returns Σ t[i]·f[i] for i in [0, n): the portable scalar
+// implementation for architectures without a hand-tuned kernel. Four
+// accumulators keep the multiply pipeline busy; arithmetic is exact
+// integer either way, so every implementation returns the same value.
+func dotRow(t, f *byte, n int) int64 {
+	return dotRowGeneric(t, f, n)
+}

@@ -36,9 +36,9 @@ type TemplateMatcher struct {
 	// the discriminative rows instead of decaying uniformly.
 	order []int32
 	// tailSum[k] is Σ tpl′ over the rows order[k:] (exact) and
-	// tailSqrt[k] is √(Σ tpl′² over order[k:]) — the Cauchy–Schwarz
-	// factors behind the early-out bound. Both have length H+1.
-	tailSum, tailSqrt []float64
+	// tailSq[k] is Σ tpl′² over order[k:] — the Cauchy–Schwarz factors
+	// behind the early-out bound. Both have length H+1.
+	tailSum, tailSq []float64
 	// The prescreen partitions the template into a grid of (at most)
 	// 4×4 blocks. gx/gy are the column/row boundaries (gw+1 and gh+1
 	// entries); blocks holds Σ tpl′, √(Σ tpl′²) and 1/area per cell in
@@ -47,6 +47,34 @@ type TemplateMatcher struct {
 	// loads instead of 8 per block.
 	gx, gy []int32
 	blocks []tplBlock
+	// tiers is the pyramid reject ladder, coarsest block size first:
+	// each tier bounds the NCC numerator from one block-sum level of
+	// the frame pyramid, so cheap wide blocks reject the bulk of the
+	// windows before the finer (4× longer) tier runs, and only its
+	// survivors reach the exact kernel. See ScoreCascade.
+	tiers []pyrTier
+}
+
+// pyrTier is one level of the pyramid reject ladder: the template
+// projections onto the k×k block grid, one per window-anchor parity
+// class (k² of them, indexed (y%k)*k + (x%k)).
+type pyrTier struct {
+	k   int
+	par []pyrParity
+}
+
+// pyrParity is the template side of the pyramid reject tier for one
+// anchor parity: template pixels grouped by the frame-aligned
+// pyrK×pyrK block they fall into when the window anchor has this
+// parity. t holds each group's Σ tpl′ (nby×nbx, row-major, matching
+// the block grid the window covers) and p the total residual template
+// energy — Σ over groups of E_G − T_G²/k² for full groups (centred:
+// a full group covers its whole block, so the group's frame sum is the
+// block sum exactly) and the uncentred E_G for partial edge groups.
+type pyrParity struct {
+	nbx, nby int
+	t        []float64
+	p        float64
 }
 
 // tplBlock is one prescreen cell of the template partition.
@@ -84,15 +112,11 @@ func NewTemplateMatcher(tpl *Gray) *TemplateMatcher {
 		return rowSq[m.order[a]] > rowSq[m.order[b]]
 	})
 	m.tailSum = make([]float64, tpl.H+1)
-	m.tailSqrt = make([]float64, tpl.H+1)
-	tailSq := make([]float64, tpl.H+1)
+	m.tailSq = make([]float64, tpl.H+1)
 	for k := tpl.H - 1; k >= 0; k-- {
 		j := m.order[k]
 		m.tailSum[k] = m.tailSum[k+1] + rowSum[j]
-		tailSq[k] = tailSq[k+1] + rowSq[j]
-	}
-	for k, q := range tailSq {
-		m.tailSqrt[k] = math.Sqrt(q)
+		m.tailSq[k] = m.tailSq[k+1] + rowSq[j]
 	}
 	gw, gh := 4, 4
 	if tpl.W < gw {
@@ -127,7 +151,60 @@ func NewTemplateMatcher(tpl *Gray) *TemplateMatcher {
 			})
 		}
 	}
+	// Pyramid reject ladder, coarsest first. In practice a single tier
+	// per template wins: small templates bound against the 2×2 level
+	// (enough blocks to discriminate), large ones against 4×4 (quarter
+	// the dot-product length). Coarser first tiers (8×8, or 4×4 for
+	// small templates) were measured and lost — their residual energy P
+	// is too large to reject much, so both tiers end up running on most
+	// windows.
+	ks := []int{2}
+	if tpl.H >= 48 {
+		ks = []int{4}
+	}
+	for _, k := range ks {
+		m.tiers = append(m.tiers, buildPyrTier(tpl, m.mean, k))
+	}
 	return m
+}
+
+// buildPyrTier precomputes the template side of one pyramid-ladder
+// level: per anchor parity, the per-group Σ tpl′ projections and the
+// residual template energy P (see ScoreCascade).
+func buildPyrTier(tpl *Gray, mean float64, k int) pyrTier {
+	tier := pyrTier{k: k, par: make([]pyrParity, k*k)}
+	for py := 0; py < k; py++ {
+		for px := 0; px < k; px++ {
+			nbx := (px+tpl.W-1)/k + 1
+			nby := (py+tpl.H-1)/k + 1
+			t := make([]float64, nbx*nby)
+			e := make([]float64, nbx*nby)
+			cnt := make([]int32, nbx*nby)
+			for ty := 0; ty < tpl.H; ty++ {
+				gr := (py + ty) / k
+				for tx := 0; tx < tpl.W; tx++ {
+					z := float64(tpl.Pix[ty*tpl.W+tx]) - mean
+					gi := gr*nbx + (px+tx)/k
+					t[gi] += z
+					e[gi] += z * z
+					cnt[gi]++
+				}
+			}
+			var p float64
+			for gi := range t {
+				if cnt[gi] == int32(k*k) {
+					p += e[gi] - t[gi]*t[gi]/float64(k*k)
+				} else {
+					p += e[gi]
+				}
+			}
+			if p < 0 {
+				p = 0
+			}
+			tier.par[py*k+px] = pyrParity{nbx: nbx, nby: nby, t: t, p: p}
+		}
+	}
+	return tier
 }
 
 // Score returns NCC(window, template) for the W×H window of g anchored
@@ -146,7 +223,7 @@ func (m *TemplateMatcher) Score(g *Gray, in *Integral, sq *IntegralSq, x, y int)
 // bound cannot reach the caller's threshold, scanning stops and
 // (0, false) is returned, guaranteeing score < bound without finishing
 // the window. (true, score) means score is the exact fused value. The
-// bound carries a 1e-9 safety margin so float rounding in the bound
+// bound carries a 1e-6 safety margin so float rounding in the bound
 // arithmetic can never skip a window whose true score reaches the
 // threshold; callers comparing the result against bound therefore make
 // decisions identical to the exhaustive oracle. Pass a bound ≤ -1 to
@@ -218,10 +295,14 @@ func (m *TemplateMatcher) scoreBounded(g *Gray, in *Integral, sq *IntegralSq, x,
 		return 0, true
 	}
 	den := math.Sqrt(da * db)
-	sqrtDa := math.Sqrt(da)
 	mw := float64(s) / float64(n)
 	// Early-out threshold in numerator units, with the safety margin.
-	cut := (bound - 1e-9) * den
+	// 1e-6 (score units) dwarfs the float rounding the bound arithmetic
+	// below can accumulate — including the per-row deviation tracking —
+	// so a skip always proves score < bound; no real score sits within
+	// 1e-6 of a threshold in the seeded suites (the kernel's exact
+	// integer paths keep accepted scores within 1e-9 of the oracle).
+	cut := (bound - 1e-6) * den
 	if checkCut {
 		// O(1) prescreen before any pixel is read: per template block,
 		// Σ_B tpl′·f ≤ m_B·Σ_B tpl′ + √(Σ_B tpl′²)·√(Σ_B (f−m_B)²) by
@@ -252,48 +333,219 @@ func (m *TemplateMatcher) scoreBounded(g *Gray, in *Integral, sq *IntegralSq, x,
 	tstride := in.W + 1
 	var ip int64  // Σ tpl·f over the scanned rows — exact
 	var sf uint64 // Σ f over the scanned rows — exact, from the table
+	wf := float64(w)
+	// daRem tracks the deviation mass Σ(f−mw)² of the rows not yet
+	// scanned: each scanned row's exact deviation (from the two tables)
+	// is peeled off the window total, so the Cauchy–Schwarz tail bound
+	// below tightens as fast as the window's own structure is consumed
+	// instead of assuming every unseen row could still carry the whole
+	// window's deviation. Near-miss windows — the refinement climb's
+	// staple — concentrate their deviation in the same high-energy rows
+	// the scan order visits first, so the bound collapses early.
+	daRem := da
 	for k := 0; k < h; k++ {
 		j := int(m.order[k])
-		trow := m.tpl[j*w : (j+1)*w]
-		// Equal-length re-slice so the compiler drops the per-element
-		// bounds checks in the unrolled loop below.
-		frow := g.Pix[base+j*stride : base+j*stride+w]
-		frow = frow[:len(trow)]
-		// Pure integer dot product — no float conversions, and four
-		// accumulators keep the multiply pipeline busy.
-		var p0, p1, p2, p3 int64
-		i := 0
-		for ; i <= len(trow)-8; i += 8 {
-			t := trow[i : i+8 : i+8]
-			f := frow[i : i+8 : i+8]
-			p0 += int64(t[0])*int64(f[0]) + int64(t[4])*int64(f[4])
-			p1 += int64(t[1])*int64(f[1]) + int64(t[5])*int64(f[5])
-			p2 += int64(t[2])*int64(f[2]) + int64(t[6])*int64(f[6])
-			p3 += int64(t[3])*int64(f[3]) + int64(t[7])*int64(f[7])
-		}
-		for ; i < len(trow); i++ {
-			p0 += int64(trow[i]) * int64(frow[i])
-		}
-		ip += (p0 + p1) + (p2 + p3)
+		// Exact integer dot product of one template row against the
+		// frame row under it — SIMD on amd64, bit-identical everywhere.
+		ip += dotRow(&m.tpl[j*w], &g.Pix[base+j*stride], w)
 		if !checkCut || k == h-1 {
 			continue
 		}
 		// Partial numerator over the scanned rows: Σ tpl′·f =
-		// Σ tpl·f − mean·Σf, the row's Σf a two-load table lookup
-		// (adjacent table rows, four corners).
+		// Σ tpl·f − mean·Σf, the row's Σf and Σf² two-load table
+		// lookups each (adjacent table rows, four corners).
 		ro := (y+j)*tstride + x
-		sf += uint64(in.Sum[ro+tstride+w] - in.Sum[ro+w] - in.Sum[ro+tstride] + in.Sum[ro])
+		rowS := uint64(in.Sum[ro+tstride+w] - in.Sum[ro+w] - in.Sum[ro+tstride] + in.Sum[ro])
+		rowQ := sq.Sum[ro+tstride+w] - sq.Sum[ro+w] - sq.Sum[ro+tstride] + sq.Sum[ro]
+		sf += rowS
+		// The row's exact deviation about the window mean:
+		// Σ_x (f−mw)² = Σf² − mw·(2Σf − w·mw).
+		daRem -= float64(rowQ) - mw*(2*float64(rowS)-wf*mw)
 		num := float64(ip) - m.mean*float64(sf)
 		// Cauchy–Schwarz over the unseen rows, whichever they are:
-		// Σ_rem (f−mw)² ≤ da holds for any row subset, so the
-		// energy-ordered walk keeps a sound bound while tailSqrt
-		// collapses as fast as the template's energy allows.
-		if num+mw*m.tailSum[k+1]+m.tailSqrt[k+1]*sqrtDa < cut {
-			return 0, false
+		// Σ_rem (f−mw)² = daRem exactly, so reject when
+		// num + mw·ΣtailTpl′ + √(tailSq·daRem) < cut — compared in
+		// squared form to keep √ out of the row loop.
+		rem := cut - num - mw*m.tailSum[k+1]
+		if rem > 0 {
+			d := daRem
+			if d < 0 {
+				d = 0
+			}
+			if m.tailSq[k+1]*d < rem*rem {
+				return 0, false
+			}
 		}
 	}
 	// Over the whole window Σf is the window sum itself, so the exact
 	// numerator needs no per-row bookkeeping.
 	num := float64(ip) - m.mean*float64(s)
 	return num / den, true
+}
+
+// ScoreCascade is ScoreVarBounded with the pyramid reject tier in
+// front of the corner-grid prescreen and the exact kernel: before any
+// full-resolution table probing, the NCC numerator is bounded from the
+// frame's block-sum pyramid (DESIGN.md §12). Per template group G
+// inside block B (nominal block mean c = S_B/k²),
+//
+//	Σ_G tpl′·f ≤ T_G·c + √ê_G·√(Σ_B (f−c)²)
+//
+// by Cauchy–Schwarz (centred through the group mean for full groups,
+// where Σ_G f = S_B exactly), so summing groups and applying
+// Cauchy–Schwarz once more over the per-block factors,
+//
+//	num ≤ dot(T, S)/k² + √(P · devsum)
+//
+// with dot(T, S) a short contiguous dot product over the block grid,
+// P the parity's residual template energy, and devsum =
+// ΣQ − ΣS²/k² ≥ Σ_B Σ_G (f−c)² the covered blocks' deviation mass
+// (ΣQ one squared-table probe, ΣS² accumulated inside the dot loop —
+// for frame-edge partial blocks the k² denominator overestimates the
+// true deviation, which only loosens the bound). When even this bound
+// cannot reach the threshold, the window is rejected with zero
+// full-resolution reads; skips are sound under a 1e-6 margin (the
+// tier's float accumulation is coarser than the kernel's 1e-9-margin
+// integer paths, and thresholds sit far from any score that close to
+// the cut). Survivors fall through to scoreBounded unchanged, so
+// accepted scores are bit-identical to Score.
+//
+// pyr must be the pyramid of g. A bound ≤ -1 disables every early-out
+// and delegates straight to the exact kernel.
+func (m *TemplateMatcher) ScoreCascade(g *Gray, in *Integral, sq *IntegralSq, pyr *Pyramid, x, y int, bound, minVar float64) (float64, bool) {
+	if bound <= -1 {
+		return m.scoreBounded(g, in, sq, x, y, bound, minVar)
+	}
+	w, h := m.W, m.H
+	n := uint64(w * h)
+	win := Rect{X: x, Y: y, W: w, H: h}
+	s := in.RegionSumUnclipped(win)
+	q := sq.RegionSumUnclipped(win)
+	if minVar >= 0 && float64(n*q-s*s)/float64(n*n) < minVar {
+		return 0, false
+	}
+	da := float64(n*q-s*s) / float64(n)
+	db := m.norm2
+	if da == 0 && db == 0 {
+		if float64(s)/float64(n) == m.mean {
+			return 1, true
+		}
+		return 0, true
+	}
+	if da == 0 || db == 0 {
+		return 0, true
+	}
+	den := math.Sqrt(da * db)
+	cut := (bound - 1e-6) * den
+	for ti := range m.tiers {
+		if m.pyrBound(&m.tiers[ti], sq, pyr, x, y) < cut {
+			return 0, false
+		}
+	}
+	// Survivors skip scoreBounded's corner-grid resampling and block
+	// prescreen: the window sums, variance gate and threshold are
+	// already in hand (exact integers and the same float expressions,
+	// so every value the row loop sees is identical), and behind the
+	// pyramid tier the block prescreen rejects almost nothing — it
+	// reads fifty scattered table words and takes sixteen square roots
+	// to re-derive a coarser version of the bound that just passed.
+	return m.scoreRows(g, in, sq, x, y, s, da, den, cut)
+}
+
+// scoreRows is the exact row-scan kernel entered from ScoreCascade:
+// the fused integer dot product with the energy-ordered early-out,
+// minus scoreBounded's front matter (window sums, variance gate, block
+// prescreen), which the cascade has already run. s must be the
+// window's pixel sum, da its deviation mass, den the NCC denominator
+// and cut the early-out threshold in numerator units. Every value the
+// loop reads is computed from the same exact-integer inputs by the
+// same expressions as scoreBounded, so accepted scores are
+// bit-identical to Score.
+func (m *TemplateMatcher) scoreRows(g *Gray, in *Integral, sq *IntegralSq, x, y int, s uint64, da, den, cut float64) (float64, bool) {
+	w, h := m.W, m.H
+	n := uint64(w * h)
+	mw := float64(s) / float64(n)
+	stride := g.W
+	base := y*stride + x
+	tstride := in.W + 1
+	var ip int64  // Σ tpl·f over the scanned rows — exact
+	var sf uint64 // Σ f over the scanned rows — exact, from the table
+	wf := float64(w)
+	daRem := da
+	for k := 0; k < h; k++ {
+		j := int(m.order[k])
+		ip += dotRow(&m.tpl[j*w], &g.Pix[base+j*stride], w)
+		if k == h-1 {
+			continue
+		}
+		ro := (y+j)*tstride + x
+		rowS := uint64(in.Sum[ro+tstride+w] - in.Sum[ro+w] - in.Sum[ro+tstride] + in.Sum[ro])
+		rowQ := sq.Sum[ro+tstride+w] - sq.Sum[ro+w] - sq.Sum[ro+tstride] + sq.Sum[ro]
+		sf += rowS
+		daRem -= float64(rowQ) - mw*(2*float64(rowS)-wf*mw)
+		num := float64(ip) - m.mean*float64(sf)
+		rem := cut - num - mw*m.tailSum[k+1]
+		if rem > 0 {
+			d := daRem
+			if d < 0 {
+				d = 0
+			}
+			if m.tailSq[k+1]*d < rem*rem {
+				return 0, false
+			}
+		}
+	}
+	num := float64(ip) - m.mean*float64(s)
+	return num / den, true
+}
+
+// pyrBound returns the pyramid tier's upper bound on the NCC numerator
+// for the window anchored at (x, y) — see ScoreCascade for the
+// derivation.
+func (m *TemplateMatcher) pyrBound(tier *pyrTier, sq *IntegralSq, pyr *Pyramid, x, y int) float64 {
+	k := tier.k
+	par := &tier.par[(y%k)*k+(x%k)]
+	bx0, by0 := x/k, y/k
+	sArr, sw := pyr.Level(k)
+	var dot float64
+	var ssq uint64
+	for r := 0; r < par.nby; r++ {
+		off := (by0+r)*sw + bx0
+		srow := sArr[off : off+par.nbx]
+		trow := par.t[r*par.nbx : (r+1)*par.nbx]
+		trow = trow[:len(srow)]
+		var d0, d1 float64
+		var q0 uint64
+		i := 0
+		for ; i <= len(srow)-4; i += 4 {
+			s0, s1 := uint64(srow[i]), uint64(srow[i+1])
+			s2, s3 := uint64(srow[i+2]), uint64(srow[i+3])
+			d0 += trow[i]*float64(s0) + trow[i+2]*float64(s2)
+			d1 += trow[i+1]*float64(s1) + trow[i+3]*float64(s3)
+			q0 += s0*s0 + s1*s1 + s2*s2 + s3*s3
+		}
+		for ; i < len(srow); i++ {
+			sv := uint64(srow[i])
+			d0 += trow[i] * float64(sv)
+			q0 += sv * sv
+		}
+		dot += d0 + d1
+		ssq += q0
+	}
+	// ΣQ over the exact pixel footprint of the covered blocks, clipped
+	// to the frame for edge blocks.
+	px1, py1 := (bx0+par.nbx)*k, (by0+par.nby)*k
+	if px1 > pyr.W {
+		px1 = pyr.W
+	}
+	if py1 > pyr.H {
+		py1 = pyr.H
+	}
+	qsum := sq.RegionSumUnclipped(Rect{X: bx0 * k, Y: by0 * k, W: px1 - bx0*k, H: py1 - by0*k})
+	kk := float64(k * k)
+	devsum := float64(qsum) - float64(ssq)/kk
+	if devsum < 0 {
+		devsum = 0
+	}
+	return dot/kk + math.Sqrt(par.p*devsum)
 }

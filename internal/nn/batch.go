@@ -1,0 +1,122 @@
+package nn
+
+import "fmt"
+
+// batchActs is a pooled set of flat batch activation matrices: m[l]
+// holds batch×sizes[l] values, sample-major, for layer l ≥ 1 (the
+// input layer is read straight from the caller's slices). Buffers grow
+// to the largest batch seen and are reused verbatim afterwards.
+type batchActs struct{ m [][]float64 }
+
+// acquireBatch returns a pooled batch activation set with capacity for
+// batch samples.
+func (n *Network) acquireBatch(batch int) *batchActs {
+	s, _ := n.batchPool.Get().(*batchActs)
+	if s == nil {
+		s = &batchActs{m: make([][]float64, len(n.sizes))}
+	}
+	for l := 1; l < len(n.sizes); l++ {
+		need := batch * n.sizes[l]
+		if cap(s.m[l]) < need {
+			s.m[l] = make([]float64, need)
+		}
+		s.m[l] = s.m[l][:need]
+	}
+	return s
+}
+
+// PredictBatch returns the softmax class probabilities for every input
+// in xs, in order. Results are bit-identical to calling Predict on
+// each input: the batched loops keep each sample's per-neuron
+// accumulation in the exact order of the single-sample path and only
+// restructure which of them run back to back — one weight-row walk now
+// serves the whole batch instead of being re-streamed from memory per
+// sample, which is where the batch speedup comes from.
+func (n *Network) PredictBatch(xs [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(xs))
+	last := n.sizes[len(n.sizes)-1]
+	flat := make([]float64, len(xs)*last)
+	if err := n.forwardBatch(xs, func(s int, p []float64) {
+		out[s] = flat[s*last : (s+1)*last]
+		copy(out[s], p)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ClassifyBatch returns the argmax class and its probability for every
+// input in xs, appending into cls and conf (pass nil to allocate, or
+// retained buffers to reuse their capacity). Results are bit-identical
+// to per-sample Classify calls.
+func (n *Network) ClassifyBatch(xs [][]float64, cls []int, conf []float64) ([]int, []float64, error) {
+	cls, conf = cls[:0], conf[:0]
+	if err := n.forwardBatch(xs, func(_ int, p []float64) {
+		best, bp := 0, p[0]
+		for i, v := range p[1:] {
+			if v > bp {
+				best, bp = i+1, v
+			}
+		}
+		cls = append(cls, best)
+		conf = append(conf, bp)
+	}); err != nil {
+		return nil, nil, err
+	}
+	return cls, conf, nil
+}
+
+// forwardBatch runs the batched forward pass, invoking emit with each
+// sample's softmax row (valid only during the call) in sample order.
+func (n *Network) forwardBatch(xs [][]float64, emit func(s int, probs []float64)) error {
+	if len(xs) == 0 {
+		return nil
+	}
+	for s, x := range xs {
+		if len(x) != n.sizes[0] {
+			return fmt.Errorf("nn: batch sample %d: input %d, want %d: %w", s, len(x), n.sizes[0], ErrBadInput)
+		}
+	}
+	batch := len(xs)
+	sc := n.acquireBatch(batch)
+	defer n.batchPool.Put(sc)
+	for l := 0; l+1 < len(n.sizes); l++ {
+		in, out := n.sizes[l], n.sizes[l+1]
+		prev := sc.m[l] // nil for l == 0; xs is read directly
+		cur := sc.m[l+1]
+		// Neuron-outer, sample-inner: the weight row stays hot in cache
+		// across the whole batch. Each sample's accumulation (bias
+		// first, then inputs in index order) matches forward exactly,
+		// so the sums round identically.
+		for j := 0; j < out; j++ {
+			row := n.w[l][j*in : (j+1)*in]
+			bj := n.b[l][j]
+			for s := 0; s < batch; s++ {
+				x := xs[s]
+				if l > 0 {
+					x = prev[s*in : (s+1)*in]
+				}
+				acc := bj
+				for i, xi := range x {
+					acc += row[i] * xi
+				}
+				cur[s*out+j] = acc
+			}
+		}
+		if l+2 < len(n.sizes) { // hidden layer
+			for i, v := range cur {
+				cur[i] = n.hidden.apply(v)
+			}
+		} else { // output: softmax per sample
+			for s := 0; s < batch; s++ {
+				softmaxInPlace(cur[s*out : (s+1)*out])
+			}
+		}
+	}
+	last := len(n.sizes) - 1
+	width := n.sizes[last]
+	for s := 0; s < batch; s++ {
+		emit(s, sc.m[last][s*width:(s+1)*width])
+	}
+	return nil
+}

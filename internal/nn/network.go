@@ -90,8 +90,10 @@ type Network struct {
 	w, b [][]float64
 
 	// actPool recycles per-call activation sets so the inference hot
-	// path stops allocating a full [][]float64 per Classify.
-	actPool sync.Pool
+	// path stops allocating a full [][]float64 per Classify; batchPool
+	// does the same for PredictBatch/ClassifyBatch activation matrices.
+	actPool   sync.Pool
+	batchPool sync.Pool
 }
 
 // Package errors.

@@ -1,0 +1,255 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Quantized is an int8 inference view of a trained Network: weights
+// are quantized once, symmetrically, with one scale per output neuron
+// (scale_j = max|w_j|/127, so every row uses the full int8 range);
+// inputs are quantized per sample per layer with one symmetric scale
+// (max|x|/127); accumulation is exact int32 (≤ 2¹⁴ terms of |p| ≤
+// 127², far from overflow); and each neuron dequantizes back to float
+// as acc·scale_j·scale_x + bias before the float activation and
+// softmax. Confidences therefore drift slightly from the float
+// network, but argmax decisions are stable for comfortably-separated
+// classes — callers gate a Quantized behind an oracle-equivalence
+// check on real data before trusting it (see
+// emotion.Classifier.EnableQuantized).
+//
+// A Quantized is immutable after construction and safe for concurrent
+// use.
+type Quantized struct {
+	sizes  []int
+	hidden Activation
+	// wq[l] is the int8 weight matrix of layer l, row-major like
+	// Network.w; ws[l][j] is row j's dequantization scale.
+	wq [][]int8
+	ws [][]float64
+	b  [][]float64
+
+	pool sync.Pool // *quantActs
+}
+
+// quantActs is the pooled per-call scratch of a quantized forward
+// pass: float activations per layer and the int8 input image of the
+// current layer for the whole batch.
+type quantActs struct {
+	f   [][]float64 // f[l]: batch × sizes[l], sample-major, l ≥ 1
+	xq  []int8      // batch × sizes[l] quantized inputs of the running layer
+	xs1 [][]float64 // one-sample batch header for Classify
+}
+
+// Quantize builds the int8 view of the network. The original network
+// is unchanged and remains the accuracy oracle.
+func (n *Network) Quantize() *Quantized {
+	q := &Quantized{
+		sizes:  append([]int(nil), n.sizes...),
+		hidden: n.hidden,
+	}
+	for l := range n.w {
+		in, out := n.sizes[l], n.sizes[l+1]
+		wq := make([]int8, in*out)
+		ws := make([]float64, out)
+		for j := 0; j < out; j++ {
+			row := n.w[l][j*in : (j+1)*in]
+			var amax float64
+			for _, v := range row {
+				if a := math.Abs(v); a > amax {
+					amax = a
+				}
+			}
+			if amax == 0 {
+				ws[j] = 1 // all-zero row: any scale dequantizes to 0
+				continue
+			}
+			s := amax / 127
+			ws[j] = s
+			for i, v := range row {
+				wq[j*in+i] = int8(math.Round(v / s))
+			}
+		}
+		q.wq = append(q.wq, wq)
+		q.ws = append(q.ws, ws)
+		q.b = append(q.b, append([]float64(nil), n.b[l]...))
+	}
+	return q
+}
+
+// Sizes returns the layer widths.
+func (q *Quantized) Sizes() []int { return append([]int(nil), q.sizes...) }
+
+// Classify returns the argmax class and its probability under int8
+// inference. Safe for concurrent callers; allocation-free once the
+// scratch pool is warm.
+func (q *Quantized) Classify(x []float64) (int, float64, error) {
+	sc := q.acquire(1)
+	defer q.release(sc)
+	sc.xs1 = append(sc.xs1[:0], x)
+	var cls int
+	var conf float64
+	err := q.forward(sc, sc.xs1, func(_ int, p []float64) {
+		cls, conf = argmax(p)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return cls, conf, nil
+}
+
+// ClassifyBatch returns the argmax class and probability for every
+// input, appending into cls and conf (pass nil to allocate, retained
+// buffers to reuse). Per-sample results are identical to Classify —
+// the batched loops reorder only across samples, and every per-sample
+// accumulation is exact integer arithmetic dequantized in one fixed
+// order.
+func (q *Quantized) ClassifyBatch(xs [][]float64, cls []int, conf []float64) ([]int, []float64, error) {
+	cls, conf = cls[:0], conf[:0]
+	sc := q.acquire(len(xs))
+	defer q.release(sc)
+	err := q.forward(sc, xs, func(_ int, p []float64) {
+		c, p1 := argmax(p)
+		cls = append(cls, c)
+		conf = append(conf, p1)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return cls, conf, nil
+}
+
+func argmax(p []float64) (int, float64) {
+	best, bp := 0, p[0]
+	for i, v := range p[1:] {
+		if v > bp {
+			best, bp = i+1, v
+		}
+	}
+	return best, bp
+}
+
+func (q *Quantized) acquire(batch int) *quantActs {
+	sc, _ := q.pool.Get().(*quantActs)
+	if sc == nil {
+		sc = &quantActs{f: make([][]float64, len(q.sizes))}
+	}
+	maxw := 0
+	for l := 1; l < len(q.sizes); l++ {
+		need := batch * q.sizes[l]
+		if cap(sc.f[l]) < need {
+			sc.f[l] = make([]float64, need)
+		}
+		sc.f[l] = sc.f[l][:need]
+		if q.sizes[l-1] > maxw {
+			maxw = q.sizes[l-1]
+		}
+	}
+	if need := batch * maxw; cap(sc.xq) < need {
+		sc.xq = make([]int8, need)
+	}
+	return sc
+}
+
+func (q *Quantized) release(sc *quantActs) {
+	sc.xs1 = sc.xs1[:0] // don't pin caller inputs
+	q.pool.Put(sc)
+}
+
+// forward runs the int8 batched forward pass, invoking emit with each
+// sample's softmax row (valid only during the call) in sample order.
+func (q *Quantized) forward(sc *quantActs, xs [][]float64, emit func(s int, probs []float64)) error {
+	if len(xs) == 0 {
+		return nil
+	}
+	for s, x := range xs {
+		if len(x) != q.sizes[0] {
+			return fmt.Errorf("nn: batch sample %d: input %d, want %d: %w", s, len(x), q.sizes[0], ErrBadInput)
+		}
+	}
+	batch := len(xs)
+	// sxs[s] is the current layer's per-sample input scale.
+	sxs := make([]float64, 0, 16)
+	for l := 0; l+1 < len(q.sizes); l++ {
+		in, out := q.sizes[l], q.sizes[l+1]
+		// Quantize this layer's inputs for the whole batch.
+		sxs = sxs[:0]
+		xq := sc.xq[:batch*in]
+		for s := 0; s < batch; s++ {
+			x := xs[s]
+			if l > 0 {
+				x = sc.f[l][s*in : (s+1)*in]
+			}
+			sxs = append(sxs, quantizeRow(x, xq[s*in:(s+1)*in]))
+		}
+		cur := sc.f[l+1]
+		for j := 0; j < out; j++ {
+			row := q.wq[l][j*in : (j+1)*in]
+			wsj := q.ws[l][j]
+			bj := q.b[l][j]
+			for s := 0; s < batch; s++ {
+				acc := dotI8(row, xq[s*in:(s+1)*in])
+				cur[s*out+j] = float64(acc)*wsj*sxs[s] + bj
+			}
+		}
+		if l+2 < len(q.sizes) {
+			for i, v := range cur {
+				cur[i] = q.hidden.apply(v)
+			}
+		} else {
+			for s := 0; s < batch; s++ {
+				softmaxInPlace(cur[s*out : (s+1)*out])
+			}
+		}
+	}
+	last := len(q.sizes) - 1
+	width := q.sizes[last]
+	for s := 0; s < batch; s++ {
+		emit(s, sc.f[last][s*width:(s+1)*width])
+	}
+	return nil
+}
+
+// quantizeRow fills xq with the symmetric int8 image of x and returns
+// the dequantization scale (0 when x is all zero, in which case xq is
+// zeroed).
+func quantizeRow(x []float64, xq []int8) float64 {
+	var amax float64
+	for _, v := range x {
+		if a := math.Abs(v); a > amax {
+			amax = a
+		}
+	}
+	if amax == 0 {
+		for i := range xq {
+			xq[i] = 0
+		}
+		return 0
+	}
+	s := amax / 127
+	inv := 1 / s
+	for i, v := range x {
+		xq[i] = int8(math.Round(v * inv))
+	}
+	return s
+}
+
+// dotI8 is the exact int32 inner product of two int8 vectors.
+func dotI8(a []int8, b []int8) int32 {
+	b = b[:len(a)]
+	var p0, p1, p2, p3 int32
+	i := 0
+	for ; i <= len(a)-4; i += 4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		p0 += int32(aa[0]) * int32(bb[0])
+		p1 += int32(aa[1]) * int32(bb[1])
+		p2 += int32(aa[2]) * int32(bb[2])
+		p3 += int32(aa[3]) * int32(bb[3])
+	}
+	for ; i < len(a); i++ {
+		p0 += int32(a[i]) * int32(b[i])
+	}
+	return (p0 + p1) + (p2 + p3)
+}

@@ -2,12 +2,15 @@
 # bench.sh — record the headline benchmark numbers.
 #
 #   scripts/bench.sh [N]      run the headline benchmarks and write
-#                             BENCH_<N>.json (default N=6) at the repo
+#                             BENCH_<N>.json (default N=9) at the repo
 #                             root, so the perf trajectory is recorded
-#                             PR over PR.
+#                             PR over PR. Prints per-benchmark deltas
+#                             against the newest previous BENCH_*.json.
 #
-# Headline set: the detection hot path (FaceDetect, FaceDetectShared),
-# the end-to-end pipelines (PipelineEndToEnd, PipelineParallel), the
+# Headline set: the detection hot path (FaceDetect, FaceDetectShared —
+# windows/s), the per-face inference hot path (FaceInferenceBatch —
+# faces/s; NNForwardBatch — float vs int8 samples/s), the
+# end-to-end pipelines (PipelineEndToEnd, PipelineParallel), the
 # metadata ingest path (MetadataIngestSegmented), the stage-graph
 # incremental re-run (PipelineIncremental vs PipelineFull610 — the
 # stale-emotion re-run must land under 50% of the full run), the live
@@ -23,7 +26,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-N="${1:-6}"
+N="${1:-9}"
 OUT="BENCH_${N}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -38,7 +41,7 @@ fi
 # Redirect (not pipe) so a benchmark failure aborts under set -e
 # before the JSON is rewritten.
 go test -run '^$' \
-	-bench 'BenchmarkFaceDetect$|BenchmarkFaceDetectShared$|BenchmarkPipelineEndToEnd$|BenchmarkPipelineParallel$|BenchmarkPipelineIncremental$|BenchmarkPipelineFull610$|BenchmarkMetadataIngestSegmented$|BenchmarkFollowLatency$' \
+	-bench 'BenchmarkFaceDetect$|BenchmarkFaceDetectShared$|BenchmarkFaceInferenceBatch$|BenchmarkNNForwardBatch$|BenchmarkPipelineEndToEnd$|BenchmarkPipelineParallel$|BenchmarkPipelineIncremental$|BenchmarkPipelineFull610$|BenchmarkMetadataIngestSegmented$|BenchmarkFollowLatency$' \
 	-benchtime 100x -count 1 . > "$RAW"
 go test -run '^$' -bench 'BenchmarkColdOpenQuery' -benchtime 5x -count 1 . >> "$RAW"
 go test -run '^$' \
@@ -55,6 +58,8 @@ awk -v out="$OUT" -v keep="$KEEP" '
 		if ($(i+1) == "B/op")        bytes[name] = $i
 		if ($(i+1) == "allocs/op")   allocs[name] = $i
 		if ($(i+1) == "windows/s")   extra[name] = $i
+		if ($(i+1) == "faces/s")     faces[name] = $i
+		if ($(i+1) == "samples/s")   sps[name] = $i
 		if ($(i+1) == "appends/s")   aps[name] = $i
 		if ($(i+1) == "p50-ns")      p50[name] = $i
 		if ($(i+1) == "p99-ns")      p99[name] = $i
@@ -73,6 +78,8 @@ END {
 		if (name in bytes)  printf ", \"bytes_per_op\": %s", bytes[name] >> out
 		if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name] >> out
 		if (name in extra)  printf ", \"windows_per_sec\": %s", extra[name] >> out
+		if (name in faces)  printf ", \"faces_per_sec\": %s", faces[name] >> out
+		if (name in sps)    printf ", \"samples_per_sec\": %s", sps[name] >> out
 		if (name in aps)    printf ", \"appends_per_sec\": %s", aps[name] >> out
 		# The follow-latency bench predates the generic names; keep its
 		# fields stable so the PR-over-PR trajectory stays diffable.
@@ -87,3 +94,39 @@ END {
 ' "$RAW"
 
 echo "bench.sh: wrote $OUT"
+
+# Trajectory: per-benchmark ns/op deltas against the newest previous
+# BENCH_*.json, so each PR's record states what moved.
+PREV=""
+PN=-1
+for f in BENCH_*.json; do
+	[ "$f" = "$OUT" ] && continue
+	num="${f#BENCH_}"
+	num="${num%.json}"
+	case "$num" in (*[!0-9]*) continue ;; esac
+	if [ "$num" -gt "$PN" ]; then
+		PN="$num"
+		PREV="$f"
+	fi
+done
+if [ -n "$PREV" ]; then
+	echo "bench.sh: deltas vs $PREV"
+	awk -v prevf="$PREV" -v outf="$OUT" '
+	function parse(file, arr,    line, name) {
+		while ((getline line < file) > 0) {
+			if (match(line, /"Benchmark[^"]*"/)) {
+				name = substr(line, RSTART+1, RLENGTH-2)
+				if (match(line, /"ns_per_op": [0-9]+/))
+					arr[name] = substr(line, RSTART+13, RLENGTH-13) + 0
+			}
+		}
+		close(file)
+	}
+	BEGIN {
+		parse(prevf, old); parse(outf, new)
+		for (name in new)
+			if (name in old && old[name] > 0)
+				printf "  %-44s %12d -> %12d ns/op  (%+.1f%%)\n",
+					name, old[name], new[name], (new[name] - old[name]) / old[name] * 100
+	}' | sort
+fi
